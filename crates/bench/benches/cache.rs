@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the unified L1's access paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snake_sim::cache::unified_l1::{L1Mode, UnifiedL1};
+use snake_sim::{Cycle, GpuConfig, LineAddr, WarpId};
+
+fn l1(mode: L1Mode) -> UnifiedL1 {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.miss_queue_depth = 1024;
+    cfg.mshr_entries = 4096;
+    UnifiedL1::new(&cfg, mode)
+}
+
+fn bench_demand_hit(c: &mut Criterion) {
+    c.bench_function("l1_demand_hit", |b| {
+        let mut cache = l1(L1Mode::Plain);
+        // Install a small resident set.
+        for i in 0..16u64 {
+            cache.access_demand(LineAddr(i), WarpId(0), Cycle(0));
+            cache.pop_outgoing();
+            cache.fill(LineAddr(i), Cycle(1));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access_demand(LineAddr(i % 16), WarpId(0), Cycle(i)))
+        });
+    });
+}
+
+fn bench_miss_fill_cycle(c: &mut Criterion) {
+    c.bench_function("l1_miss_fill_roundtrip", |b| {
+        let mut cache = l1(L1Mode::Plain);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = LineAddr(i);
+            let out = cache.access_demand(line, WarpId(0), Cycle(i));
+            cache.pop_outgoing();
+            cache.fill(line, Cycle(i));
+            black_box(out)
+        });
+    });
+}
+
+fn bench_prefetch_issue(c: &mut Criterion) {
+    c.bench_function("l1_prefetch_request_decoupled", |b| {
+        let mut cache = l1(L1Mode::Decoupled);
+        cache.set_trained(true);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = cache.request_prefetch(LineAddr(i), Cycle(i));
+            cache.pop_outgoing();
+            cache.fill(LineAddr(i), Cycle(i));
+            black_box(r)
+        });
+    });
+}
+
+criterion_group!(cache, bench_demand_hit, bench_miss_fill_cycle, bench_prefetch_issue);
+criterion_main!(cache);

@@ -1,0 +1,75 @@
+//! End-to-end simulator throughput: full LPS runs under the baseline
+//! and under Snake. Criterion reports time per simulated kernel; the
+//! interesting derived figure is simulated cycles per wall-clock
+//! second (reported via the measured run lengths).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snake_core::PrefetcherKind;
+use snake_sim::{run_kernel, GpuConfig, NullPrefetcher};
+use snake_workloads::{Benchmark, WorkloadSize};
+
+fn small() -> WorkloadSize {
+    WorkloadSize {
+        warps_per_cta: 4,
+        ctas: 4,
+        iters: 24,
+        seed: 1,
+    }
+}
+
+fn bench_baseline_sim(c: &mut Criterion) {
+    c.bench_function("simulate_lps_baseline", |b| {
+        let size = small();
+        b.iter(|| {
+            let out = run_kernel(GpuConfig::scaled(1), Benchmark::Lps.build(&size), |_| {
+                Box::new(NullPrefetcher)
+            })
+            .expect("valid");
+            black_box(out.stats.cycles)
+        });
+    });
+}
+
+fn bench_snake_sim(c: &mut Criterion) {
+    c.bench_function("simulate_lps_snake", |b| {
+        let size = small();
+        let cfg = GpuConfig::scaled(1);
+        let warps = cfg.max_warps_per_sm;
+        b.iter(|| {
+            let out = run_kernel(cfg.clone(), Benchmark::Lps.build(&size), |_| {
+                PrefetcherKind::Snake.build(warps)
+            })
+            .expect("valid");
+            black_box(out.stats.cycles)
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("generate_all_traces", |b| {
+        let size = small();
+        b.iter(|| {
+            let total: usize = Benchmark::all()
+                .iter()
+                .map(|bm| bm.build(&size).total_instrs())
+                .sum();
+            black_box(total)
+        });
+    });
+}
+
+fn bench_chain_analysis(c: &mut Criterion) {
+    c.bench_function("predictability_analysis_lps", |b| {
+        let kernel = Benchmark::Lps.build(&small());
+        b.iter(|| black_box(snake_core::analysis::predictability(&kernel)));
+    });
+}
+
+criterion_group!(
+    simulator,
+    bench_baseline_sim,
+    bench_snake_sim,
+    bench_trace_generation,
+    bench_chain_analysis
+);
+criterion_main!(simulator);

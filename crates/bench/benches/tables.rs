@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for Snake's Head/Tail tables — the
+//! structures on the L1 access critical path (the paper reports a
+//! 2-cycle CAM lookup; here we verify the software model is fast
+//! enough to simulate at scale).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snake_core::snake::head_table::HeadTable;
+use snake_core::snake::tail_table::{TailTable, TailTableConfig};
+use snake_sim::{Address, Pc, WarpId};
+
+fn bench_head_update(c: &mut Criterion) {
+    c.bench_function("head_table_update", |b| {
+        let mut head = HeadTable::new(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let w = WarpId((i % 64) as u32);
+            black_box(head.update(w, Pc((i % 7) as u32), Address(i * 128)))
+        });
+    });
+}
+
+fn bench_tail_observe(c: &mut Criterion) {
+    c.bench_function("tail_table_observe", |b| {
+        let mut head = HeadTable::new(64);
+        let mut tail = TailTable::new(TailTableConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let w = WarpId((i % 8) as u32);
+            if let Some(t) = head.update(w, Pc((i % 4) as u32 * 10), Address(i * 128)) {
+                tail.observe(black_box(&t));
+            }
+        });
+    });
+}
+
+fn bench_tail_generate(c: &mut Criterion) {
+    c.bench_function("tail_table_generate_depth8", |b| {
+        // Pre-train a 4-link chain cycle on 3 warps.
+        let mut head = HeadTable::new(8);
+        let mut tail = TailTable::new(TailTableConfig::default());
+        for w in 0..3u32 {
+            let base = 1_000_000 * u64::from(w);
+            for i in 0..8u64 {
+                for (pc, off) in [(10u32, 0u64), (20, 400), (30, 1000), (40, 1800)] {
+                    if let Some(t) =
+                        head.update(WarpId(w), Pc(pc), Address(base + i * 4096 + off))
+                    {
+                        tail.observe(&t);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            out.clear();
+            tail.generate(
+                WarpId((i % 3) as u32),
+                Pc(10),
+                Address(i * 4096),
+                8,
+                2,
+                true,
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+}
+
+criterion_group!(tables, bench_head_update, bench_tail_observe, bench_tail_generate);
+criterion_main!(tables);

@@ -1,0 +1,73 @@
+//! Calibration dump: baseline memory-wall symptoms and Snake's
+//! headline metrics for every application, side by side with the
+//! paper's targets. Used while tuning workload generators and
+//! simulator parameters; kept as a diagnostic.
+
+use snake_bench::report::{pct, ratio, Table};
+use snake_bench::Harness;
+use snake_core::metrics::{geometric_mean, mean};
+use snake_core::PrefetcherKind;
+use snake_workloads::Benchmark;
+
+fn main() {
+    let h = if std::env::args().any(|a| a == "--quick") {
+        Harness::quick()
+    } else {
+        Harness::standard()
+    };
+    let mut t = Table::new(
+        "Calibration — baseline symptoms & Snake headline",
+        [
+            "app", "rfail", "noc", "memstall", "hit", "ipc", "s.cov", "s.acc", "s.prec",
+            "s.hit", "speedup", "energy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    let (mut rf, mut noc, mut ms, mut cov, mut acc) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for &b in Benchmark::all() {
+        let base = h.run(b, PrefetcherKind::Baseline);
+        let snake = h.run(b, PrefetcherKind::Snake);
+        speedups.push(snake.speedup_over(&base));
+        energies.push(snake.energy_vs(&base));
+        rf.push(base.reservation_fail_rate);
+        noc.push(base.noc_utilization);
+        ms.push(base.memory_stall_fraction);
+        cov.push(snake.coverage);
+        acc.push(snake.accuracy);
+        t.push_row(vec![
+            b.abbr().into(),
+            pct(base.reservation_fail_rate),
+            pct(base.noc_utilization),
+            pct(base.memory_stall_fraction),
+            pct(base.l1_hit_rate),
+            ratio(base.ipc),
+            pct(snake.coverage),
+            pct(snake.accuracy),
+            pct(snake.precision),
+            pct(snake.l1_hit_rate),
+            ratio(snake.speedup_over(&base)),
+            ratio(snake.energy_vs(&base)),
+        ]);
+    }
+    t.push_row(vec![
+        "MEAN".into(),
+        pct(mean(&rf)),
+        pct(mean(&noc)),
+        pct(mean(&ms)),
+        String::new(),
+        String::new(),
+        pct(mean(&cov)),
+        pct(mean(&acc)),
+        String::new(),
+        String::new(),
+        ratio(geometric_mean(&speedups)),
+        ratio(geometric_mean(&energies)),
+    ]);
+    t.note("paper targets: rfail ~30%, noc ~33%, memstall ~55%, snake cov ~80%, acc ~75%, speedup ~1.17, energy ~0.83");
+    println!("{t}");
+}

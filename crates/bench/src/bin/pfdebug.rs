@@ -1,0 +1,47 @@
+//! Prefetch-funnel diagnostics for one benchmark/mechanism pair.
+
+use snake_bench::Harness;
+use snake_core::PrefetcherKind;
+use snake_sim::Gpu;
+use snake_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench: Benchmark = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(Benchmark::Lps);
+    let kind: PrefetcherKind = args
+        .get(2)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(PrefetcherKind::Snake);
+    let h = Harness::standard();
+    let kernel = bench.build(&h.size);
+    let warps = h.cfg.max_warps_per_sm;
+    let mut gpu = Gpu::new(h.cfg.clone(), kernel, |_| kind.build(warps)).unwrap();
+    let out = gpu.run();
+    let s = &out.stats;
+    let p = &s.prefetch;
+    println!("bench={bench} kind={} stop={:?}", kind.name(), out.stop);
+    println!("cycles={} instr={} ipc={:.3}", s.cycles, s.instructions, s.ipc());
+    println!(
+        "demand={} hits={} hits_pf={} reserved={} merge_pf={} miss={} rfail={}",
+        s.demand_loads,
+        s.l1.hits,
+        s.l1.hits_on_prefetch,
+        s.l1.hits_reserved,
+        s.l1.merges_with_prefetch,
+        s.l1.misses,
+        s.l1.reservation_fails()
+    );
+    println!(
+        "pf requested={} issued={} redundant={} rejected={} fills={} useful={} late={} evicted_unused={} throttled_cy={}",
+        p.requested, p.issued, p.redundant, p.rejected, p.fills, p.useful, p.late,
+        p.evicted_unused, p.throttled_cycles
+    );
+    println!(
+        "coverage={:.3} timely={:.3} precision={:.3} l1_hit={:.3} noc_util={:.3}",
+        s.coverage(),
+        s.timely_coverage(),
+        s.prefetch.precision(),
+        s.l1.hit_rate(),
+        s.noc_utilization(u64::from(h.cfg.noc_bytes_per_cycle))
+    );
+}

@@ -1,0 +1,136 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --list              list experiment ids
+//! repro fig16 fig18         run specific experiments
+//! repro --all               run everything (paper order)
+//! repro --all --markdown    emit EXPERIMENTS.md-ready markdown
+//! repro --quick ...         use the fast test harness
+//! ```
+
+use std::io::Write;
+
+use snake_bench::figures::{self, EvalMatrix};
+use snake_bench::report::Table;
+use snake_bench::Harness;
+use snake_core::PrefetcherKind;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "fig03", "fig04", "fig05", "fig06", "fig09", "fig10", "fig11",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+    "xhead", "xsched", "xmulti",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--markdown] [--out FILE] (--list | --all | <experiment>...)");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut markdown = false;
+    let mut all = false;
+    let mut list = false;
+    let mut out_file: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--markdown" => markdown = true,
+            "--all" => all = true,
+            "--list" => list = true,
+            "--out" => out_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if list {
+        for e in EXPERIMENTS {
+            println!("{e}");
+        }
+        return;
+    }
+    if !all && wanted.is_empty() {
+        usage();
+    }
+    for w in &wanted {
+        if !EXPERIMENTS.contains(&w.as_str()) {
+            eprintln!("unknown experiment: {w}");
+            usage();
+        }
+    }
+
+    let h = if quick { Harness::quick() } else { Harness::standard() };
+    let tables = if all {
+        figures::all(&h)
+    } else {
+        run_selected(&h, &wanted)
+    };
+
+    let mut rendered = String::new();
+    for t in &tables {
+        if markdown {
+            rendered.push_str(&t.to_markdown());
+            rendered.push('\n');
+        } else {
+            rendered.push_str(&t.to_string());
+            rendered.push('\n');
+        }
+    }
+    match out_file {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(rendered.as_bytes()).expect("write output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+fn run_selected(h: &Harness, wanted: &[String]) -> Vec<Table> {
+    // The timing matrix is only collected if a figure needs it.
+    let needs_matrix = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "fig03" | "fig04" | "fig05" | "fig16" | "fig17" | "fig18" | "fig19" | "fig25"
+        )
+    });
+    let matrix = needs_matrix.then(|| {
+        let mut kinds = figures::figure_mechanisms();
+        kinds.push(PrefetcherKind::IsolatedSnake);
+        EvalMatrix::collect(h, &kinds)
+    });
+    let m = matrix.as_ref();
+    wanted
+        .iter()
+        .map(|w| match w.as_str() {
+            "table1" => figures::table1_config(h),
+            "table2" => figures::table2_benchmarks(),
+            "table3" => figures::table3_cost(),
+            "fig03" => figures::fig03_reservation_fails(m.expect("matrix")),
+            "fig04" => figures::fig04_noc_utilization(m.expect("matrix")),
+            "fig05" => figures::fig05_memory_stalls(m.expect("matrix")),
+            "fig06" => figures::fig06_coverage_vs_ideal(h),
+            "fig09" => figures::fig09_chain_pcs(h),
+            "fig10" => figures::fig10_chain_repetition(h),
+            "fig11" => figures::fig11_chain_vs_mta(h),
+            "fig16" => figures::fig16_coverage(m.expect("matrix")),
+            "fig17" => figures::fig17_accuracy(m.expect("matrix")),
+            "fig18" => figures::fig18_performance(m.expect("matrix")),
+            "fig19" => figures::fig19_energy(m.expect("matrix")),
+            "fig20" => figures::fig20_tail_entries(h),
+            "fig21" => figures::fig21_hw_cost(),
+            "fig22" => figures::fig22_eviction_policy(h),
+            "fig23" => figures::fig23_throttling(h),
+            "fig24" => figures::fig24_tiling(h),
+            "fig25" => figures::fig25_hit_rate(m.expect("matrix")),
+            "xhead" => figures::extra_head_layout(h),
+            "xsched" => figures::extra_scheduler(h),
+            "xmulti" => figures::extra_multi_app(h),
+            _ => unreachable!("validated above"),
+        })
+        .collect()
+}

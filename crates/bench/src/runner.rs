@@ -1,0 +1,134 @@
+//! Shared run harness: configuration, simulation, and report rows.
+
+use snake_core::{MechanismReport, PrefetcherKind};
+use snake_sim::{
+    EnergyModel, Gpu, GpuConfig, KernelTrace, Prefetcher, SimOutcome, SmId,
+};
+use snake_workloads::{Benchmark, WorkloadSize};
+
+/// The experiment harness: one GPU configuration, one workload size,
+/// one energy model, shared by every figure.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// GPU configuration (scaled V100 by default).
+    pub cfg: GpuConfig,
+    /// Workload scale.
+    pub size: WorkloadSize,
+    /// Energy model.
+    pub energy: EnergyModel,
+}
+
+impl Harness {
+    /// The standard harness used for the reported numbers: a 2-SM
+    /// scaled V100 and the standard workload size.
+    pub fn standard() -> Self {
+        Harness {
+            cfg: GpuConfig::scaled(2),
+            size: WorkloadSize::standard(),
+            energy: EnergyModel::volta_like(),
+        }
+    }
+
+    /// A fast harness for tests and smoke runs.
+    pub fn quick() -> Self {
+        Harness {
+            cfg: GpuConfig::scaled(1),
+            size: WorkloadSize {
+                warps_per_cta: 4,
+                ctas: 2,
+                iters: 48,
+                seed: 0xC0FFEE,
+            },
+            energy: EnergyModel::volta_like(),
+        }
+    }
+
+    /// Runs one benchmark under one mechanism and reports.
+    pub fn run(&self, bench: Benchmark, kind: PrefetcherKind) -> MechanismReport {
+        let kernel = bench.build(&self.size);
+        self.run_kernel(&kernel, kind)
+    }
+
+    /// Runs an arbitrary kernel under one registry mechanism.
+    pub fn run_kernel(&self, kernel: &KernelTrace, kind: PrefetcherKind) -> MechanismReport {
+        let warps = self.cfg.max_warps_per_sm;
+        let outcome = self.simulate(kernel, |_| kind.build(warps));
+        MechanismReport::from_outcome(
+            kind.name(),
+            kernel.name(),
+            &outcome,
+            &self.cfg,
+            &self.energy,
+            kind.has_hardware(),
+        )
+    }
+
+    /// Runs an arbitrary kernel with a custom prefetcher factory
+    /// (parameter sweeps).
+    pub fn run_custom(
+        &self,
+        kernel: &KernelTrace,
+        name: &str,
+        mk: impl FnMut(SmId) -> Box<dyn Prefetcher>,
+    ) -> MechanismReport {
+        let outcome = self.simulate(kernel, mk);
+        MechanismReport::from_outcome(name, kernel.name(), &outcome, &self.cfg, &self.energy, true)
+    }
+
+    fn simulate(
+        &self,
+        kernel: &KernelTrace,
+        mk: impl FnMut(SmId) -> Box<dyn Prefetcher>,
+    ) -> SimOutcome {
+        let mut gpu = Gpu::new(self.cfg.clone(), kernel.clone(), mk)
+            .expect("harness configuration is valid");
+        gpu.run()
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_runs_every_benchmark_baseline() {
+        let h = Harness::quick();
+        for &b in Benchmark::all() {
+            let r = h.run(b, PrefetcherKind::Baseline);
+            assert!(r.ipc > 0.0, "{b}: ipc {}", r.ipc);
+            assert!(r.cycles > 0, "{b}");
+        }
+    }
+
+    #[test]
+    fn snake_beats_baseline_on_lps() {
+        let h = Harness::quick();
+        let base = h.run(Benchmark::Lps, PrefetcherKind::Baseline);
+        let snake = h.run(Benchmark::Lps, PrefetcherKind::Snake);
+        assert!(
+            snake.speedup_over(&base) > 1.02,
+            "snake {} vs baseline {} IPC (speedup {:.3})",
+            snake.ipc,
+            base.ipc,
+            snake.speedup_over(&base)
+        );
+        assert!(snake.coverage > 0.3, "snake coverage {}", snake.coverage);
+    }
+
+    #[test]
+    fn custom_factory_is_usable() {
+        let h = Harness::quick();
+        let kernel = Benchmark::Lib.build(&h.size);
+        let r = h.run_custom(&kernel, "null-custom", |_| {
+            Box::new(snake_sim::NullPrefetcher)
+        });
+        assert_eq!(r.mechanism, "null-custom");
+        assert!(r.ipc > 0.0);
+    }
+}

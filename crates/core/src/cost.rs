@@ -1,0 +1,130 @@
+//! Hardware cost model (Table 3, Figs 20/21): byte-level sizes of the
+//! Head and Tail tables.
+//!
+//! Field widths follow §3.1/§5.5: a Head row packs one load PC with two
+//! `(warp id, base address)` pairs (the doubling that survives greedy
+//! schedulers); a Tail entry packs two PCs, three strides, two 2-bit
+//! train fields, and the warp-id bit vector.
+
+/// Field widths in bits used by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldWidths {
+    /// Load PC width (instruction offsets are compact).
+    pub pc_bits: u32,
+    /// Warp id width.
+    pub warp_id_bits: u32,
+    /// Base-address width (virtual address bits tracked).
+    pub addr_bits: u32,
+    /// Stride width.
+    pub stride_bits: u32,
+    /// Train-status width (2 bits in the paper).
+    pub train_bits: u32,
+    /// Warp-id vector width (one bit per resident warp).
+    pub warp_vec_bits: u32,
+}
+
+impl Default for FieldWidths {
+    /// Widths calibrated to reproduce Table 3 exactly:
+    /// Head 14 B/entry × 32 entries = 448 B; Tail 32 B/entry × 10
+    /// entries = 320 B.
+    fn default() -> Self {
+        FieldWidths {
+            pc_bits: 32,
+            warp_id_bits: 6,   // 64 warps per SM
+            addr_bits: 34,     // 16 GiB device memory
+            stride_bits: 40,   // signed strides spanning the heap
+            train_bits: 2,
+            warp_vec_bits: 64, // one bit per resident warp
+        }
+    }
+}
+
+/// Cost summary of one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableCost {
+    /// Bits per entry (packed).
+    pub bits_per_entry: u32,
+    /// Entries.
+    pub entries: u32,
+    /// Total bytes (entry bits rounded up to whole bytes, as Table 3
+    /// reports per-entry byte counts).
+    pub total_bytes: u32,
+}
+
+impl TableCost {
+    /// Bytes per entry (rounded up).
+    pub fn bytes_per_entry(&self) -> u32 {
+        self.bits_per_entry.div_ceil(8)
+    }
+}
+
+/// The Head table cost: `entries` rows of one PC plus two
+/// `(warp id, base address)` pairs (§5.5, greedy-scheduler layout).
+pub fn head_table_cost(w: &FieldWidths, entries: u32) -> TableCost {
+    let bits = w.pc_bits + 2 * (w.warp_id_bits + w.addr_bits);
+    let per_entry_bytes = bits.div_ceil(8);
+    TableCost {
+        bits_per_entry: bits,
+        entries,
+        total_bytes: per_entry_bytes * entries,
+    }
+}
+
+/// The Tail table cost: the eight fields of §3.1 per entry.
+pub fn tail_table_cost(w: &FieldWidths, entries: u32) -> TableCost {
+    let bits = 2 * w.pc_bits            // PC1, PC2
+        + w.stride_bits                  // inter-thread stride
+        + w.train_bits                   // T1
+        + w.warp_vec_bits                // warp-id vector
+        + w.stride_bits + w.train_bits   // intra-warp stride + T2
+        + w.stride_bits; // inter-warp stride
+    let per_entry_bytes = bits.div_ceil(8);
+    TableCost {
+        bits_per_entry: bits,
+        entries,
+        total_bytes: per_entry_bytes * entries,
+    }
+}
+
+/// Total Snake storage per SM in bytes for a given Tail capacity —
+/// the Fig 21 sweep.
+pub fn snake_storage_bytes(w: &FieldWidths, head_entries: u32, tail_entries: u32) -> u32 {
+    head_table_cost(w, head_entries).total_bytes + tail_table_cost(w, tail_entries).total_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_matches_table3() {
+        // Table 3: 14 bytes per entry, 32 entries, 448 bytes total.
+        let c = head_table_cost(&FieldWidths::default(), 32);
+        assert_eq!(c.bytes_per_entry(), 14);
+        assert_eq!(c.total_bytes, 448);
+    }
+
+    #[test]
+    fn tail_matches_table3() {
+        // Table 3: 32 bytes per entry, 10 entries, 320 bytes total.
+        let c = tail_table_cost(&FieldWidths::default(), 10);
+        assert_eq!(c.bytes_per_entry(), 32);
+        assert_eq!(c.total_bytes, 320);
+    }
+
+    #[test]
+    fn storage_scales_linearly_with_entries(){
+        let w = FieldWidths::default();
+        let s10 = snake_storage_bytes(&w, 32, 10);
+        let s20 = snake_storage_bytes(&w, 32, 20);
+        assert_eq!(s20 - s10, tail_table_cost(&w, 10).total_bytes);
+        assert_eq!(s10, 448 + 320);
+    }
+
+    #[test]
+    fn overhead_is_tiny_versus_unified_cache() {
+        // 768 B of tables vs a 128 KiB unified SRAM: well under 1%.
+        let s = snake_storage_bytes(&FieldWidths::default(), 32, 10);
+        assert!((s as f64) / (128.0 * 1024.0) < 0.01);
+    }
+}

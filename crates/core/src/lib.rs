@@ -1,0 +1,59 @@
+//! # snake-core
+//!
+//! The paper's contribution: **Snake**, a variable-length
+//! chain-of-strides hardware prefetcher for GPU L1 caches (MICRO '23),
+//! together with every baseline it is compared against and the trace
+//! analyses behind its motivation figures.
+//!
+//! * [`snake`] — the Snake prefetcher: Head/Tail tables, chain
+//!   walking, training FSM, throttling, and the ablation variants
+//!   (`s-Snake`, `Snake-DT`, `Snake-T`, `Isolated-Snake`).
+//! * [`baselines`] — Intra-warp, Inter-warp, MTA, CTA-aware, and the
+//!   spatial Tree prefetcher, plus composition helpers (`Snake+CTA`).
+//! * [`api`] — the [`PrefetcherKind`] registry building any of the
+//!   paper's comparison points by name.
+//! * [`analysis`] — pure trace analyses: chain extraction and
+//!   per-mechanism predictability bounds (Figs 6, 9, 10, 11).
+//! * [`metrics`] — coverage/accuracy/report rows (§4 definitions).
+//! * [`cost`] — the Table 3 / Fig 21 hardware cost model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snake_core::{PrefetcherKind, snake::{Snake, SnakeConfig}};
+//! use snake_sim::{run_kernel, GpuConfig, Instr, KernelTrace, WarpTrace, CtaId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three warps with a repeating two-load stride chain.
+//! let warps = (0..3)
+//!     .map(|w| {
+//!         let base = 1 << 20;
+//!         let instrs = (0..32)
+//!             .flat_map(|i| {
+//!                 let a = base + w * 4096 + i * 512;
+//!                 [Instr::load(10u32, a as u64), Instr::load(20u32, (a + 256) as u64)]
+//!             })
+//!             .collect();
+//!         WarpTrace::new(CtaId(0), instrs)
+//!     })
+//!     .collect();
+//! let kernel = KernelTrace::new("chain-demo", warps);
+//! let out = run_kernel(GpuConfig::scaled(1), kernel, |_| {
+//!     Box::new(Snake::new(SnakeConfig::snake()))
+//! })?;
+//! assert!(out.stats.prefetch.issued > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod api;
+pub mod baselines;
+pub mod cost;
+pub mod metrics;
+pub mod snake;
+
+pub use api::PrefetcherKind;
+pub use metrics::MechanismReport;

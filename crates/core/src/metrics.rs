@@ -1,0 +1,151 @@
+//! Evaluation metrics (§4 "Comparison Metrics") and the per-run report
+//! row used by the figure harness.
+
+use snake_sim::{EnergyModel, GpuConfig, SimOutcome, SimStats};
+
+/// One mechanism's results on one application — the columns of
+/// Figs 16–19 and 25.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismReport {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Application name.
+    pub app: String,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Coverage: correctly predicted demand addresses / all demand
+    /// addresses (Fig 16).
+    pub coverage: f64,
+    /// Accuracy: *timely* correctly predicted / all demand addresses
+    /// (Fig 17).
+    pub accuracy: f64,
+    /// Precision: useful prefetches / issued prefetches.
+    pub precision: f64,
+    /// L1 hit rate (Fig 25).
+    pub l1_hit_rate: f64,
+    /// Reservation-fail share of L1 accesses (Fig 3).
+    pub reservation_fail_rate: f64,
+    /// Interconnect utilization (Fig 4).
+    pub noc_utilization: f64,
+    /// Memory-stall share of all-stall cycles (Fig 5).
+    pub memory_stall_fraction: f64,
+    /// Total energy in joules (Fig 19).
+    pub energy_j: f64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+impl MechanismReport {
+    /// Builds a report row from a finished run.
+    pub fn from_outcome(
+        mechanism: impl Into<String>,
+        app: impl Into<String>,
+        outcome: &SimOutcome,
+        cfg: &GpuConfig,
+        energy: &EnergyModel,
+        has_prefetcher: bool,
+    ) -> Self {
+        let s = &outcome.stats;
+        MechanismReport {
+            mechanism: mechanism.into(),
+            app: app.into(),
+            ipc: s.ipc(),
+            coverage: s.coverage(),
+            accuracy: s.timely_coverage(),
+            precision: s.prefetch.precision(),
+            l1_hit_rate: s.l1.hit_rate(),
+            reservation_fail_rate: s.l1.reservation_fail_rate(),
+            noc_utilization: s.noc_utilization(u64::from(cfg.noc_bytes_per_cycle)),
+            memory_stall_fraction: s.memory_stall_fraction(),
+            energy_j: energy.evaluate(s, cfg, has_prefetcher).total_j(),
+            cycles: s.cycles,
+        }
+    }
+
+    /// Speedup of this run over a baseline run (Fig 18's y-axis).
+    pub fn speedup_over(&self, baseline: &MechanismReport) -> f64 {
+        if self.ipc == 0.0 || baseline.ipc == 0.0 {
+            return 1.0;
+        }
+        self.ipc / baseline.ipc
+    }
+
+    /// Energy normalized to a baseline run (Fig 19's y-axis).
+    pub fn energy_vs(&self, baseline: &MechanismReport) -> f64 {
+        if baseline.energy_j == 0.0 {
+            return 1.0;
+        }
+        self.energy_j / baseline.energy_j
+    }
+}
+
+/// Geometric mean of positive values (the standard summary for
+/// speedups across applications). Returns 1.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Convenience: coverage/accuracy straight from raw stats (used by
+/// tests and the analysis module).
+pub fn coverage_of(stats: &SimStats) -> f64 {
+    stats.coverage()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_sim::StopReason;
+
+    fn outcome(ipc_instr: u64, cycles: u64) -> SimOutcome {
+        SimOutcome {
+            stats: SimStats {
+                cycles,
+                instructions: ipc_instr,
+                demand_loads: 100,
+                ..Default::default()
+            },
+            stop: StopReason::Completed,
+        }
+    }
+
+    #[test]
+    fn speedup_and_energy_ratios() {
+        let cfg = GpuConfig::scaled(1);
+        let em = EnergyModel::volta_like();
+        let base =
+            MechanismReport::from_outcome("baseline", "app", &outcome(1000, 1000), &cfg, &em, false);
+        let fast =
+            MechanismReport::from_outcome("snake", "app", &outcome(1000, 800), &cfg, &em, true);
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-9);
+        assert!(fast.energy_vs(&base) < 1.0, "shorter run, less energy");
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_ipc_degrades_gracefully() {
+        let cfg = GpuConfig::scaled(1);
+        let em = EnergyModel::volta_like();
+        let a = MechanismReport::from_outcome("a", "app", &outcome(0, 1000), &cfg, &em, false);
+        let b = MechanismReport::from_outcome("b", "app", &outcome(10, 1000), &cfg, &em, false);
+        assert_eq!(b.speedup_over(&a), 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Regression tests for the ablation relationships the reproduction
+//! relies on: the decoupling/throttling benefit on cache-sensitive
+//! workloads, and the §5.5/§1 extension claims.
+
+use snake_core::snake::head_table::HeadLayout;
+use snake_core::snake::{Snake, SnakeConfig};
+use snake_core::PrefetcherKind;
+use snake_sim::{run_kernel, GpuConfig, Prefetcher, SimOutcome};
+use snake_workloads::{Benchmark, WorkloadSize};
+
+fn size() -> WorkloadSize {
+    WorkloadSize {
+        warps_per_cta: 8,
+        ctas: 8,
+        iters: 40,
+        seed: 0xC0FFEE,
+    }
+}
+
+fn run_kind(app: Benchmark, kind: PrefetcherKind) -> SimOutcome {
+    let cfg = GpuConfig::scaled(1);
+    let warps = cfg.max_warps_per_sm;
+    run_kernel(cfg, app.build(&size()), |_| kind.build(warps)).expect("valid")
+}
+
+/// The figure-harness configuration (2 SMs, standard scale) — the
+/// setting in which the cache-contention relationships are calibrated.
+fn run_standard(app: Benchmark, kind: PrefetcherKind) -> SimOutcome {
+    let cfg = GpuConfig::scaled(2);
+    let warps = cfg.max_warps_per_sm;
+    run_kernel(cfg, app.build(&WorkloadSize::standard()), |_| kind.build(warps)).expect("valid")
+}
+
+fn run_snake_cfg(app: Benchmark, mk: impl Fn() -> SnakeConfig) -> SimOutcome {
+    let cfg = GpuConfig::scaled(1);
+    run_kernel(cfg, app.build(&size()), |_| {
+        Box::new(Snake::new(mk())) as Box<dyn Prefetcher>
+    })
+    .expect("valid")
+}
+
+#[test]
+fn decoupling_and_throttling_win_on_cache_sensitive_hotspot() {
+    // The paper's §5.2 claim, reproduced on the workload where cache
+    // contention dominates: full Snake must clearly beat the variant
+    // without decoupling/throttling. (Configuration-sensitive: holds
+    // at the figure harness's scale, see EXPERIMENTS.md.)
+    let snake = run_standard(Benchmark::Hotspot, PrefetcherKind::Snake);
+    let dt = run_standard(Benchmark::Hotspot, PrefetcherKind::SnakeDt);
+    assert!(
+        snake.stats.ipc() > dt.stats.ipc() * 1.1,
+        "snake {:.3} vs snake-dt {:.3}",
+        snake.stats.ipc(),
+        dt.stats.ipc()
+    );
+    assert!(
+        snake.stats.l1.hit_rate() > dt.stats.l1.hit_rate(),
+        "decoupling protects the L1: {:.3} vs {:.3}",
+        snake.stats.l1.hit_rate(),
+        dt.stats.l1.hit_rate()
+    );
+}
+
+#[test]
+fn unthrottled_variants_issue_more_prefetches() {
+    let snake = run_kind(Benchmark::Lps, PrefetcherKind::Snake);
+    let dt = run_kind(Benchmark::Lps, PrefetcherKind::SnakeDt);
+    assert!(
+        dt.stats.prefetch.requested > snake.stats.prefetch.requested,
+        "no throttle => more aggressive: {} vs {}",
+        dt.stats.prefetch.requested,
+        snake.stats.prefetch.requested
+    );
+    assert!(snake.stats.prefetch.throttled_cycles > 0);
+    assert_eq!(dt.stats.prefetch.throttled_cycles, 0);
+}
+
+#[test]
+fn s_snake_never_uses_fixed_strides() {
+    // On a workload whose chains are warp-private (Backprop), s-Snake
+    // must produce almost nothing while full Snake covers via the
+    // intra-warp stride.
+    let s = run_kind(Benchmark::Backprop, PrefetcherKind::SSnake);
+    let full = run_kind(Benchmark::Backprop, PrefetcherKind::Snake);
+    assert!(
+        full.stats.coverage() > s.stats.coverage() + 0.2,
+        "fixed strides matter on backprop: {:.3} vs {:.3}",
+        full.stats.coverage(),
+        s.stats.coverage()
+    );
+}
+
+#[test]
+fn doubled_head_layout_tracks_the_ideal_table() {
+    // §5.5: the paired layout with doubled columns must stay close to
+    // the idealized per-warp table; the single-column layout falls
+    // behind on chain-heavy streaming (LIB).
+    let cov = |layout: HeadLayout| {
+        run_snake_cfg(Benchmark::Lib, || SnakeConfig {
+            head_warps: 16,
+            head_layout: layout,
+            ..SnakeConfig::snake()
+        })
+        .stats
+        .coverage()
+    };
+    let ideal = cov(HeadLayout::PerWarp);
+    let doubled = cov(HeadLayout::PairedDoubled);
+    let single = cov(HeadLayout::PairedSingle);
+    assert!(
+        (ideal - doubled).abs() < 0.15,
+        "doubled ~= ideal: {ideal:.3} vs {doubled:.3}"
+    );
+    assert!(
+        single < doubled - 0.1,
+        "single column loses history: {single:.3} vs {doubled:.3}"
+    );
+}
+
+#[test]
+fn per_app_chain_detection_beats_shared_pcs() {
+    use snake_workloads::multi::{colocate, PcSpace};
+    let cfg = GpuConfig::scaled(1);
+    let warps = cfg.max_warps_per_sm;
+    let s = size();
+    let a = Benchmark::Lps.build(&s);
+    let b = Benchmark::Mrq.build(&s);
+    let tagged = run_kernel(
+        cfg.clone(),
+        colocate(&a, &b, PcSpace::PerApp),
+        |_| PrefetcherKind::Snake.build(warps),
+    )
+    .unwrap();
+    let shared = run_kernel(cfg, colocate(&a, &b, PcSpace::Shared), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .unwrap();
+    assert!(
+        tagged.stats.coverage() > shared.stats.coverage() + 0.05,
+        "§1 extension: {:.3} vs {:.3}",
+        tagged.stats.coverage(),
+        shared.stats.coverage()
+    );
+}
+
+#[test]
+fn isolated_snake_serves_hits_from_the_side_buffer() {
+    // §5.7: prefetched lines live in a dedicated buffer; demand hits
+    // there count as covered without the lines ever entering the L1.
+    let iso = run_kind(Benchmark::Lps, PrefetcherKind::IsolatedSnake);
+    assert!(iso.stats.prefetch.useful > 0, "buffer serves hits");
+    assert!(iso.stats.coverage() > 0.2, "coverage {:.3}", iso.stats.coverage());
+    // The buffer never occupies L1 lines: demand-side raw hits remain
+    // (LPS re-touches every line once per iteration).
+    assert!(iso.stats.l1.hits + iso.stats.l1.hits_on_prefetch > 0);
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for Snake's Head and Tail tables: capacity
+//! bounds, training monotonicity, warp-vector consistency, and
+//! generation bounds under arbitrary transition streams.
+
+use proptest::prelude::*;
+use snake_core::snake::head_table::HeadTable;
+use snake_core::snake::tail_table::{EvictionPolicy, TailTable, TailTableConfig};
+use snake_core::snake::{Snake, SnakeConfig};
+use snake_sim::{
+    AccessEvent, AccessOutcome, Address, CtaId, Cycle, Pc, PrefetchContext, Prefetcher, SmId,
+    WarpId,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct Load {
+    warp: u32,
+    pc: u32,
+    addr: u64,
+}
+
+fn load() -> impl Strategy<Value = Load> {
+    (0u32..8, 0u32..6, 0u64..1 << 16).prop_map(|(warp, pc, addr)| Load {
+        warp,
+        pc: pc * 10,
+        addr: (addr / 64) * 64,
+    })
+}
+
+fn feed(table: &mut TailTable, head: &mut HeadTable, loads: &[Load]) {
+    for l in loads {
+        if let Some(t) = head.update(WarpId(l.warp), Pc(l.pc), Address(l.addr)) {
+            table.observe(&t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tail_table_capacity_and_vector_invariants(
+        loads in prop::collection::vec(load(), 1..300),
+        entries in 1usize..12,
+        popcount_only in any::<bool>(),
+    ) {
+        let cfg = TailTableConfig {
+            entries,
+            eviction: if popcount_only {
+                EvictionPolicy::PopcountOnly
+            } else {
+                EvictionPolicy::LruThenPopcount
+            },
+            ..Default::default()
+        };
+        let mut table = TailTable::new(cfg);
+        let mut head = HeadTable::new(8);
+        feed(&mut table, &mut head, &loads);
+
+        prop_assert!(table.entries().len() <= entries);
+        for e in table.entries() {
+            // No duplicate (pc1, pc2, stride) triples.
+            let dups = table
+                .entries()
+                .iter()
+                .filter(|o| o.pc1 == e.pc1 && o.pc2 == e.pc2
+                    && o.inter_thread_stride == e.inter_thread_stride)
+                .count();
+            prop_assert_eq!(dups, 1, "duplicate chain entries");
+            // A prefetchable entry must have been confirmed by three
+            // warps or by in-warp repetition.
+            if e.t1.can_prefetch() {
+                prop_assert!(e.popcount() >= 1);
+            }
+        }
+        if table.entries().iter().any(|e| e.t1.can_prefetch() || e.t2.can_prefetch())
+        {
+            prop_assert!(table.any_trained());
+        }
+    }
+
+    #[test]
+    fn generation_is_bounded_and_line_sane(
+        loads in prop::collection::vec(load(), 1..300),
+        depth in 0usize..20,
+        degree in 0u32..4,
+    ) {
+        let mut table = TailTable::new(TailTableConfig::default());
+        let mut head = HeadTable::new(8);
+        feed(&mut table, &mut head, &loads);
+        let mut out = Vec::new();
+        table.generate(WarpId(0), Pc(0), Address(1 << 20), depth, degree, true, &mut out);
+        // At most depth chain targets + 1 intra + degree inter-warp.
+        prop_assert!(out.len() <= depth + 1 + degree as usize);
+        // Targets are deduplicated within the chain walk and never the
+        // trigger address itself.
+        for t in &out[..out.len().min(depth)] {
+            prop_assert_ne!(*t, Address(1 << 20));
+        }
+    }
+
+    #[test]
+    fn head_table_emits_transitions_consistent_with_input(
+        loads in prop::collection::vec(load(), 2..100),
+    ) {
+        let mut head = HeadTable::new(8);
+        let mut last: std::collections::HashMap<u32, (u32, u64)> = Default::default();
+        for l in &loads {
+            let t = head.update(WarpId(l.warp), Pc(l.pc), Address(l.addr));
+            match last.insert(l.warp, (l.pc, l.addr)) {
+                None => prop_assert!(t.is_none()),
+                Some((ppc, paddr)) => {
+                    let t = t.expect("transition after first load");
+                    prop_assert_eq!(t.prev_pc, Pc(ppc));
+                    prop_assert_eq!(t.prev_addr, Address(paddr));
+                    prop_assert_eq!(t.cur_pc, Pc(l.pc));
+                    prop_assert_eq!(t.stride(), l.addr as i64 - paddr as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snake_never_panics_and_respects_throttle(
+        loads in prop::collection::vec(load(), 1..200),
+        free in 0u32..64,
+        bw in 0.0f64..1.0,
+    ) {
+        let mut snake = Snake::new(SnakeConfig {
+            head_warps: 8,
+            ..SnakeConfig::snake()
+        });
+        let mut out = Vec::new();
+        for (i, l) in loads.iter().enumerate() {
+            let ctx = PrefetchContext {
+                cycle: Cycle(i as u64),
+                bw_utilization: bw,
+                free_lines: free,
+                total_lines: 64,
+                prefetch_overrun: free == 0,
+            };
+            out.clear();
+            snake.on_demand_access(
+                &AccessEvent {
+                    sm: SmId(0),
+                    warp: WarpId(l.warp),
+                    cta: CtaId(l.warp / 4),
+                    pc: Pc(l.pc),
+                    addr: Address(l.addr),
+                    outcome: AccessOutcome::Miss,
+                    cycle: Cycle(i as u64),
+                },
+                &ctx,
+                &mut out,
+            );
+            if snake.throttled(Cycle(i as u64)) {
+                prop_assert!(out.is_empty(), "throttled Snake must not issue");
+            }
+        }
+    }
+}

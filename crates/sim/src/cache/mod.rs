@@ -1,0 +1,6 @@
+//! Cache structures: tag arrays, MSHRs, and the unified L1 with
+//! Snake's decoupled prefetch space.
+
+pub mod mshr;
+pub mod tag_array;
+pub mod unified_l1;

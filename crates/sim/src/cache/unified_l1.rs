@@ -1,0 +1,826 @@
+//! The unified L1 data cache / shared-memory SRAM, with Snake's
+//! decoupled prefetch space (§3.2 of the paper).
+//!
+//! One structure models all three placement modes:
+//!
+//! * **Plain** — prefetched lines are ordinary L1 lines (baselines and
+//!   Snake-DT). The per-line [`Side`] flag is still tracked for
+//!   coverage accounting, but no partition policy applies.
+//! * **Decoupled** — Snake's flag-based partitioning: a 50% demand cap
+//!   while the prefetcher trains, confinement of demand evictions to
+//!   the demand side while throttled, bulk 25% LRU eviction when the
+//!   SRAM fills, with the eviction side chosen by the 80%-transferred
+//!   rule.
+//! * **Isolated** — prefetched lines live in a dedicated side buffer
+//!   (Isolated-Snake, §5.7).
+
+use std::collections::VecDeque;
+
+use crate::cache::mshr::{MergeResult, MissOrigin, MshrFile};
+use crate::cache::tag_array::{Side, TagArray};
+use crate::config::GpuConfig;
+use crate::stats::{AccessOutcome, CacheStats, PrefetchStats, ReservationFailReason};
+use crate::types::{Cycle, LineAddr, WarpId};
+
+/// Placement/policy mode of the unified SRAM (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Mode {
+    /// No partition policies.
+    Plain,
+    /// Snake's decoupled unified cache.
+    Decoupled,
+    /// Separate prefetch buffer of the given number of lines.
+    Isolated {
+        /// Side-buffer capacity in lines.
+        lines: u32,
+    },
+}
+
+/// Result of asking the L1 to issue a prefetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchIssue {
+    /// Sent down the hierarchy.
+    Issued,
+    /// Line already present or in flight.
+    Redundant,
+    /// No resources (MSHR/miss queue/victim); dropped.
+    Rejected,
+}
+
+/// A miss waiting to be picked up by the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutgoingRequest {
+    /// Missing line (reads) or written line (stores).
+    pub line: LineAddr,
+    /// Read miss vs write-through store traffic.
+    pub kind: RequestKind,
+}
+
+/// What an outgoing request is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Read that expects a fill response.
+    ReadMiss,
+    /// Write-through store; no response.
+    Store,
+}
+
+/// Warps to wake after a fill.
+pub type Waiters = Vec<WarpId>;
+
+/// An unused prefetched line evicted younger than this is counted as
+/// prefetcher overrun (the §3.3 space-throttle trigger); older unused
+/// lines are merely inaccurate prefetches.
+const OVERRUN_AGE_CYCLES: u64 = 256;
+
+/// The unified L1 SRAM.
+#[derive(Debug, Clone)]
+pub struct UnifiedL1 {
+    tags: TagArray,
+    isolated: Option<TagArray>,
+    mshr: MshrFile,
+    miss_queue: VecDeque<OutgoingRequest>,
+    miss_queue_depth: usize,
+    mode: L1Mode,
+    /// While `now < confined_until`, demand allocations may not evict
+    /// prefetch-side lines (§3.2 throttle confinement).
+    confined_until: Cycle,
+    /// While the prefetcher is untrained, demand data is capped at 50%
+    /// of the SRAM (§3.2).
+    trained: bool,
+    /// Cumulative prefetch fills and flag-flip transfers, for the
+    /// 80%-transferred eviction-side rule.
+    transfer_numer: u64,
+    transfer_denom: u64,
+    /// Sticky flag: an unused prefetched line was evicted since the
+    /// last [`UnifiedL1::take_overrun`] call.
+    overrun: bool,
+    /// Counters exposed to the simulator.
+    pub stats: CacheStats,
+    /// Prefetch-effectiveness counters (fills/useful/evicted tracked
+    /// here; issued/redundant tracked by the SM front-end).
+    pub pf_stats: PrefetchStats,
+}
+
+impl UnifiedL1 {
+    /// Builds the L1 from the GPU configuration and a placement mode.
+    pub fn new(cfg: &GpuConfig, mode: L1Mode) -> Self {
+        let tags = TagArray::from_geometry(&cfg.l1, cfg.shared_mem_carveout_bytes);
+        let isolated = match mode {
+            L1Mode::Isolated { lines } => Some(TagArray::new(lines, lines)),
+            _ => None,
+        };
+        UnifiedL1 {
+            tags,
+            isolated,
+            mshr: MshrFile::new(cfg.mshr_entries, cfg.mshr_merge),
+            miss_queue: VecDeque::new(),
+            miss_queue_depth: cfg.miss_queue_depth as usize,
+            mode,
+            confined_until: Cycle::ZERO,
+            trained: false,
+            transfer_numer: 0,
+            transfer_denom: 0,
+            overrun: false,
+            stats: CacheStats::default(),
+            pf_stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Lines currently free (invalid) in the unified SRAM — the space
+    /// throttle trigger input.
+    pub fn free_lines(&self) -> u32 {
+        self.tags.free_lines()
+    }
+
+    /// Total usable lines in the unified SRAM.
+    pub fn total_lines(&self) -> u32 {
+        self.tags.capacity()
+    }
+
+    /// Valid prefetch-side lines (decoupled/plain modes).
+    pub fn prefetch_lines(&self) -> u32 {
+        self.tags.prefetch_lines()
+    }
+
+    /// Returns and clears the prefetch-overrun flag (the §3.3 space
+    /// throttle trigger input).
+    pub fn take_overrun(&mut self) -> bool {
+        std::mem::take(&mut self.overrun)
+    }
+
+    /// Marks the prefetcher trained/untrained (drives the 50% cap).
+    pub fn set_trained(&mut self, trained: bool) {
+        self.trained = trained;
+    }
+
+    /// Confines demand evictions to the demand side until `until`
+    /// (called when the prefetcher throttles).
+    pub fn confine_until(&mut self, until: Cycle) {
+        if until > self.confined_until {
+            self.confined_until = until;
+        }
+    }
+
+    fn fraction_transferred(&self) -> f64 {
+        if self.transfer_denom == 0 {
+            0.0
+        } else {
+            self.transfer_numer as f64 / self.transfer_denom as f64
+        }
+    }
+
+    /// A demand load access.
+    pub fn access_demand(&mut self, line: LineAddr, warp: WarpId, now: Cycle) -> AccessOutcome {
+        // Isolated prefetch buffer is checked in parallel with the L1.
+        if let Some(iso) = &mut self.isolated {
+            if let Some(way) = iso.probe(line) {
+                use crate::cache::tag_array::LineState;
+                if iso.line(way).state == LineState::Reserved {
+                    // Demand caught an in-flight isolated prefetch:
+                    // merge into its MSHR entry (late prefetch).
+                    return match self.mshr.merge_demand(line, warp) {
+                        MergeResult::Merged {
+                            was_prefetch,
+                            first_demand,
+                        } => {
+                            if was_prefetch {
+                                self.stats.merges_with_prefetch += 1;
+                                if first_demand {
+                                    self.pf_stats.late += 1;
+                                }
+                            } else {
+                                self.stats.hits_reserved += 1;
+                            }
+                            AccessOutcome::HitReserved
+                        }
+                        MergeResult::Full => {
+                            self.stats.record_fail(ReservationFailReason::MshrFull);
+                            AccessOutcome::ReservationFail
+                        }
+                    };
+                }
+                if iso.line(way).state == LineState::Valid {
+                    let first_use = !iso.line(way).used;
+                    iso.touch(way, now);
+                    if iso.line(way).side == Side::Prefetch {
+                        // Serve from the buffer; flag it used.
+                        iso.transfer_to_demand(way, now);
+                        // Keep it resident as demand data in the buffer.
+                    }
+                    if first_use {
+                        self.pf_stats.useful += 1;
+                        self.transfer_numer += 1;
+                    }
+                    self.stats.hits_on_prefetch += 1;
+                    return AccessOutcome::HitPrefetch;
+                }
+            }
+        }
+
+        if let Some(way) = self.tags.probe(line) {
+            use crate::cache::tag_array::LineState;
+            let l = *self.tags.line(way);
+            match l.state {
+                LineState::Valid => {
+                    if l.side == Side::Prefetch {
+                        self.tags.transfer_to_demand(way, now);
+                        self.transfer_numer += 1;
+                        self.pf_stats.useful += 1;
+                        self.stats.hits_on_prefetch += 1;
+                        AccessOutcome::HitPrefetch
+                    } else if l.origin_prefetch {
+                        // Re-touch of data a prefetch brought in: the
+                        // address was correctly predicted (coverage),
+                        // though `useful` was already counted once.
+                        self.tags.touch(way, now);
+                        self.stats.hits_on_prefetch += 1;
+                        AccessOutcome::HitPrefetch
+                    } else {
+                        self.tags.touch(way, now);
+                        self.stats.hits += 1;
+                        AccessOutcome::Hit
+                    }
+                }
+                LineState::Reserved => match self.mshr.merge_demand(line, warp) {
+                    MergeResult::Merged {
+                        was_prefetch,
+                        first_demand,
+                    } => {
+                        // A demand merged into an in-flight prefetch:
+                        // the line must land on the demand side.
+                        self.tags.set_reserved_side(way, Side::Demand);
+                        if was_prefetch {
+                            self.stats.merges_with_prefetch += 1;
+                            if first_demand {
+                                self.pf_stats.late += 1;
+                            }
+                            AccessOutcome::HitReserved
+                        } else {
+                            self.stats.hits_reserved += 1;
+                            AccessOutcome::HitReserved
+                        }
+                    }
+                    MergeResult::Full => {
+                        self.stats.record_fail(ReservationFailReason::MshrFull);
+                        AccessOutcome::ReservationFail
+                    }
+                },
+                LineState::Invalid => unreachable!("probe never returns invalid lines"),
+            }
+        } else {
+            self.allocate_demand_miss(line, warp, now)
+        }
+    }
+
+    fn allocate_demand_miss(&mut self, line: LineAddr, warp: WarpId, now: Cycle) -> AccessOutcome {
+        if !self.mshr.has_free_entry() {
+            self.stats.record_fail(ReservationFailReason::MshrFull);
+            return AccessOutcome::ReservationFail;
+        }
+        if self.miss_queue.len() >= self.miss_queue_depth {
+            self.stats.record_fail(ReservationFailReason::MissQueueFull);
+            return AccessOutcome::ReservationFail;
+        }
+        let victim = match self.demand_victim(line, now) {
+            Some(w) => w,
+            None => {
+                self.stats.record_fail(ReservationFailReason::NoEvictableWay);
+                return AccessOutcome::ReservationFail;
+            }
+        };
+        self.evict_for_alloc(victim, now);
+        self.tags.reserve(victim, line, Side::Demand, now);
+        self.mshr.allocate(line, MissOrigin::Demand, Some(warp), now);
+        self.miss_queue.push_back(OutgoingRequest {
+            line,
+            kind: RequestKind::ReadMiss,
+        });
+        self.stats.misses += 1;
+        AccessOutcome::Miss
+    }
+
+    /// Victim choice for a demand allocation, honoring the decoupling
+    /// policies.
+    fn demand_victim(&mut self, line: LineAddr, now: Cycle) -> Option<crate::cache::tag_array::Way> {
+        if self.mode != L1Mode::Decoupled {
+            return self.tags.find_victim(line, |_| true);
+        }
+        let confined = now < self.confined_until;
+        let capped = !self.trained && self.tags.demand_lines() >= self.tags.capacity() / 2;
+        if capped {
+            // At the 50% training cap: force replacement of a demand
+            // line; never expand into free space or the prefetch side.
+            self.tags
+                .find_lru_valid(line, |l| l.side == Side::Demand)
+                .or_else(|| self.tags.find_victim(line, |l| l.side == Side::Demand))
+        } else if confined {
+            // Throttle confinement: free space is fine, but prefetch
+            // lines must not be displaced.
+            self.tags.find_victim(line, |l| l.side == Side::Demand)
+        } else {
+            if self.tags.free_lines() == 0 {
+                self.bulk_free(now);
+            }
+            // §3.2: both sides expand freely; the LRU victim may be an
+            // unconsumed prefetched line, which raises the overrun flag
+            // (the throttle's space trigger).
+            let v = self.tags.find_victim(line, |_| true);
+            if let Some(w) = v {
+                use crate::cache::tag_array::LineState;
+                let l = self.tags.line(w);
+                if l.state == LineState::Valid
+                    && l.side == Side::Prefetch
+                    && !l.used
+                    && now.since(l.fill_cycle) < OVERRUN_AGE_CYCLES
+                {
+                    self.overrun = true;
+                }
+            }
+            v
+        }
+    }
+
+    /// §3.2: when the SRAM is full, free 25% of it by LRU, from the
+    /// prefetch side unless ≥80% of prefetched data was transferred
+    /// (accurate prefetching), in which case older demand data goes.
+    fn bulk_free(&mut self, now: Cycle) {
+        let quarter = (self.tags.capacity() / 4).max(1);
+        let side = if self.fraction_transferred() >= 0.8 {
+            Side::Demand
+        } else {
+            Side::Prefetch
+        };
+        let mut evicted = self.tags.bulk_evict_lru(side, quarter);
+        if evicted.is_empty() {
+            // Chosen side empty; fall back to the other side.
+            let other = match side {
+                Side::Demand => Side::Prefetch,
+                Side::Prefetch => Side::Demand,
+            };
+            evicted = self.tags.bulk_evict_lru(other, quarter);
+        }
+        for l in &evicted {
+            self.stats.evictions += 1;
+            if l.side == Side::Prefetch && !l.used {
+                self.pf_stats.evicted_unused += 1;
+                if now.since(l.fill_cycle) < OVERRUN_AGE_CYCLES {
+                    self.overrun = true;
+                }
+            }
+        }
+    }
+
+    fn evict_for_alloc(&mut self, way: crate::cache::tag_array::Way, now: Cycle) {
+        use crate::cache::tag_array::LineState;
+        if self.tags.line(way).state == LineState::Valid {
+            let l = self.tags.evict(way);
+            self.stats.evictions += 1;
+            if l.side == Side::Prefetch && !l.used {
+                self.pf_stats.evicted_unused += 1;
+                // Young lines dying unused = the prefetcher outran
+                // consumption (frontier churn). Old unused lines are
+                // simply wrong prefetches — not a space signal.
+                if now.since(l.fill_cycle) < OVERRUN_AGE_CYCLES {
+                    self.overrun = true;
+                }
+            }
+        }
+    }
+
+    /// Asks the L1 to issue a prefetch for `line`.
+    pub fn request_prefetch(&mut self, line: LineAddr, now: Cycle) -> PrefetchIssue {
+        // Present or in-flight anywhere -> redundant.
+        if self.tags.probe(line).is_some() {
+            return PrefetchIssue::Redundant;
+        }
+        if let Some(iso) = &self.isolated {
+            if iso.probe(line).is_some() {
+                return PrefetchIssue::Redundant;
+            }
+        }
+        if !self.mshr.has_free_entry() || self.miss_queue.len() >= self.miss_queue_depth {
+            return PrefetchIssue::Rejected;
+        }
+        // Reserve space at the destination.
+        let reserved = if let Some(iso) = &mut self.isolated {
+            match iso.find_victim(line, |_| true) {
+                Some(w) => {
+                    use crate::cache::tag_array::LineState;
+                    if iso.line(w).state == LineState::Valid {
+                        let l = iso.evict(w);
+                        if l.side == Side::Prefetch && !l.used {
+                            self.pf_stats.evicted_unused += 1;
+                        }
+                    }
+                    iso.reserve(w, line, Side::Prefetch, now);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            if self.mode == L1Mode::Decoupled && self.tags.free_lines() == 0 {
+                self.bulk_free(now);
+            }
+            // Plain LRU victim: recently filled prefetch lines (the
+            // frontier) are naturally protected.
+            let victim = self.tags.find_victim(line, |_| true);
+            match victim {
+                Some(w) => {
+                    self.evict_for_alloc(w, now);
+                    self.tags.reserve(w, line, Side::Prefetch, now);
+                    true
+                }
+                None => false,
+            }
+        };
+        if !reserved {
+            return PrefetchIssue::Rejected;
+        }
+        self.mshr.allocate(line, MissOrigin::Prefetch, None, now);
+        self.miss_queue.push_back(OutgoingRequest {
+            line,
+            kind: RequestKind::ReadMiss,
+        });
+        PrefetchIssue::Issued
+    }
+
+    /// A write-through, no-allocate store. Returns `false` when the
+    /// miss queue is full (reservation fail; the warp retries).
+    pub fn access_store(&mut self, line: LineAddr, now: Cycle) -> bool {
+        if self.miss_queue.len() >= self.miss_queue_depth {
+            self.stats.record_fail(ReservationFailReason::MissQueueFull);
+            return false;
+        }
+        if let Some(way) = self.tags.probe(line) {
+            use crate::cache::tag_array::LineState;
+            if self.tags.line(way).state == LineState::Valid {
+                self.tags.touch(way, now);
+            }
+        }
+        self.miss_queue.push_back(OutgoingRequest {
+            line,
+            kind: RequestKind::Store,
+        });
+        true
+    }
+
+    /// Pops the next outgoing request if the interconnect can take it.
+    pub fn pop_outgoing(&mut self) -> Option<OutgoingRequest> {
+        self.miss_queue.pop_front()
+    }
+
+    /// Peeks the head of the miss queue.
+    pub fn peek_outgoing(&self) -> Option<&OutgoingRequest> {
+        self.miss_queue.front()
+    }
+
+    /// Delivers a fill from the memory partition: completes the MSHR,
+    /// fills the reserved line, returns the warps to wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` has no outstanding MSHR entry.
+    pub fn fill(&mut self, line: LineAddr, now: Cycle) -> Waiters {
+        let entry = self.mshr.complete(line);
+        let pure_prefetch = entry.origin == MissOrigin::Prefetch && !entry.demand_merged;
+        if pure_prefetch {
+            self.pf_stats.fills += 1;
+            self.transfer_denom += 1;
+        }
+        if let Some(iso) = &mut self.isolated {
+            if let Some(way) = iso.probe(line) {
+                iso.fill(way, now);
+                return entry.waiters;
+            }
+        }
+        let way = self
+            .tags
+            .probe(line)
+            .expect("reserved line must still be present at fill time");
+        // A demand-merged prefetch lands on the demand side (set at
+        // merge time); late-merged waiters get the data now.
+        self.tags.fill(way, now);
+        entry.waiters
+    }
+
+    /// Outstanding MSHR entries (diagnostics).
+    pub fn outstanding_misses(&self) -> usize {
+        self.mshr.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        let mut c = GpuConfig::scaled(1);
+        c.miss_queue_depth = 2;
+        c.mshr_merge = 8;
+        c
+    }
+
+    fn l1(mode: L1Mode) -> UnifiedL1 {
+        UnifiedL1::new(&cfg(), mode)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = l1(L1Mode::Plain);
+        let line = LineAddr(5);
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(0)),
+            AccessOutcome::Miss
+        );
+        assert_eq!(c.stats.misses, 1);
+        let out = c.pop_outgoing().unwrap();
+        assert_eq!(out.line, line);
+        assert_eq!(out.kind, RequestKind::ReadMiss);
+        let waiters = c.fill(line, Cycle(100));
+        assert_eq!(waiters, vec![WarpId(0)]);
+        assert_eq!(
+            c.access_demand(line, WarpId(1), Cycle(101)),
+            AccessOutcome::Hit
+        );
+    }
+
+    #[test]
+    fn reserved_merge_and_mshr_merge_limit() {
+        let mut c = l1(L1Mode::Plain);
+        let line = LineAddr(5);
+        c.access_demand(line, WarpId(0), Cycle(0));
+        for w in 1..8 {
+            assert_eq!(
+                c.access_demand(line, WarpId(w), Cycle(1)),
+                AccessOutcome::HitReserved,
+                "merge {w}"
+            );
+        }
+        // merge capacity 8 = 1 allocator + 7 merges.
+        assert_eq!(
+            c.access_demand(line, WarpId(9), Cycle(2)),
+            AccessOutcome::ReservationFail
+        );
+        assert_eq!(c.stats.fail_mshr, 1);
+    }
+
+    #[test]
+    fn miss_queue_full_is_reservation_fail() {
+        let mut c = l1(L1Mode::Plain);
+        assert_eq!(
+            c.access_demand(LineAddr(1), WarpId(0), Cycle(0)),
+            AccessOutcome::Miss
+        );
+        assert_eq!(
+            c.access_demand(LineAddr(2), WarpId(1), Cycle(0)),
+            AccessOutcome::Miss
+        );
+        // Queue depth 2 -> third miss fails.
+        assert_eq!(
+            c.access_demand(LineAddr(3), WarpId(2), Cycle(0)),
+            AccessOutcome::ReservationFail
+        );
+        assert_eq!(c.stats.fail_miss_queue, 1);
+        // Draining the queue unblocks.
+        c.pop_outgoing();
+        assert_eq!(
+            c.access_demand(LineAddr(3), WarpId(2), Cycle(1)),
+            AccessOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn prefetch_hit_transfers_and_counts_useful() {
+        let mut c = l1(L1Mode::Decoupled);
+        let line = LineAddr(9);
+        assert_eq!(c.request_prefetch(line, Cycle(0)), PrefetchIssue::Issued);
+        assert_eq!(c.request_prefetch(line, Cycle(1)), PrefetchIssue::Redundant);
+        c.pop_outgoing();
+        let waiters = c.fill(line, Cycle(50));
+        assert!(waiters.is_empty());
+        assert_eq!(c.pf_stats.fills, 1);
+        assert_eq!(c.prefetch_lines(), 1);
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(60)),
+            AccessOutcome::HitPrefetch
+        );
+        assert_eq!(c.pf_stats.useful, 1);
+        assert_eq!(c.stats.hits_on_prefetch, 1);
+        assert_eq!(c.prefetch_lines(), 0, "flag flipped to demand side");
+        // Re-touch: still counted as a covered (predicted) address,
+        // but `useful` is not double-counted.
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(61)),
+            AccessOutcome::HitPrefetch
+        );
+        assert_eq!(c.pf_stats.useful, 1);
+        assert_eq!(c.stats.hits_on_prefetch, 2);
+    }
+
+    #[test]
+    fn demand_merging_into_inflight_prefetch_is_late() {
+        let mut c = l1(L1Mode::Decoupled);
+        let line = LineAddr(9);
+        c.request_prefetch(line, Cycle(0));
+        assert_eq!(
+            c.access_demand(line, WarpId(3), Cycle(1)),
+            AccessOutcome::HitReserved
+        );
+        assert_eq!(c.pf_stats.late, 1);
+        assert_eq!(c.stats.merges_with_prefetch, 1);
+        c.pop_outgoing();
+        let waiters = c.fill(line, Cycle(40));
+        assert_eq!(waiters, vec![WarpId(3)]);
+        // Landed on the demand side: no prefetch lines resident.
+        assert_eq!(c.prefetch_lines(), 0);
+        assert_eq!(c.pf_stats.fills, 0, "demand-merged fill is not a pure prefetch fill");
+    }
+
+    #[test]
+    fn training_cap_restricts_demand_to_half() {
+        let mut c = l1(L1Mode::Decoupled);
+        c.set_trained(false);
+        let total = c.total_lines();
+        let mut failed_expand = false;
+        // Swamp the cache with demand misses; with an untrained
+        // prefetcher demand may occupy at most half the SRAM.
+        let mut cycle = 0u64;
+        for i in 0..(total * 2) as u64 {
+            let line = LineAddr(i);
+            match c.access_demand(line, WarpId(0), Cycle(cycle)) {
+                AccessOutcome::Miss => {
+                    c.pop_outgoing();
+                    c.fill(line, Cycle(cycle + 1));
+                }
+                AccessOutcome::ReservationFail => failed_expand = true,
+                _ => {}
+            }
+            cycle += 2;
+        }
+        assert!(c.tags.demand_lines() <= total / 2 + 1);
+        let _ = failed_expand;
+    }
+
+    #[test]
+    fn confinement_protects_prefetch_side() {
+        let mut cfgv = cfg();
+        cfgv.miss_queue_depth = 64;
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Decoupled);
+        c.set_trained(true);
+        let total = c.total_lines();
+        // Fill the whole cache with prefetched lines.
+        for i in 0..total as u64 {
+            assert_eq!(c.request_prefetch(LineAddr(i), Cycle(0)), PrefetchIssue::Issued);
+            c.pop_outgoing();
+            c.fill(LineAddr(i), Cycle(1));
+        }
+        assert_eq!(c.prefetch_lines(), total);
+        // Confine demand; a demand miss cannot displace prefetch data.
+        c.confine_until(Cycle(1000));
+        assert_eq!(
+            c.access_demand(LineAddr(10_000), WarpId(0), Cycle(2)),
+            AccessOutcome::ReservationFail
+        );
+        assert_eq!(c.stats.fail_no_way, 1);
+        // After the window the same access succeeds.
+        assert_eq!(
+            c.access_demand(LineAddr(10_000), WarpId(0), Cycle(2000)),
+            AccessOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_is_counted() {
+        let mut cfgv = cfg();
+        cfgv.miss_queue_depth = 1024;
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Decoupled);
+        c.set_trained(true);
+        let total = c.total_lines() as u64;
+        // Overfill with prefetches only; evictions must count unused.
+        for i in 0..total * 2 {
+            let r = c.request_prefetch(LineAddr(i), Cycle(i));
+            if r == PrefetchIssue::Issued {
+                c.pop_outgoing();
+                c.fill(LineAddr(i), Cycle(i));
+            }
+        }
+        assert!(c.pf_stats.evicted_unused > 0);
+    }
+
+    #[test]
+    fn isolated_buffer_serves_hits_without_touching_l1() {
+        let mut c = l1(L1Mode::Isolated { lines: 4 });
+        let line = LineAddr(3);
+        assert_eq!(c.request_prefetch(line, Cycle(0)), PrefetchIssue::Issued);
+        c.pop_outgoing();
+        c.fill(line, Cycle(10));
+        assert_eq!(c.free_lines(), c.total_lines(), "L1 untouched");
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(20)),
+            AccessOutcome::HitPrefetch
+        );
+        assert_eq!(c.pf_stats.useful, 1);
+        // Still served from the buffer on re-access.
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(21)),
+            AccessOutcome::HitPrefetch
+        );
+        assert_eq!(c.pf_stats.useful, 1, "useful counted once");
+    }
+
+    /// Fills the whole decoupled cache with prefetched lines at
+    /// consecutive line addresses starting at `base`.
+    fn fill_with_prefetches(c: &mut UnifiedL1, base: u64, count: u64, cycle_base: u64) {
+        for i in 0..count {
+            assert_eq!(
+                c.request_prefetch(LineAddr(base + i), Cycle(cycle_base + i)),
+                PrefetchIssue::Issued
+            );
+            c.pop_outgoing();
+            c.fill(LineAddr(base + i), Cycle(cycle_base + i));
+        }
+    }
+
+    #[test]
+    fn bulk_free_evicts_prefetch_side_when_transfers_are_rare() {
+        let mut cfgv = cfg();
+        cfgv.miss_queue_depth = 4096;
+        cfgv.mshr_entries = 4096;
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Decoupled);
+        c.set_trained(true);
+        let total = u64::from(c.total_lines());
+        fill_with_prefetches(&mut c, 0, total, 0);
+        // Nothing transferred: a demand miss on a full cache triggers
+        // the 25% bulk free on the *prefetch* side (§3.2 rule).
+        let before = c.prefetch_lines();
+        assert_eq!(
+            c.access_demand(LineAddr(1 << 20), WarpId(0), Cycle(10_000)),
+            AccessOutcome::Miss
+        );
+        assert!(
+            c.prefetch_lines() + c.total_lines() / 4 <= before + 1,
+            "prefetch side must shrink by ~25%: {before} -> {}",
+            c.prefetch_lines()
+        );
+    }
+
+    #[test]
+    fn bulk_free_spares_prefetch_side_when_mostly_transferred() {
+        let mut cfgv = cfg();
+        cfgv.miss_queue_depth = 4096;
+        cfgv.mshr_entries = 4096;
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Decoupled);
+        c.set_trained(true);
+        let total = u64::from(c.total_lines());
+        fill_with_prefetches(&mut c, 0, total, 0);
+        // Consume >80% of the prefetched data (flag-flip transfers).
+        let consumed = total * 9 / 10;
+        for i in 0..consumed {
+            assert_eq!(
+                c.access_demand(LineAddr(i), WarpId(0), Cycle(1000 + i)),
+                AccessOutcome::HitPrefetch
+            );
+        }
+        // Cache is still full; accurate prefetching (>80% transferred)
+        // means the bulk free takes *demand* (transferred) lines and
+        // keeps the remaining unconsumed prefetch lines.
+        let unconsumed_before = c.prefetch_lines();
+        assert_eq!(
+            c.access_demand(LineAddr(1 << 20), WarpId(0), Cycle(100_000)),
+            AccessOutcome::Miss
+        );
+        assert!(
+            c.prefetch_lines() >= unconsumed_before.saturating_sub(1),
+            "unconsumed prefetches survive: {unconsumed_before} -> {}",
+            c.prefetch_lines()
+        );
+        assert!(c.pf_stats.evicted_unused <= 1, "no unused prefetch deaths");
+    }
+
+    #[test]
+    fn overrun_flag_raised_and_cleared() {
+        let mut cfgv = cfg();
+        cfgv.miss_queue_depth = 4096;
+        cfgv.mshr_entries = 4096;
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Decoupled);
+        c.set_trained(true);
+        let total = u64::from(c.total_lines());
+        assert!(!c.take_overrun());
+        // Overfill with young prefetches: the second lap evicts unused
+        // young prefetch lines -> overrun.
+        fill_with_prefetches(&mut c, 0, total * 2, 0);
+        assert!(c.take_overrun(), "frontier churn must raise the flag");
+        assert!(!c.take_overrun(), "take clears it");
+    }
+
+    #[test]
+    fn store_uses_miss_queue_and_can_fail() {
+        let mut c = l1(L1Mode::Plain);
+        assert!(c.access_store(LineAddr(1), Cycle(0)));
+        assert!(c.access_store(LineAddr(2), Cycle(0)));
+        assert!(!c.access_store(LineAddr(3), Cycle(0)), "queue depth 2");
+        assert_eq!(c.stats.fail_miss_queue, 1);
+        assert_eq!(c.pop_outgoing().unwrap().kind, RequestKind::Store);
+    }
+}

@@ -1,0 +1,412 @@
+//! The full device: SMs, interconnect, and the shared memory
+//! partition, advanced by a single cycle loop.
+
+use std::collections::VecDeque;
+
+use crate::config::{ConfigError, GpuConfig};
+use crate::kernel::KernelTrace;
+use crate::mem::interconnect::{Interconnect, UpPacket, READ_REQUEST_BYTES};
+use crate::mem::partition::MemoryPartition;
+use crate::prefetch::Prefetcher;
+use crate::sm::{PendingCta, Sm};
+use crate::stats::SimStats;
+use crate::types::{Cycle, SmId};
+
+/// Why a simulation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// All warps retired and the memory system drained.
+    Completed,
+    /// The configured cycle limit was reached first.
+    CycleLimit,
+}
+
+/// The simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use snake_sim::{Gpu, GpuConfig, Instr, KernelTrace, NullPrefetcher, WarpTrace, CtaId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let kernel = KernelTrace::new(
+///     "demo",
+///     vec![WarpTrace::new(CtaId(0), vec![Instr::load(0u32, 0u64), Instr::compute(4)])],
+/// );
+/// let mut gpu = Gpu::new(GpuConfig::scaled(1), kernel, |_| Box::new(NullPrefetcher))?;
+/// let outcome = gpu.run();
+/// assert!(outcome.stats.instructions >= 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Gpu {
+    cfg: GpuConfig,
+    kernel: KernelTrace,
+    sms: Vec<Sm>,
+    noc: Interconnect,
+    partition: MemoryPartition,
+    cycle: Cycle,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("kernel", &self.kernel.name())
+            .field("sms", &self.sms.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+/// Result of running a kernel to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Device-wide merged statistics.
+    pub stats: SimStats,
+    /// How the run ended.
+    pub stop: StopReason,
+}
+
+impl Gpu {
+    /// Builds a device and distributes the kernel's CTAs round-robin
+    /// over the SMs. `mk_prefetcher` is called once per SM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(
+        cfg: GpuConfig,
+        kernel: KernelTrace,
+        mut mk_prefetcher: impl FnMut(SmId) -> Box<dyn Prefetcher>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let mut sms: Vec<Sm> = (0..cfg.num_sms)
+            .map(|i| Sm::new(&cfg, SmId(i), mk_prefetcher(SmId(i))))
+            .collect();
+
+        // Group warps into CTAs preserving first-appearance order.
+        let mut ctas: Vec<(crate::types::CtaId, Vec<usize>)> = Vec::new();
+        for (idx, warp) in kernel.warps().iter().enumerate() {
+            match ctas.iter_mut().find(|(c, _)| *c == warp.cta) {
+                Some((_, v)) => v.push(idx),
+                None => ctas.push((warp.cta, vec![idx])),
+            }
+        }
+        let mut queue: VecDeque<(crate::types::CtaId, Vec<usize>)> = ctas.into();
+        let mut sm_rr = 0usize;
+        while let Some((cta, warps)) = queue.pop_front() {
+            assert!(
+                warps.len() <= cfg.max_warps_per_sm as usize,
+                "CTA {cta} has {} warps but SMs hold only {}",
+                warps.len(),
+                cfg.max_warps_per_sm
+            );
+            sms[sm_rr].enqueue_cta(PendingCta { cta, warps });
+            sm_rr = (sm_rr + 1) % sms.len();
+        }
+
+        for sm in &mut sms {
+            sm.kernel_launch(&kernel);
+        }
+
+        let noc = Interconnect::new(cfg.noc_bytes_per_cycle, cfg.noc_latency, cfg.bw_window);
+        let partition = MemoryPartition::new(&cfg);
+        Ok(Gpu {
+            cfg,
+            kernel,
+            sms,
+            noc,
+            partition,
+            cycle: Cycle::ZERO,
+        })
+    }
+
+    /// The configuration the device was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Read-only view of the SMs.
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// Advances one cycle. Returns `false` once the device is idle.
+    pub fn step(&mut self) -> bool {
+        let now = self.cycle;
+        self.noc.begin_cycle(now);
+        self.partition.tick(now);
+
+        let util = self.noc.utilization();
+        for sm in &mut self.sms {
+            sm.tick(&self.kernel, now, util);
+        }
+
+        // Inject L1 requests into the interconnect, round-robin start.
+        let n = self.sms.len();
+        let start = (now.0 as usize) % n;
+        let line_bytes = u64::from(self.cfg.l1.line_bytes);
+        'inject: for k in 0..n {
+            let i = (start + k) % n;
+            while self.sms[i].has_outgoing() {
+                let req = *self.sms[i]
+                    .l1()
+                    .peek_outgoing()
+                    .expect("has_outgoing checked");
+                let is_store = req.kind == crate::cache::unified_l1::RequestKind::Store;
+                let bytes = if is_store { line_bytes } else { READ_REQUEST_BYTES };
+                let pkt = UpPacket {
+                    sm: SmId(i as u32),
+                    line: req.line,
+                    is_store,
+                };
+                if self.noc.try_send_up(pkt, bytes, now) {
+                    self.sms[i].pop_outgoing();
+                } else {
+                    break 'inject; // uplink budget spent this cycle
+                }
+            }
+        }
+
+        // Deliver requests to the partition.
+        while let Some(up) = self.noc.pop_up(now) {
+            if up.is_store {
+                self.partition.push_store(up.line, now);
+            } else {
+                self.partition.push_read(up.sm, up.line);
+            }
+        }
+
+        // Send responses back, bandwidth permitting.
+        while let Some(resp) = self.partition.pop_response() {
+            if !self.noc.try_send_down(resp, line_bytes, now) {
+                self.partition.unpop_response(resp);
+                break;
+            }
+        }
+
+        // Deliver fills to the L1s.
+        while let Some(down) = self.noc.pop_down(now) {
+            self.sms[down.sm.0 as usize].deliver_fill(down.line, now);
+        }
+
+        for sm in &mut self.sms {
+            sm.retire_finished(&self.kernel);
+        }
+
+        self.cycle = now.plus(1);
+
+        let done =
+            self.sms.iter().all(Sm::is_done) && self.partition.is_idle() && self.noc.is_idle();
+        let limit_hit = self
+            .cfg
+            .max_cycles
+            .is_some_and(|limit| self.cycle >= limit);
+        !(done || limit_hit)
+    }
+
+    /// Runs to completion (or the cycle limit) and returns merged
+    /// device statistics.
+    pub fn run(&mut self) -> SimOutcome {
+        while self.step() {}
+        let stop = if self.sms.iter().all(Sm::is_done) {
+            StopReason::Completed
+        } else {
+            StopReason::CycleLimit
+        };
+        SimOutcome {
+            stats: self.collect_stats(),
+            stop,
+        }
+    }
+
+    /// Merges per-SM, interconnect, and partition statistics.
+    pub fn collect_stats(&mut self) -> SimStats {
+        let mut total = SimStats::default();
+        for sm in &mut self.sms {
+            sm.finalize_stats();
+            total.merge(&sm.stats);
+        }
+        total.cycles = self.cycle.0;
+        total.noc_bytes_up = self.noc.total_bytes_up();
+        total.noc_bytes_down = self.noc.total_bytes_down();
+        total.l2_hits = self.partition.stats.l2_hits;
+        total.l2_misses = self.partition.stats.l2_misses;
+        total
+    }
+
+    /// Lifetime interconnect utilization (Fig 4).
+    pub fn noc_lifetime_utilization(&self) -> f64 {
+        self.noc.lifetime_utilization()
+    }
+}
+
+/// Convenience: builds and runs a kernel in one call.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configuration is inconsistent.
+pub fn run_kernel(
+    cfg: GpuConfig,
+    kernel: KernelTrace,
+    mk_prefetcher: impl FnMut(SmId) -> Box<dyn Prefetcher>,
+) -> Result<SimOutcome, ConfigError> {
+    let mut gpu = Gpu::new(cfg, kernel, mk_prefetcher)?;
+    Ok(gpu.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Instr, WarpTrace};
+    use crate::prefetch::NullPrefetcher;
+    use crate::types::CtaId;
+
+    fn simple_kernel(warps: usize, loads_per_warp: usize) -> KernelTrace {
+        let traces = (0..warps)
+            .map(|w| {
+                let instrs = (0..loads_per_warp)
+                    .map(|i| Instr::load(i as u32, ((w * loads_per_warp + i) * 128) as u64))
+                    .collect();
+                WarpTrace::new(CtaId((w / 4) as u32), instrs)
+            })
+            .collect();
+        KernelTrace::new("test", traces)
+    }
+
+    fn run(kernel: KernelTrace) -> SimOutcome {
+        run_kernel(GpuConfig::scaled(1), kernel, |_| Box::new(NullPrefetcher)).unwrap()
+    }
+
+    #[test]
+    fn single_warp_completes() {
+        let out = run(simple_kernel(1, 4));
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.stats.instructions, 4);
+        assert_eq!(out.stats.demand_loads, 4);
+        assert_eq!(out.stats.l1.misses, 4, "all cold misses");
+        assert!(out.stats.cycles > 200, "misses pay memory latency");
+    }
+
+    #[test]
+    fn repeated_loads_hit_in_l1() {
+        // Compute between the loads forms a use barrier, so the later
+        // loads find valid data (plain hits).
+        let instrs = vec![
+            Instr::load(0u32, 0u64),
+            Instr::compute(2),
+            Instr::load(1u32, 0u64),
+            Instr::compute(2),
+            Instr::load(2u32, 0u64),
+        ];
+        let k = KernelTrace::new("hits", vec![WarpTrace::new(CtaId(0), instrs)]);
+        let out = run(k);
+        assert_eq!(out.stats.l1.misses, 1);
+        assert_eq!(out.stats.l1.hits, 2);
+    }
+
+    #[test]
+    fn back_to_back_loads_overlap_misses() {
+        // Stall-on-use: four consecutive loads to distinct lines issue
+        // back-to-back, overlapping their memory latency (MLP).
+        let overlapped = vec![
+            Instr::load(0u32, 0u64),
+            Instr::load(1u32, 4096u64),
+            Instr::load(2u32, 8192u64),
+            Instr::load(3u32, 12288u64),
+        ];
+        let serialized = vec![
+            Instr::load(0u32, 0u64),
+            Instr::compute(1),
+            Instr::load(1u32, 4096u64),
+            Instr::compute(1),
+            Instr::load(2u32, 8192u64),
+            Instr::compute(1),
+            Instr::load(3u32, 12288u64),
+        ];
+        let fast = run(KernelTrace::new(
+            "mlp",
+            vec![WarpTrace::new(CtaId(0), overlapped)],
+        ));
+        let slow = run(KernelTrace::new(
+            "serial",
+            vec![WarpTrace::new(CtaId(0), serialized)],
+        ));
+        assert!(
+            (fast.stats.cycles as f64) < (slow.stats.cycles as f64) * 0.5,
+            "MLP must overlap latency: {} vs {}",
+            fast.stats.cycles,
+            slow.stats.cycles
+        );
+    }
+
+    #[test]
+    fn tlp_hides_latency() {
+        // 16 warps, disjoint lines: more warps should not be 16x slower.
+        let one = run(simple_kernel(1, 8)).stats.cycles;
+        let many = run(simple_kernel(16, 8)).stats.cycles;
+        assert!(
+            (many as f64) < (one as f64) * 8.0,
+            "TLP must overlap latency: 1 warp {one} cy, 16 warps {many} cy"
+        );
+    }
+
+    #[test]
+    fn compute_only_kernel_is_fast() {
+        let instrs = vec![Instr::compute(2); 10];
+        let k = KernelTrace::new("compute", vec![WarpTrace::new(CtaId(0), instrs)]);
+        let out = run(k);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.stats.demand_loads, 0);
+        assert!(out.stats.cycles < 100);
+    }
+
+    #[test]
+    fn stores_complete_and_count() {
+        let instrs = vec![Instr::store(0u32, 0u64), Instr::store(1u32, 128u64)];
+        let k = KernelTrace::new("stores", vec![WarpTrace::new(CtaId(0), instrs)]);
+        let out = run(k);
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.stats.stores, 2);
+        assert!(out.stats.noc_bytes_up >= 256, "store data on the wire");
+    }
+
+    #[test]
+    fn cycle_limit_stops_runaway() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.max_cycles = Some(Cycle(100));
+        let out = run_kernel(cfg, simple_kernel(8, 100), |_| Box::new(NullPrefetcher)).unwrap();
+        assert_eq!(out.stop, StopReason::CycleLimit);
+        assert_eq!(out.stats.cycles, 100);
+    }
+
+    #[test]
+    fn multi_sm_distributes_ctas() {
+        let cfg = GpuConfig::scaled(2);
+        let kernel = simple_kernel(8, 4); // 2 CTAs of 4 warps
+        let mut gpu = Gpu::new(cfg, kernel, |_| Box::new(NullPrefetcher)).unwrap();
+        let out = gpu.run();
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.stats.instructions, 32);
+    }
+
+    #[test]
+    fn more_ctas_than_slots_queue_up() {
+        // 10 CTAs x 4 warps = 40 warps on 1 SM with 16 slots.
+        let out = run(simple_kernel(40, 3));
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.stats.instructions, 120);
+    }
+
+    #[test]
+    fn memory_bound_kernel_shows_memory_stalls() {
+        let out = run(simple_kernel(16, 32));
+        assert!(out.stats.all_stall_cycles > 0);
+        assert!(out.stats.memory_stall_fraction() > 0.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! # snake-sim
+//!
+//! A from-scratch, cycle-driven GPU simulator substrate for the
+//! reproduction of *Snake: A Variable-length Chain-based Prefetching
+//! for GPUs* (MICRO '23). It stands in for Accel-Sim v1.2.0 in the
+//! paper's methodology: streaming multiprocessors with GTO warp
+//! scheduling, a unified L1/shared-memory SRAM with MSHRs, a bounded
+//! miss queue (the source of reservation fails), a bandwidth-limited
+//! interconnect, a banked L2, and a latency/bandwidth DRAM model —
+//! plus a first-order energy model standing in for AccelWattch.
+//!
+//! The crate is prefetcher-agnostic: mechanisms implement the
+//! [`Prefetcher`] trait (see the `snake-core` crate for Snake itself
+//! and all baselines).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snake_sim::{run_kernel, GpuConfig, Instr, KernelTrace, NullPrefetcher, WarpTrace, CtaId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One warp streaming over four cache lines.
+//! let warp = WarpTrace::new(
+//!     CtaId(0),
+//!     (0..4).map(|i| Instr::load(i as u32, (i * 128) as u64)).collect(),
+//! );
+//! let kernel = KernelTrace::new("stream", vec![warp]);
+//! let outcome = run_kernel(GpuConfig::scaled(1), kernel, |_| Box::new(NullPrefetcher))?;
+//! assert_eq!(outcome.stats.l1.misses, 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+mod config;
+pub mod energy;
+mod gpu;
+mod kernel;
+pub mod mem;
+mod prefetch;
+mod scheduler;
+mod sm;
+mod stats;
+pub mod trace_io;
+mod types;
+mod warp;
+
+pub use config::{CacheGeometry, ConfigError, GpuConfig, SchedulerPolicy};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use gpu::{run_kernel, Gpu, SimOutcome, StopReason};
+pub use kernel::{AddrList, Instr, KernelTrace, WarpTrace};
+pub use prefetch::{
+    AccessEvent, NullPrefetcher, PrefetchContext, PrefetchPlacement, Prefetcher, PrefetchRequest,
+};
+pub use sm::Sm;
+pub use stats::{AccessOutcome, CacheStats, PrefetchStats, ReservationFailReason, SimStats};
+pub use types::{Address, CtaId, Cycle, LineAddr, Pc, SmId, WarpId};

@@ -1,0 +1,262 @@
+//! Bandwidth-limited interconnection network between the SMs' L1
+//! caches and the shared L2.
+//!
+//! Models a per-direction byte budget per cycle and a fixed transit
+//! latency. Utilization is measured over a sliding window — this is
+//! the signal Snake's bandwidth throttle watches (halt ≥70% of peak,
+//! resume ≤50%, §3.3) and the metric of Fig 4.
+
+use std::collections::VecDeque;
+
+use crate::types::{Cycle, LineAddr, SmId};
+
+/// A request travelling L1→L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpPacket {
+    /// Originating SM (for routing the response).
+    pub sm: SmId,
+    /// Target line.
+    pub line: LineAddr,
+    /// Write-through store traffic (no response expected).
+    pub is_store: bool,
+}
+
+/// A fill response travelling L2→L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DownPacket {
+    /// Destination SM.
+    pub sm: SmId,
+    /// Filled line.
+    pub line: LineAddr,
+}
+
+/// Size in bytes of a read-request header on the wire.
+pub const READ_REQUEST_BYTES: u64 = 32;
+
+#[derive(Debug, Clone)]
+struct Channel<T> {
+    budget: u64,
+    /// Token-bucket credit; may go negative when a packet larger than
+    /// one cycle's budget is sent (it then borrows from future cycles,
+    /// modeling multi-cycle flit serialization).
+    credit: i64,
+    latency: u64,
+    in_flight: VecDeque<(Cycle, T)>,
+    total_bytes: u64,
+    window_bytes: u64,
+}
+
+impl<T> Channel<T> {
+    fn new(budget: u64, latency: u64) -> Self {
+        Channel {
+            budget,
+            credit: budget as i64,
+            latency,
+            in_flight: VecDeque::new(),
+            total_bytes: 0,
+            window_bytes: 0,
+        }
+    }
+
+    fn begin_cycle(&mut self) {
+        self.credit = (self.credit + self.budget as i64).min(self.budget as i64);
+    }
+
+    fn try_send(&mut self, pkt: T, bytes: u64, now: Cycle) -> bool {
+        if self.credit <= 0 {
+            return false;
+        }
+        self.credit -= bytes as i64;
+        self.total_bytes += bytes;
+        self.window_bytes += bytes;
+        self.in_flight.push_back((now.plus(self.latency), pkt));
+        true
+    }
+
+    fn pop_arrived(&mut self, now: Cycle) -> Option<T> {
+        if let Some((ready, _)) = self.in_flight.front() {
+            if *ready <= now {
+                return self.in_flight.pop_front().map(|(_, p)| p);
+            }
+        }
+        None
+    }
+}
+
+/// The L1↔L2 interconnect.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    up: Channel<UpPacket>,
+    down: Channel<DownPacket>,
+    window: u64,
+    window_start: Cycle,
+    last_window_utilization: f64,
+    cycles: u64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect with `bytes_per_cycle` per direction,
+    /// `latency` cycles transit time, and a utilization-measurement
+    /// window of `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` or `window` is zero.
+    pub fn new(bytes_per_cycle: u32, latency: u32, window: u32) -> Self {
+        assert!(bytes_per_cycle > 0 && window > 0);
+        Interconnect {
+            up: Channel::new(u64::from(bytes_per_cycle), u64::from(latency)),
+            down: Channel::new(u64::from(bytes_per_cycle), u64::from(latency)),
+            window: u64::from(window),
+            window_start: Cycle::ZERO,
+            last_window_utilization: 0.0,
+            cycles: 0,
+        }
+    }
+
+    /// Starts a new cycle: refreshes per-cycle credits and rolls the
+    /// utilization window.
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        self.up.begin_cycle();
+        self.down.begin_cycle();
+        self.cycles += 1;
+        if now.since(self.window_start) >= self.window {
+            let capacity = 2 * self.up.budget * self.window;
+            self.last_window_utilization =
+                (self.up.window_bytes + self.down.window_bytes) as f64 / capacity as f64;
+            self.up.window_bytes = 0;
+            self.down.window_bytes = 0;
+            self.window_start = now;
+        }
+    }
+
+    /// Utilization (both directions) measured over the last completed
+    /// window, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.last_window_utilization
+    }
+
+    /// Attempts to inject a request; `false` when this cycle's uplink
+    /// budget is exhausted.
+    pub fn try_send_up(&mut self, pkt: UpPacket, bytes: u64, now: Cycle) -> bool {
+        self.up.try_send(pkt, bytes, now)
+    }
+
+    /// Attempts to inject a response; `false` when this cycle's
+    /// downlink budget is exhausted.
+    pub fn try_send_down(&mut self, pkt: DownPacket, bytes: u64, now: Cycle) -> bool {
+        self.down.try_send(pkt, bytes, now)
+    }
+
+    /// Pops the next request that has completed transit.
+    pub fn pop_up(&mut self, now: Cycle) -> Option<UpPacket> {
+        self.up.pop_arrived(now)
+    }
+
+    /// Pops the next response that has completed transit.
+    pub fn pop_down(&mut self, now: Cycle) -> Option<DownPacket> {
+        self.down.pop_arrived(now)
+    }
+
+    /// Total bytes ever sent L1→L2.
+    pub fn total_bytes_up(&self) -> u64 {
+        self.up.total_bytes
+    }
+
+    /// Total bytes ever sent L2→L1.
+    pub fn total_bytes_down(&self) -> u64 {
+        self.down.total_bytes
+    }
+
+    /// Whether no packets are in flight in either direction.
+    pub fn is_idle(&self) -> bool {
+        self.up.in_flight.is_empty() && self.down.in_flight.is_empty()
+    }
+
+    /// Lifetime utilization over `cycles` simulated cycles (Fig 4).
+    pub fn lifetime_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let capacity = 2 * self.up.budget * self.cycles;
+        (self.up.total_bytes + self.down.total_bytes) as f64 / capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(line: u64) -> UpPacket {
+        UpPacket {
+            sm: SmId(0),
+            line: LineAddr(line),
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn bandwidth_budget_limits_per_cycle() {
+        let mut n = Interconnect::new(64, 2, 16);
+        n.begin_cycle(Cycle(0));
+        assert!(n.try_send_up(pkt(1), 32, Cycle(0)));
+        assert!(n.try_send_up(pkt(2), 32, Cycle(0)));
+        assert!(!n.try_send_up(pkt(3), 32, Cycle(0)), "64B budget spent");
+        n.begin_cycle(Cycle(1));
+        assert!(n.try_send_up(pkt(3), 32, Cycle(1)), "credit refreshed");
+    }
+
+    #[test]
+    fn latency_delays_arrival() {
+        let mut n = Interconnect::new(64, 3, 16);
+        n.begin_cycle(Cycle(0));
+        assert!(n.try_send_up(pkt(1), 32, Cycle(0)));
+        assert!(n.pop_up(Cycle(2)).is_none());
+        let p = n.pop_up(Cycle(3)).unwrap();
+        assert_eq!(p.line, LineAddr(1));
+        assert!(n.pop_up(Cycle(4)).is_none(), "drained");
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut n = Interconnect::new(640, 1, 16);
+        n.begin_cycle(Cycle(0));
+        for i in 0..4 {
+            assert!(n.try_send_up(pkt(i), 32, Cycle(0)));
+        }
+        for i in 0..4 {
+            assert_eq!(n.pop_up(Cycle(1)).unwrap().line, LineAddr(i));
+        }
+    }
+
+    #[test]
+    fn windowed_utilization() {
+        let mut n = Interconnect::new(100, 1, 4);
+        // Send 100 B/cycle up for 4 cycles: half of the 2x100 peak.
+        for cy in 0..5u64 {
+            n.begin_cycle(Cycle(cy));
+            if cy < 4 {
+                assert!(n.try_send_up(pkt(cy), 100, Cycle(cy)));
+            }
+        }
+        assert!((n.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_utilization_counts_both_directions() {
+        let mut n = Interconnect::new(100, 1, 4);
+        n.begin_cycle(Cycle(0));
+        n.try_send_up(pkt(0), 50, Cycle(0));
+        n.try_send_down(
+            DownPacket {
+                sm: SmId(0),
+                line: LineAddr(0),
+            },
+            150,
+            Cycle(0),
+        );
+        assert_eq!(n.total_bytes_up(), 50);
+        assert_eq!(n.total_bytes_down(), 150);
+        assert!((n.lifetime_utilization() - 1.0).abs() < 1e-9);
+    }
+}

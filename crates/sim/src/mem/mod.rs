@@ -1,0 +1,5 @@
+//! Memory-side components: the L1<->L2 interconnect and the shared
+//! L2 + DRAM memory partition.
+
+pub mod interconnect;
+pub mod partition;

@@ -1,0 +1,316 @@
+//! The shared memory partition: banked L2 cache backed by a
+//! latency/bandwidth DRAM model.
+//!
+//! Requests arrive from the interconnect, are serviced by up to
+//! `l2_banks` bank lookups per cycle, and produce fill responses after
+//! the L2 service latency (hits) or the additional DRAM latency
+//! (misses). DRAM line transfers are bandwidth-limited.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::cache::tag_array::{LineState, Side, TagArray};
+use crate::config::GpuConfig;
+use crate::mem::interconnect::DownPacket;
+use crate::types::{Cycle, LineAddr, SmId};
+
+/// A read request pending in the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingRead {
+    sm: SmId,
+    line: LineAddr,
+}
+
+/// Partition statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// L2 lookups that hit.
+    pub l2_hits: u64,
+    /// L2 lookups that missed (DRAM reads).
+    pub l2_misses: u64,
+    /// Store (write) requests absorbed.
+    pub stores: u64,
+    /// DRAM read transactions issued.
+    pub dram_reads: u64,
+}
+
+/// The L2 + DRAM memory partition.
+#[derive(Debug, Clone)]
+pub struct MemoryPartition {
+    l2: TagArray,
+    line_bytes: u32,
+    banks: u32,
+    l2_service_latency: u64,
+    dram_latency: u64,
+    /// Byte credit added per cycle for DRAM transfers.
+    dram_bytes_per_cycle: u64,
+    dram_credit: u64,
+    /// Requests waiting for a bank this cycle.
+    incoming: VecDeque<PendingRead>,
+    /// L2-hit responses in flight (ready_cycle, packet).
+    hit_pipe: VecDeque<(Cycle, DownPacket)>,
+    /// DRAM reads waiting for bandwidth.
+    dram_queue: VecDeque<PendingRead>,
+    /// DRAM reads in flight (ready_cycle ordered FIFO: fixed latency).
+    dram_pipe: VecDeque<(Cycle, PendingRead)>,
+    /// Requesters merged onto an outstanding DRAM read per line.
+    dram_merges: HashMap<LineAddr, Vec<SmId>>,
+    /// Responses ready to go back over the interconnect.
+    outbox: VecDeque<DownPacket>,
+    /// Counters.
+    pub stats: PartitionStats,
+}
+
+impl MemoryPartition {
+    /// Builds the partition from the GPU configuration.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        // The configured l2_hit_latency is the total L1→data latency;
+        // subtract the interconnect round trip to get bank time.
+        let noc_round_trip = u64::from(2 * cfg.noc_latency);
+        let l2_service = u64::from(cfg.l2_hit_latency).saturating_sub(noc_round_trip).max(1);
+        MemoryPartition {
+            l2: TagArray::new(cfg.l2.lines(), cfg.l2.ways),
+            line_bytes: cfg.l2.line_bytes,
+            banks: cfg.l2_banks,
+            l2_service_latency: l2_service,
+            dram_latency: u64::from(cfg.dram_latency),
+            dram_bytes_per_cycle: u64::from(cfg.dram_bytes_per_cycle),
+            dram_credit: 0,
+            incoming: VecDeque::new(),
+            hit_pipe: VecDeque::new(),
+            dram_queue: VecDeque::new(),
+            dram_pipe: VecDeque::new(),
+            dram_merges: HashMap::new(),
+            outbox: VecDeque::new(),
+            stats: PartitionStats::default(),
+        }
+    }
+
+    /// Accepts a read request from the interconnect.
+    pub fn push_read(&mut self, sm: SmId, line: LineAddr) {
+        self.incoming.push_back(PendingRead { sm, line });
+    }
+
+    /// Accepts a write-through store: updates the L2 if present and
+    /// consumes DRAM write bandwidth (no response).
+    pub fn push_store(&mut self, line: LineAddr, now: Cycle) {
+        self.stats.stores += 1;
+        if let Some(way) = self.l2.probe(line) {
+            if self.l2.line(way).state == LineState::Valid {
+                self.l2.touch(way, now);
+            }
+        }
+        // Write data consumes DRAM bandwidth alongside reads.
+        self.dram_credit = self.dram_credit.saturating_sub(u64::from(self.line_bytes));
+    }
+
+    /// Advances the partition by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // 1. DRAM completions fill the L2 and produce responses.
+        while let Some((ready, _)) = self.dram_pipe.front() {
+            if *ready > now {
+                break;
+            }
+            let (_, req) = self.dram_pipe.pop_front().expect("front checked");
+            self.fill_l2(req.line, now);
+            self.outbox.push_back(DownPacket {
+                sm: req.sm,
+                line: req.line,
+            });
+            if let Some(extra) = self.dram_merges.remove(&req.line) {
+                for sm in extra {
+                    self.outbox.push_back(DownPacket { sm, line: req.line });
+                }
+            }
+        }
+
+        // 2. L2 hit pipeline completions.
+        while let Some((ready, _)) = self.hit_pipe.front() {
+            if *ready > now {
+                break;
+            }
+            let (_, pkt) = self.hit_pipe.pop_front().expect("front checked");
+            self.outbox.push_back(pkt);
+        }
+
+        // 3. Bank services.
+        for _ in 0..self.banks {
+            let Some(req) = self.incoming.pop_front() else { break };
+            self.service(req, now);
+        }
+
+        // 4. DRAM bandwidth: accumulate credit, start queued reads.
+        self.dram_credit = self
+            .dram_credit
+            .saturating_add(self.dram_bytes_per_cycle)
+            .min(self.dram_bytes_per_cycle * 8);
+        while self.dram_credit >= u64::from(self.line_bytes) {
+            let Some(req) = self.dram_queue.pop_front() else { break };
+            self.dram_credit -= u64::from(self.line_bytes);
+            self.stats.dram_reads += 1;
+            self.dram_pipe
+                .push_back((now.plus(self.dram_latency), req));
+        }
+    }
+
+    fn service(&mut self, req: PendingRead, now: Cycle) {
+        // Merge with an outstanding DRAM read for the same line.
+        if self.dram_merges.contains_key(&req.line)
+            || self.dram_pipe.iter().any(|(_, r)| r.line == req.line)
+            || self.dram_queue.iter().any(|r| r.line == req.line)
+        {
+            self.dram_merges.entry(req.line).or_default().push(req.sm);
+            // Merged requests still count as L2 misses (they need DRAM).
+            self.stats.l2_misses += 1;
+            return;
+        }
+        match self.l2.probe(req.line) {
+            Some(way) if self.l2.line(way).state == LineState::Valid => {
+                self.l2.touch(way, now);
+                self.stats.l2_hits += 1;
+                self.hit_pipe.push_back((
+                    now.plus(self.l2_service_latency),
+                    DownPacket {
+                        sm: req.sm,
+                        line: req.line,
+                    },
+                ));
+            }
+            _ => {
+                self.stats.l2_misses += 1;
+                self.dram_queue.push_back(req);
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, line: LineAddr, now: Cycle) {
+        if self.l2.probe(line).is_some() {
+            return; // Raced with another fill.
+        }
+        if let Some(victim) = self.l2.find_victim(line, |_| true) {
+            if self.l2.line(victim).state == LineState::Valid {
+                self.l2.evict(victim);
+            }
+            self.l2.reserve(victim, line, Side::Demand, now);
+            self.l2.fill(victim, now);
+        }
+    }
+
+    /// Pops the next response ready for the interconnect.
+    pub fn pop_response(&mut self) -> Option<DownPacket> {
+        self.outbox.pop_front()
+    }
+
+    /// Pushes back a response the interconnect could not take this
+    /// cycle.
+    pub fn unpop_response(&mut self, pkt: DownPacket) {
+        self.outbox.push_front(pkt);
+    }
+
+    /// Whether all queues and pipes are empty (quiescence check).
+    pub fn is_idle(&self) -> bool {
+        self.incoming.is_empty()
+            && self.hit_pipe.is_empty()
+            && self.dram_queue.is_empty()
+            && self.dram_pipe.is_empty()
+            && self.outbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part() -> MemoryPartition {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.l2_hit_latency = 50; // service = 50 - 40 = 10
+        cfg.noc_latency = 20;
+        cfg.dram_latency = 100;
+        MemoryPartition::new(&cfg)
+    }
+
+    fn run_until_response(p: &mut MemoryPartition, start: u64, limit: u64) -> (u64, DownPacket) {
+        for cy in start..start + limit {
+            p.tick(Cycle(cy));
+            if let Some(pkt) = p.pop_response() {
+                return (cy, pkt);
+            }
+        }
+        panic!("no response within {limit} cycles");
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_then_hits() {
+        let mut p = part();
+        p.push_read(SmId(0), LineAddr(7));
+        let (cy_miss, pkt) = run_until_response(&mut p, 0, 400);
+        assert_eq!(pkt.line, LineAddr(7));
+        assert!(cy_miss >= 100, "DRAM latency applies, got {cy_miss}");
+        assert_eq!(p.stats.l2_misses, 1);
+        assert!(p.is_idle());
+
+        // Second read of the same line hits in L2 and is much faster.
+        p.push_read(SmId(1), LineAddr(7));
+        let (cy_hit, pkt) = run_until_response(&mut p, cy_miss + 1, 400);
+        assert_eq!(pkt.sm, SmId(1));
+        assert!(cy_hit - cy_miss < 20, "L2 hit should be fast");
+        assert_eq!(p.stats.l2_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_reads_same_line_are_merged() {
+        let mut p = part();
+        p.push_read(SmId(0), LineAddr(3));
+        p.tick(Cycle(0));
+        p.push_read(SmId(1), LineAddr(3));
+        let mut got = Vec::new();
+        for cy in 1..400u64 {
+            p.tick(Cycle(cy));
+            while let Some(pkt) = p.pop_response() {
+                got.push(pkt.sm);
+            }
+        }
+        assert_eq!(p.stats.dram_reads, 1, "one DRAM read for both");
+        got.sort_by_key(|s| s.0);
+        assert_eq!(got, vec![SmId(0), SmId(1)]);
+    }
+
+    #[test]
+    fn bank_limit_serializes_service() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.l2_banks = 1;
+        let mut p = MemoryPartition::new(&cfg);
+        for i in 0..3u64 {
+            p.push_read(SmId(0), LineAddr(i));
+        }
+        p.tick(Cycle(0));
+        assert_eq!(p.incoming.len(), 2, "one bank serves one request/cycle");
+    }
+
+    #[test]
+    fn dram_bandwidth_limits_read_starts() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.dram_bytes_per_cycle = 64; // half a line per cycle
+        cfg.l2_banks = 16;
+        let mut p = MemoryPartition::new(&cfg);
+        for i in 0..4u64 {
+            p.push_read(SmId(0), LineAddr(i));
+        }
+        p.tick(Cycle(0)); // all serviced by banks, queued for DRAM
+        // 64 B/cy credit: one 128 B line starts every 2 cycles.
+        assert!(p.stats.dram_reads <= 1);
+        p.tick(Cycle(1));
+        p.tick(Cycle(2));
+        assert!(p.stats.dram_reads <= 2);
+    }
+
+    #[test]
+    fn store_touches_l2_and_makes_no_response() {
+        let mut p = part();
+        p.push_store(LineAddr(1), Cycle(0));
+        for cy in 0..50 {
+            p.tick(Cycle(cy));
+        }
+        assert!(p.pop_response().is_none());
+        assert_eq!(p.stats.stores, 1);
+    }
+}

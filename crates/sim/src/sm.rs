@@ -1,0 +1,368 @@
+//! The streaming multiprocessor: warp slots, schedulers, the unified
+//! L1, and the prefetcher hook.
+
+use std::collections::VecDeque;
+
+use crate::cache::unified_l1::{L1Mode, OutgoingRequest, PrefetchIssue, UnifiedL1};
+use crate::config::GpuConfig;
+use crate::kernel::{Instr, KernelTrace};
+use crate::prefetch::{AccessEvent, PrefetchContext, PrefetchPlacement, Prefetcher, PrefetchRequest};
+use crate::scheduler::Scheduler;
+use crate::stats::{AccessOutcome, SimStats};
+use crate::types::{CtaId, Cycle, SmId, WarpId};
+use crate::warp::{WarpSlot, WarpState};
+
+/// A CTA waiting to be launched on this SM.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingCta {
+    pub cta: CtaId,
+    /// Kernel trace indices of the CTA's warps.
+    pub warps: Vec<usize>,
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    id: SmId,
+    slots: Vec<Option<WarpSlot>>,
+    schedulers: Vec<Scheduler>,
+    l1: UnifiedL1,
+    prefetcher: Box<dyn Prefetcher>,
+    cta_queue: VecDeque<PendingCta>,
+    launch_seq: u64,
+    line_bytes: u32,
+    hit_latency: u32,
+    /// Per-SM statistic counters (NoC/L2 fields stay zero here).
+    pub stats: SimStats,
+    scratch: Vec<PrefetchRequest>,
+    /// Maximum prefetch requests accepted from one access event.
+    max_prefetches_per_event: usize,
+    /// Stall-on-use: loads a warp may have in flight before blocking.
+    max_outstanding_loads: u32,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("prefetcher", &self.prefetcher.name())
+            .field("resident_warps", &self.slots.iter().flatten().count())
+            .field("queued_ctas", &self.cta_queue.len())
+            .finish()
+    }
+}
+
+impl Sm {
+    /// Builds an SM with the given prefetcher. The L1 placement mode is
+    /// derived from the prefetcher's [`PrefetchPlacement`].
+    pub fn new(cfg: &GpuConfig, id: SmId, prefetcher: Box<dyn Prefetcher>) -> Self {
+        let mode = match prefetcher.placement() {
+            PrefetchPlacement::Decoupled => L1Mode::Decoupled,
+            PrefetchPlacement::PlainL1 => L1Mode::Plain,
+            PrefetchPlacement::Isolated { lines } => L1Mode::Isolated { lines },
+        };
+        Sm {
+            id,
+            slots: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            schedulers: (0..cfg.schedulers_per_sm)
+                .map(|_| Scheduler::new(cfg.scheduler))
+                .collect(),
+            l1: UnifiedL1::new(cfg, mode),
+            prefetcher,
+            cta_queue: VecDeque::new(),
+            launch_seq: 0,
+            line_bytes: cfg.l1.line_bytes,
+            hit_latency: cfg.l1_hit_latency,
+            stats: SimStats::default(),
+            scratch: Vec::new(),
+            max_prefetches_per_event: 16,
+            max_outstanding_loads: cfg.max_outstanding_loads,
+        }
+    }
+
+    /// SM identifier.
+    pub fn id(&self) -> SmId {
+        self.id
+    }
+
+    /// Queues a CTA for execution on this SM.
+    pub(crate) fn enqueue_cta(&mut self, cta: PendingCta) {
+        self.cta_queue.push_back(cta);
+    }
+
+    /// Gives the prefetcher its pre-kernel look at the trace.
+    pub fn kernel_launch(&mut self, kernel: &KernelTrace) {
+        self.prefetcher.on_kernel_launch(kernel);
+    }
+
+    /// Whether all queued and resident work has finished and the L1
+    /// has drained (no queued requests, no outstanding misses).
+    pub fn is_done(&self) -> bool {
+        self.cta_queue.is_empty()
+            && self.slots.iter().all(|s| s.is_none())
+            && self.l1.peek_outgoing().is_none()
+            && self.l1.outstanding_misses() == 0
+    }
+
+    /// Immutable view of the L1 (diagnostics and tests).
+    pub fn l1(&self) -> &UnifiedL1 {
+        &self.l1
+    }
+
+    /// The prefetcher's report name.
+    pub fn prefetcher_name(&self) -> &str {
+        self.prefetcher.name()
+    }
+
+    fn try_launch_ctas(&mut self) {
+        loop {
+            let Some(front) = self.cta_queue.front() else { return };
+            let free: Vec<usize> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if free.len() < front.warps.len() {
+                return;
+            }
+            let cta = self.cta_queue.pop_front().expect("front checked");
+            for (slot_idx, trace_idx) in free.into_iter().zip(cta.warps.iter().copied()) {
+                self.slots[slot_idx] = Some(WarpSlot::new(cta.cta, trace_idx, self.launch_seq));
+                self.launch_seq += 1;
+            }
+        }
+    }
+
+    /// Advances the SM by one cycle: launch CTAs, refresh warps, issue
+    /// from each scheduler, account stalls, sync prefetcher state.
+    pub fn tick(&mut self, kernel: &KernelTrace, now: Cycle, noc_utilization: f64) {
+        self.try_launch_ctas();
+        for slot in self.slots.iter_mut().flatten() {
+            slot.refresh(now);
+        }
+
+        let n_sched = self.schedulers.len();
+        let mut issued = 0u32;
+        for sid in 0..n_sched {
+            let mut sched = std::mem::take(&mut self.schedulers[sid]);
+            if let Some(slot_idx) = sched.pick(&self.slots, sid, n_sched) {
+                if self.issue(slot_idx, kernel, now, noc_utilization) {
+                    issued += 1;
+                }
+                if self.slots[slot_idx].is_none() {
+                    sched.invalidate(slot_idx);
+                }
+            }
+            self.schedulers[sid] = sched;
+        }
+
+        // Stall taxonomy (Fig 5).
+        let live: Vec<&WarpSlot> = self.slots.iter().flatten().collect();
+        if !live.is_empty() && issued == 0 {
+            self.stats.all_stall_cycles += 1;
+            if live.iter().all(|w| w.memory_stalled()) {
+                self.stats.all_stall_mem_cycles += 1;
+            }
+        }
+        self.stats.cycles = now.0 + 1;
+
+        // Prefetcher/L1 policy sync.
+        self.l1.set_trained(self.prefetcher.trained());
+        if self.prefetcher.throttled(now) {
+            self.l1.confine_until(now.plus(1));
+            self.stats.prefetch.throttled_cycles += 1;
+        }
+    }
+
+    /// Issues from `slot_idx`. Returns `true` if a *new* instruction
+    /// was issued (retries of reservation-failed transactions return
+    /// `false`).
+    fn issue(
+        &mut self,
+        slot_idx: usize,
+        kernel: &KernelTrace,
+        now: Cycle,
+        noc_utilization: f64,
+    ) -> bool {
+        let mut slot = self.slots[slot_idx].take().expect("scheduler picked a live slot");
+
+        if !slot.pending.is_empty() {
+            let next_is_load = matches!(
+                kernel.warps()[slot.trace_idx].instrs.get(slot.next),
+                Some(Instr::Load { .. })
+            );
+            self.process_txns(&mut slot, slot_idx, now, noc_utilization, next_is_load);
+            self.slots[slot_idx] = Some(slot);
+            return false;
+        }
+
+        let trace = &kernel.warps()[slot.trace_idx];
+        match trace.instrs.get(slot.next) {
+            None => {
+                // Trace exhausted: retire the warp and free the slot.
+                return false;
+            }
+            Some(Instr::Compute { cycles }) => {
+                slot.next += 1;
+                slot.state = WarpState::Busy(now.plus(u64::from(*cycles).max(1)));
+                self.stats.instructions += 1;
+            }
+            Some(Instr::Load { pc, addrs }) => {
+                slot.next += 1;
+                slot.cur_pc = *pc;
+                slot.cur_is_load = true;
+                slot.cur_coalesced = addrs.len() == 1;
+                slot.pending = addrs.iter().collect();
+                self.stats.instructions += 1;
+                let next_is_load =
+                    matches!(trace.instrs.get(slot.next), Some(Instr::Load { .. }));
+                self.process_txns(&mut slot, slot_idx, now, noc_utilization, next_is_load);
+            }
+            Some(Instr::Store { pc, addrs }) => {
+                slot.next += 1;
+                slot.cur_pc = *pc;
+                slot.cur_is_load = false;
+                slot.cur_coalesced = addrs.len() == 1;
+                slot.pending = addrs.iter().collect();
+                self.stats.instructions += 1;
+                self.process_txns(&mut slot, slot_idx, now, noc_utilization, false);
+            }
+        }
+        self.slots[slot_idx] = Some(slot);
+        true
+    }
+
+    /// Sends the warp's pending transactions to the L1, stopping at the
+    /// first reservation fail (in-order LSU).
+    fn process_txns(
+        &mut self,
+        slot: &mut WarpSlot,
+        slot_idx: usize,
+        now: Cycle,
+        noc_utilization: f64,
+        next_is_load: bool,
+    ) {
+        while let Some(&addr) = slot.pending.first() {
+            let line = addr.line(self.line_bytes);
+            if slot.cur_is_load {
+                let outcome = self.l1.access_demand(line, WarpId(slot_idx as u32), now);
+                if outcome == AccessOutcome::ReservationFail {
+                    break;
+                }
+                slot.pending.remove(0);
+                self.stats.demand_loads += 1;
+                if matches!(outcome, AccessOutcome::Miss | AccessOutcome::HitReserved) {
+                    slot.outstanding += 1;
+                }
+                if slot.cur_coalesced {
+                    let event = AccessEvent {
+                        sm: self.id,
+                        warp: WarpId(slot_idx as u32),
+                        cta: slot.cta,
+                        pc: slot.cur_pc,
+                        addr,
+                        outcome,
+                        cycle: now,
+                    };
+                    self.run_prefetcher(&event, now, noc_utilization);
+                }
+            } else {
+                if !self.l1.access_store(line, now) {
+                    break;
+                }
+                slot.pending.remove(0);
+                self.stats.stores += 1;
+            }
+        }
+        if slot.pending.is_empty() {
+            if slot.cur_is_load {
+                if next_is_load && slot.outstanding < self.max_outstanding_loads {
+                    // Stall-on-use: keep issuing back-to-back loads;
+                    // the next non-load instruction is the use barrier.
+                    slot.state = WarpState::Ready;
+                } else {
+                    slot.settle_mem_instr(now, self.hit_latency);
+                }
+            } else {
+                slot.state = WarpState::Busy(now.plus(1));
+            }
+        }
+        // else: stay Ready; the scheduler retries next cycle.
+    }
+
+    fn run_prefetcher(&mut self, event: &AccessEvent, now: Cycle, noc_utilization: f64) {
+        let ctx = PrefetchContext {
+            cycle: now,
+            bw_utilization: noc_utilization,
+            free_lines: self.l1.free_lines(),
+            total_lines: self.l1.total_lines(),
+            prefetch_overrun: self.l1.take_overrun(),
+        };
+        self.scratch.clear();
+        self.prefetcher.on_demand_access(event, &ctx, &mut self.scratch);
+        self.scratch.truncate(self.max_prefetches_per_event);
+        self.stats.prefetch.requested += self.scratch.len() as u64;
+        for i in 0..self.scratch.len() {
+            let line = self.scratch[i].addr.line(self.line_bytes);
+            match self.l1.request_prefetch(line, now) {
+                PrefetchIssue::Issued => self.stats.prefetch.issued += 1,
+                PrefetchIssue::Redundant => self.stats.prefetch.redundant += 1,
+                PrefetchIssue::Rejected => self.stats.prefetch.rejected += 1,
+            }
+        }
+    }
+
+    /// Drains one outgoing L1 request, if any (called by the GPU's
+    /// interconnect injection loop).
+    pub fn pop_outgoing(&mut self) -> Option<OutgoingRequest> {
+        self.l1.pop_outgoing()
+    }
+
+    /// Whether the L1 has requests waiting for the interconnect.
+    pub fn has_outgoing(&self) -> bool {
+        self.l1.peek_outgoing().is_some()
+    }
+
+    /// Delivers a fill from the interconnect; wakes waiting warps and
+    /// retires finished ones.
+    pub fn deliver_fill(&mut self, line: crate::types::LineAddr, now: Cycle) {
+        let waiters = self.l1.fill(line, now);
+        for wid in waiters {
+            if let Some(slot) = self.slots.get_mut(wid.index()).and_then(|s| s.as_mut()) {
+                slot.complete_response();
+            }
+        }
+    }
+
+    /// Folds the L1's counters into this SM's [`SimStats`] (called once
+    /// at the end of simulation).
+    pub fn finalize_stats(&mut self) {
+        self.stats.l1 = self.l1.stats;
+        let pf = &mut self.stats.prefetch;
+        let l1pf = &self.l1.pf_stats;
+        pf.fills = l1pf.fills;
+        pf.useful = l1pf.useful;
+        pf.late = l1pf.late;
+        pf.evicted_unused = l1pf.evicted_unused;
+    }
+
+    /// Frees retired warps (trace exhausted, nothing outstanding).
+    /// Called each cycle by the GPU after fills are delivered.
+    pub fn retire_finished(&mut self, kernel: &KernelTrace) {
+        for slot_opt in &mut self.slots {
+            let retire = match slot_opt {
+                Some(s) => {
+                    s.next >= kernel.warps()[s.trace_idx].instrs.len()
+                        && s.pending.is_empty()
+                        && s.outstanding == 0
+                        && s.state == WarpState::Ready
+                }
+                None => false,
+            };
+            if retire {
+                *slot_opt = None;
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Simulation statistics.
+//!
+//! Every figure in the paper's evaluation is a ratio of counters
+//! collected here: reservation fails (Fig 3), interconnect utilization
+//! (Fig 4), memory-stall fraction (Fig 5), coverage/accuracy
+//! (Figs 16/17), IPC (Fig 18), energy events (Fig 19), and L1 hit
+//! rates (Fig 25).
+
+/// Outcome of a single L1 access attempt.
+///
+/// Mirrors the paper's four L1 statuses (§2 footnote): *hit*, *miss*,
+/// *reserved* (hit on a line still in flight) and *reservation fail*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// Data present in the demand (L1) partition.
+    Hit,
+    /// Data present in the prefetch partition (counts as a hit; the
+    /// line is transferred to the demand side by flipping its flag).
+    HitPrefetch,
+    /// Line already reserved by an outstanding miss; request merged
+    /// into the existing MSHR entry.
+    HitReserved,
+    /// Miss: line reserved, request sent down the hierarchy.
+    Miss,
+    /// The cache could not accept the request (MSHR full, miss queue
+    /// full, or no evictable way); the warp must retry.
+    ReservationFail,
+}
+
+impl AccessOutcome {
+    /// Whether the requesting warp obtained (or will obtain) the data
+    /// from this access, i.e. anything but a reservation fail.
+    pub fn accepted(self) -> bool {
+        !matches!(self, AccessOutcome::ReservationFail)
+    }
+}
+
+/// Why a reservation fail occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReservationFailReason {
+    /// No free MSHR entry (or merge capacity exhausted).
+    MshrFull,
+    /// The miss queue to the interconnect is full — the dominant cause
+    /// on recent GPU generations per the paper (§2).
+    MissQueueFull,
+    /// Every way in the set is reserved by in-flight misses.
+    NoEvictableWay,
+}
+
+/// Counters for one cache (L1 or prefetch partition view).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits on the demand partition.
+    pub hits: u64,
+    /// Demand hits served by prefetched data.
+    pub hits_on_prefetch: u64,
+    /// Merges into an in-flight miss (reserved hits).
+    pub hits_reserved: u64,
+    /// Demand merges into an in-flight *prefetch* (late prefetch:
+    /// covered, partially timely).
+    pub merges_with_prefetch: u64,
+    /// Demand misses that allocated a new MSHR entry.
+    pub misses: u64,
+    /// Reservation fails, by reason.
+    pub fail_mshr: u64,
+    /// Reservation fails due to a full miss queue.
+    pub fail_miss_queue: u64,
+    /// Reservation fails due to no evictable way.
+    pub fail_no_way: u64,
+    /// Lines evicted before first use (demand side).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total accesses = hits + reserved-hits + misses + fails
+    /// (the denominator of Fig 3).
+    pub fn total_accesses(&self) -> u64 {
+        self.hits
+            + self.hits_on_prefetch
+            + self.hits_reserved
+            + self.merges_with_prefetch
+            + self.misses
+            + self.reservation_fails()
+    }
+
+    /// Total reservation fails.
+    pub fn reservation_fails(&self) -> u64 {
+        self.fail_mshr + self.fail_miss_queue + self.fail_no_way
+    }
+
+    /// Fraction of accesses that were reservation fails (Fig 3).
+    pub fn reservation_fail_rate(&self) -> f64 {
+        ratio(self.reservation_fails(), self.total_accesses())
+    }
+
+    /// Hit rate over *accepted* accesses (Fig 25). Reserved hits and
+    /// prefetch merges count as misses from the warp's perspective
+    /// (it still waits), but reservation fails are excluded since the
+    /// access is retried.
+    pub fn hit_rate(&self) -> f64 {
+        let accepted =
+            self.hits + self.hits_on_prefetch + self.hits_reserved + self.merges_with_prefetch
+                + self.misses;
+        ratio(self.hits + self.hits_on_prefetch, accepted)
+    }
+
+    /// Records a reservation fail of the given kind.
+    pub fn record_fail(&mut self, reason: ReservationFailReason) {
+        match reason {
+            ReservationFailReason::MshrFull => self.fail_mshr += 1,
+            ReservationFailReason::MissQueueFull => self.fail_miss_queue += 1,
+            ReservationFailReason::NoEvictableWay => self.fail_no_way += 1,
+        }
+    }
+}
+
+/// Prefetch effectiveness counters (definitions from §4 of the paper).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch requests the prefetcher asked for.
+    pub requested: u64,
+    /// Requests actually sent down the hierarchy (not already present
+    /// or in flight, and accepted by the cache).
+    pub issued: u64,
+    /// Dropped because the line was already present or in flight.
+    pub redundant: u64,
+    /// Dropped because the cache could not accept them.
+    pub rejected: u64,
+    /// Prefetch fills that arrived in the cache.
+    pub fills: u64,
+    /// Prefetched lines referenced by a demand access after arriving
+    /// (timely useful prefetches).
+    pub useful: u64,
+    /// Demand requests that merged with an in-flight prefetch
+    /// (late but covering prefetches).
+    pub late: u64,
+    /// Prefetched lines evicted without ever being referenced
+    /// (inaccurate prefetches).
+    pub evicted_unused: u64,
+    /// Cycles the prefetcher spent throttled.
+    pub throttled_cycles: u64,
+}
+
+impl PrefetchStats {
+    /// Fraction of issued prefetches that were used (precision).
+    pub fn precision(&self) -> f64 {
+        ratio(self.useful + self.late, self.issued)
+    }
+}
+
+/// Per-SM and device-wide summary.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired (all warps).
+    pub instructions: u64,
+    /// Demand load transactions sent to L1 (coverage denominator).
+    pub demand_loads: u64,
+    /// Store transactions.
+    pub stores: u64,
+    /// Cycles in which at least one warp was resident but *no* warp
+    /// could issue because all were waiting on memory (Fig 5
+    /// numerator).
+    pub all_stall_mem_cycles: u64,
+    /// Cycles in which no warp could issue for any reason
+    /// (Fig 5 denominator: "total stalls").
+    pub all_stall_cycles: u64,
+    /// L1 counters.
+    pub l1: CacheStats,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Bytes moved L1→L2 (requests + write data).
+    pub noc_bytes_up: u64,
+    /// Bytes moved L2→L1 (fills).
+    pub noc_bytes_down: u64,
+    /// Prefetch counters.
+    pub prefetch: PrefetchStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle, across the device.
+    pub fn ipc(&self) -> f64 {
+        ratio(self.instructions, self.cycles)
+    }
+
+    /// Fraction of stall cycles attributable to memory (Fig 5).
+    pub fn memory_stall_fraction(&self) -> f64 {
+        ratio(self.all_stall_mem_cycles, self.all_stall_cycles)
+    }
+
+    /// Interconnect utilization against a peak of `peak_bytes_per_cycle`
+    /// per direction (Fig 4).
+    pub fn noc_utilization(&self, peak_bytes_per_cycle: u64) -> f64 {
+        let capacity = 2 * peak_bytes_per_cycle * self.cycles;
+        ratio(self.noc_bytes_up + self.noc_bytes_down, capacity)
+    }
+
+    /// Prefetch coverage (Fig 16): demand accesses whose data was
+    /// correctly predicted (served by prefetched data, or merged with
+    /// an in-flight prefetch) over all demand accesses.
+    pub fn coverage(&self) -> f64 {
+        ratio(
+            self.l1.hits_on_prefetch + self.l1.merges_with_prefetch,
+            self.demand_loads,
+        )
+    }
+
+    /// Timely coverage, the paper's "accuracy" (Fig 17): correctly
+    /// predicted *and in the cache by the time the demand arrived*,
+    /// over all demand accesses.
+    pub fn timely_coverage(&self) -> f64 {
+        ratio(self.l1.hits_on_prefetch, self.demand_loads)
+    }
+
+    /// Merges another SM's (or partition's) counters into this one.
+    /// `cycles` is maxed, everything else summed.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.instructions += other.instructions;
+        self.demand_loads += other.demand_loads;
+        self.stores += other.stores;
+        self.all_stall_mem_cycles += other.all_stall_mem_cycles;
+        self.all_stall_cycles += other.all_stall_cycles;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.noc_bytes_up += other.noc_bytes_up;
+        self.noc_bytes_down += other.noc_bytes_down;
+        let l = &mut self.l1;
+        let o = &other.l1;
+        l.hits += o.hits;
+        l.hits_on_prefetch += o.hits_on_prefetch;
+        l.hits_reserved += o.hits_reserved;
+        l.merges_with_prefetch += o.merges_with_prefetch;
+        l.misses += o.misses;
+        l.fail_mshr += o.fail_mshr;
+        l.fail_miss_queue += o.fail_miss_queue;
+        l.fail_no_way += o.fail_no_way;
+        l.evictions += o.evictions;
+        let p = &mut self.prefetch;
+        let q = &other.prefetch;
+        p.requested += q.requested;
+        p.issued += q.issued;
+        p.redundant += q.redundant;
+        p.rejected += q.rejected;
+        p.fills += q.fills;
+        p.useful += q.useful;
+        p.late += q.late;
+        p.evicted_unused += q.evicted_unused;
+        p.throttled_cycles += q.throttled_cycles;
+    }
+}
+
+pub(crate) fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accepted() {
+        assert!(AccessOutcome::Hit.accepted());
+        assert!(AccessOutcome::Miss.accepted());
+        assert!(AccessOutcome::HitReserved.accepted());
+        assert!(!AccessOutcome::ReservationFail.accepted());
+    }
+
+    #[test]
+    fn cache_stats_rates() {
+        let mut c = CacheStats {
+            hits: 60,
+            misses: 30,
+            ..Default::default()
+        };
+        c.record_fail(ReservationFailReason::MissQueueFull);
+        c.record_fail(ReservationFailReason::MshrFull);
+        c.record_fail(ReservationFailReason::NoEvictableWay);
+        assert_eq!(c.reservation_fails(), 3);
+        assert_eq!(c.total_accesses(), 93);
+        assert!((c.hit_rate() - 60.0 / 90.0).abs() < 1e-12);
+        assert!((c.reservation_fail_rate() - 3.0 / 93.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_definitions() {
+        let s = SimStats {
+            demand_loads: 100,
+            l1: CacheStats {
+                hits_on_prefetch: 70,
+                merges_with_prefetch: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((s.coverage() - 0.80).abs() < 1e-12);
+        assert!((s.timely_coverage() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.memory_stall_fraction(), 0.0);
+        assert_eq!(s.noc_utilization(0), 0.0);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(PrefetchStats::default().precision(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = SimStats {
+            cycles: 10,
+            instructions: 5,
+            ..Default::default()
+        };
+        let b = SimStats {
+            cycles: 20,
+            instructions: 7,
+            demand_loads: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.instructions, 12);
+        assert_eq!(a.demand_loads, 3);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn stats_types_are_serde() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<CacheStats>();
+        assert_serde::<PrefetchStats>();
+        assert_serde::<SimStats>();
+        assert_serde::<crate::config::GpuConfig>();
+        assert_serde::<crate::energy::EnergyModel>();
+    }
+
+    #[test]
+    fn noc_utilization_math() {
+        let s = SimStats {
+            cycles: 100,
+            noc_bytes_up: 500,
+            noc_bytes_down: 1500,
+            ..Default::default()
+        };
+        // peak 10 B/cy/direction -> capacity = 2*10*100 = 2000
+        assert!((s.noc_utilization(10) - 1.0).abs() < 1e-12);
+    }
+}

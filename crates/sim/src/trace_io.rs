@@ -1,0 +1,266 @@
+//! Plain-text kernel-trace serialization.
+//!
+//! The synthetic generators in `snake-workloads` stand in for the
+//! paper's Accel-Sim traces, but the simulator itself is
+//! trace-agnostic: this module defines a simple line-oriented text
+//! format so externally produced traces (e.g. converted from real
+//! Accel-Sim/NVBit output) can be replayed through the same pipeline.
+//!
+//! ## Format
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! kernel my-kernel
+//! warp 0            <- starts a warp belonging to CTA 0
+//! L 10 0x1000       <- load, pc 10, one coalesced transaction
+//! L 12 0x2000,0x80  <- divergent load, two transactions
+//! S 14 0x1000       <- store
+//! C 8               <- compute for 8 cycles
+//! warp 0
+//! ...
+//! ```
+//!
+//! Addresses accept decimal or `0x` hexadecimal. Warps appear in
+//! trace order; the n-th `warp` line defines warp *n*.
+//!
+//! ## Examples
+//!
+//! ```
+//! use snake_sim::trace_io;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "kernel demo\nwarp 0\nL 1 0x80\nC 4\nS 2 128\n";
+//! let kernel = trace_io::from_text(text)?;
+//! assert_eq!(kernel.name(), "demo");
+//! assert_eq!(kernel.total_loads(), 1);
+//! let round_trip = trace_io::from_text(&trace_io::to_text(&kernel))?;
+//! assert_eq!(kernel, round_trip);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use crate::kernel::{AddrList, Instr, KernelTrace, WarpTrace};
+use crate::types::{Address, CtaId, Pc};
+
+/// Serializes a kernel trace to the text format.
+pub fn to_text(kernel: &KernelTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("kernel {}\n", kernel.name()));
+    for warp in kernel.warps() {
+        out.push_str(&format!("warp {}\n", warp.cta.0));
+        for instr in &warp.instrs {
+            match instr {
+                Instr::Load { pc, addrs } => {
+                    out.push_str(&format!("L {} {}\n", pc.0, fmt_addrs(addrs)));
+                }
+                Instr::Store { pc, addrs } => {
+                    out.push_str(&format!("S {} {}\n", pc.0, fmt_addrs(addrs)));
+                }
+                Instr::Compute { cycles } => {
+                    out.push_str(&format!("C {cycles}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_addrs(addrs: &AddrList) -> String {
+    addrs
+        .iter()
+        .map(|a| format!("{:#x}", a.0))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a kernel trace from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the offending line for any
+/// syntax problem: unknown directives, instructions before the first
+/// `warp`, malformed numbers, or an empty trace.
+pub fn from_text(text: &str) -> Result<KernelTrace, ParseTraceError> {
+    let mut name = "trace".to_owned();
+    let mut warps: Vec<WarpTrace> = Vec::new();
+    let mut current: Option<(CtaId, Vec<Instr>)> = None;
+
+    let err = |line_no: usize, msg: &str| ParseTraceError {
+        line: line_no + 1,
+        message: msg.to_owned(),
+    };
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line");
+        match op {
+            "kernel" => {
+                name = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "kernel needs a name"))?
+                    .to_owned();
+            }
+            "warp" => {
+                let cta: u32 = parse_num(parts.next().ok_or_else(|| err(line_no, "warp needs a CTA id"))?)
+                    .ok_or_else(|| err(line_no, "bad CTA id"))?;
+                if let Some((cta, instrs)) = current.take() {
+                    warps.push(WarpTrace::new(cta, instrs));
+                }
+                current = Some((CtaId(cta), Vec::new()));
+            }
+            "L" | "S" => {
+                let (_, instrs) = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "instruction before first warp"))?;
+                let pc: u32 = parse_num(parts.next().ok_or_else(|| err(line_no, "missing pc"))?)
+                    .ok_or_else(|| err(line_no, "bad pc"))?;
+                let addr_field = parts.next().ok_or_else(|| err(line_no, "missing address"))?;
+                let addrs: Option<Vec<Address>> = addr_field
+                    .split(',')
+                    .map(|a| parse_num::<u64>(a).map(Address))
+                    .collect();
+                let addrs =
+                    AddrList::from_vec(addrs.ok_or_else(|| err(line_no, "bad address"))?);
+                instrs.push(if op == "L" {
+                    Instr::Load { pc: Pc(pc), addrs }
+                } else {
+                    Instr::Store { pc: Pc(pc), addrs }
+                });
+            }
+            "C" => {
+                let (_, instrs) = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "instruction before first warp"))?;
+                let cycles: u32 =
+                    parse_num(parts.next().ok_or_else(|| err(line_no, "missing cycle count"))?)
+                        .ok_or_else(|| err(line_no, "bad cycle count"))?;
+                instrs.push(Instr::Compute { cycles });
+            }
+            other => return Err(err(line_no, &format!("unknown directive {other:?}"))),
+        }
+        if let Some(extra) = parts.next() {
+            return Err(err(line_no, &format!("trailing token {extra:?}")));
+        }
+    }
+    if let Some((cta, instrs)) = current.take() {
+        warps.push(WarpTrace::new(cta, instrs));
+    }
+    if warps.is_empty() {
+        return Err(ParseTraceError {
+            line: 0,
+            message: "trace has no warps".to_owned(),
+        });
+    }
+    Ok(KernelTrace::new(name, warps))
+}
+
+fn parse_num<T: TryFrom<u64>>(s: &str) -> Option<T> {
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse::<u64>().ok()?
+    };
+    T::try_from(v).ok()
+}
+
+/// Error parsing a text trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid trace: {}", self.message)
+        } else {
+            write!(f, "invalid trace at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let warps = vec![
+            WarpTrace::new(
+                CtaId(0),
+                vec![
+                    Instr::load(10u32, 0x1000u64),
+                    Instr::compute(4),
+                    Instr::Load {
+                        pc: Pc(12),
+                        addrs: AddrList::from_vec(vec![Address(0x2000), Address(0x80)]),
+                    },
+                    Instr::store(14u32, 0x1000u64),
+                ],
+            ),
+            WarpTrace::new(CtaId(1), vec![Instr::load(10u32, 0x9000u64)]),
+        ];
+        let k = KernelTrace::new("rt", warps);
+        let parsed = from_text(&to_text(&k)).unwrap();
+        assert_eq!(parsed, k);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header\nkernel k # trailing\nwarp 0\n  # indented comment\nL 1 128\n";
+        let k = from_text(text).unwrap();
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.total_loads(), 1);
+    }
+
+    #[test]
+    fn decimal_and_hex_addresses_agree() {
+        let a = from_text("kernel k\nwarp 0\nL 1 128\n").unwrap();
+        let b = from_text("kernel k\nwarp 0\nL 1 0x80\n").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = from_text("kernel k\nwarp 0\nL 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+
+        let e = from_text("kernel k\nL 1 0x80\n").unwrap_err();
+        assert!(e.message.contains("before first warp"));
+
+        let e = from_text("kernel k\nwarp 0\nX 1 2\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+
+        let e = from_text("kernel k\n").unwrap_err();
+        assert_eq!(e.line, 0);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let e = from_text("kernel k\nwarp 0\nC 4 junk\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn parsed_trace_runs_in_the_simulator() {
+        let text = "kernel io\nwarp 0\nL 1 0x0\nC 2\nL 2 0x1000\nwarp 0\nL 1 0x80\n";
+        let k = from_text(text).unwrap();
+        let out = crate::gpu::run_kernel(crate::config::GpuConfig::scaled(1), k, |_| {
+            Box::new(crate::prefetch::NullPrefetcher)
+        })
+        .unwrap();
+        assert_eq!(out.stats.demand_loads, 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Backprop — Back Propagation (Rodinia \[31\]).
+//!
+//! Layered neural-network training: the forward pass streams a weight
+//! row per thread (per-warp strided) while broadcasting the shared
+//! input vector; the backward pass re-streams the weights in reverse
+//! with delta updates. Regular inter-warp strides and two-link chains
+//! (input, weight) dominate.
+
+use snake_sim::KernelTrace;
+
+use crate::pattern::{warp_grid, WarpBuilder, WorkloadSize};
+
+const INPUT: u64 = 0x5000_0000;
+const WEIGHTS: u64 = 0x5100_0000;
+const DELTA: u64 = 0x5a00_0000;
+const GRAD: u64 = 0x5b00_0000;
+
+/// Generates the Backprop kernel trace.
+pub fn trace(size: &WorkloadSize) -> KernelTrace {
+    size.assert_valid();
+    let half = u64::from(size.iters / 2).max(1);
+    let warps = warp_grid(size)
+        .map(|(cta, _w, g)| {
+            let mut b = WarpBuilder::new();
+            b.stagger(g);
+            let row = WEIGHTS + u64::from(g) * half * 128;
+            // Forward pass.
+            for i in 0..half {
+                b.load(50, INPUT + i * 128); // shared input stream
+                b.load(52, row + i * 128); // per-warp weight stream
+                b.compute(6);
+            }
+            // Backward pass (reverse weight stream + delta).
+            for i in 0..half {
+                b.load(54, DELTA + (i % 16) * 128);
+                b.load(56, row + (half - 1 - i) * 128);
+                b.compute(6);
+                b.store(58, GRAD + u64::from(g) * half * 128 + i * 128);
+            }
+            b.build(cta)
+        })
+        .collect();
+    KernelTrace::new("Backprop", warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_core::analysis::predictability;
+
+    #[test]
+    fn forward_and_backward_streams_predictable() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(p.ideal > 0.6, "backprop ideal: {}", p.ideal);
+        // Weight rows are warp-private, so the inter-thread stride
+        // differs per warp and chains alone cannot cover backprop —
+        // the fixed intra/inter-warp strides (MTA, full Snake) do.
+        assert!(p.mta > 0.4, "backprop mta: {}", p.mta);
+        assert!(p.chains <= p.mta);
+    }
+
+    #[test]
+    fn two_phases_generate_expected_loads() {
+        let size = WorkloadSize::tiny();
+        let k = trace(&size);
+        let per_warp = (size.iters / 2) * 4;
+        assert_eq!(k.total_loads(), (size.total_warps() * per_warp) as usize);
+    }
+}

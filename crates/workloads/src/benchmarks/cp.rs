@@ -1,0 +1,63 @@
+//! CP — Coulombic Potential (ISPASS \[5\]).
+//!
+//! Every thread iterates over the shared atom array computing distance
+//! terms for its own grid point. The atom array is streamed in order
+//! by *all* warps (broadcast reuse: the first warp misses, the rest
+//! hit), with a strided per-warp output write at the end of each
+//! chunk. Intra-warp strides dominate; chains add the atom-pair link.
+
+use snake_sim::KernelTrace;
+
+use crate::pattern::{warp_grid, WarpBuilder, WorkloadSize};
+
+const ATOMS: u64 = 0x2000_0000;
+const OUT: u64 = 0x2800_0000;
+/// Bytes of atom data consumed per iteration (one cache line: 8 atoms
+/// of 16 B each).
+const CHUNK: u64 = 128;
+
+/// Generates the CP kernel trace.
+pub fn trace(size: &WorkloadSize) -> KernelTrace {
+    size.assert_valid();
+    let warps = warp_grid(size)
+        .map(|(cta, _w, g)| {
+            let mut b = WarpBuilder::new();
+            b.stagger(g);
+            // Every warp (and every CTA wave) sweeps the *same* atom
+            // array: the first wave misses, later waves hit on-chip.
+            for i in 0..u64::from(size.iters) {
+                // Atom positions: two halves of the atom record
+                // stream, a fixed-offset pair (x/y/z then charge).
+                b.load(20, ATOMS + i * CHUNK);
+                b.load(22, ATOMS + 0x40_0000 + i * CHUNK);
+                b.compute(10); // distance + potential math
+            }
+            b.store(26, OUT + u64::from(g) * 4096);
+            b.build(cta)
+        })
+        .collect();
+    KernelTrace::new("CP", warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_core::analysis::predictability;
+
+    #[test]
+    fn regular_streams_are_predictable() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(p.ideal > 0.8, "CP ideal: {}", p.ideal);
+        assert!(p.chains > 0.5, "CP chains: {}", p.chains);
+    }
+
+    #[test]
+    fn atoms_are_shared_across_warps() {
+        let k = trace(&WorkloadSize::tiny());
+        // Warp 0 and warp 1 load identical atom addresses.
+        let a0 = snake_core::analysis::chains::load_sequence(&k.warps()[0]);
+        let a1 = snake_core::analysis::chains::load_sequence(&k.warps()[1]);
+        assert_eq!(a0, a1);
+    }
+}

@@ -1,0 +1,77 @@
+//! histo — Histogram (Parboil \[44\]).
+//!
+//! Streams the input image sequentially (perfectly prefetchable) and
+//! scatters increments into a bin array at data-dependent offsets.
+//! The bin region is cache-sized, so the baseline hit rate is high —
+//! but input-driven bin bursts cause the bursty-miss congestion the
+//! paper highlights for histo (§5.2: +33% with Snake).
+
+use rand::Rng;
+use snake_sim::KernelTrace;
+
+use crate::pattern::{rng, warp_grid, WarpBuilder, WorkloadSize};
+
+const INPUT: u64 = 0xa000_0000;
+const BINS: u64 = 0xa800_0000;
+/// Bin region: 32 KiB (twice the scaled L1) — mostly resident, with
+/// conflict bursts.
+const BIN_BYTES: u64 = 32 * 1024;
+/// Per-warp input span.
+const IN_SPAN: u64 = 1 << 20;
+
+/// Generates the histo kernel trace.
+pub fn trace(size: &WorkloadSize) -> KernelTrace {
+    size.assert_valid();
+    let warps = warp_grid(size)
+        .map(|(cta, _w, g)| {
+            let mut r = rng(size.seed, 1000 + u64::from(g));
+            let mut b = WarpBuilder::new();
+            b.stagger(g);
+            let input = INPUT + u64::from(g) * IN_SPAN;
+            for i in 0..u64::from(size.iters) {
+                b.load(110, input + i * 128); // sequential input
+                // Skewed bin access: hot bins mostly, occasional bursts
+                // across the whole bin array.
+                if r.gen_bool(0.15) {
+                    for _ in 0..3 {
+                        let bin = (r.gen_range(0..BIN_BYTES) / 128) * 128;
+                        b.load(112, BINS + bin);
+                        b.store(114, BINS + bin);
+                    }
+                } else {
+                    let bin = (r.gen_range(0..BIN_BYTES / 16) / 128) * 128;
+                    b.load(112, BINS + bin);
+                    b.store(114, BINS + bin);
+                    b.compute(1);
+                }
+            }
+            b.build(cta)
+        })
+        .collect();
+    KernelTrace::new("histo", warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_core::analysis::predictability;
+    use snake_sim::{run_kernel, GpuConfig, NullPrefetcher};
+
+    #[test]
+    fn input_stream_is_predictable_bins_are_not() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(p.ideal > 0.3 && p.ideal < 0.95, "histo ideal: {}", p.ideal);
+    }
+
+    #[test]
+    fn baseline_hit_rate_is_high() {
+        let k = trace(&WorkloadSize::tiny());
+        let out = run_kernel(GpuConfig::scaled(1), k, |_| Box::new(NullPrefetcher)).unwrap();
+        assert!(
+            out.stats.l1.hit_rate() > 0.25,
+            "bins mostly resident: {}",
+            out.stats.l1.hit_rate()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! lud — LU Decomposition (Rodinia \[31\]).
+//!
+//! Triangular factorization: each elimination step works on a shrinking
+//! trailing submatrix, so the *iteration-to-iteration* stride keeps
+//! changing (defeating intra-warp training), while the loads *within*
+//! one step keep fixed relative offsets (pivot row, current row,
+//! diagonal) — a chain Snake can learn even though the walk stride
+//! varies.
+
+use snake_sim::KernelTrace;
+
+use crate::pattern::{warp_grid, WarpBuilder, WorkloadSize};
+
+const MAT: u64 = 0x8000_0000;
+/// Matrix row pitch.
+const ROW: u64 = 4096;
+/// Fixed offset from a row element to the diagonal copy it reads.
+const DIAG_OFF: u64 = 256;
+
+/// Generates the lud kernel trace.
+pub fn trace(size: &WorkloadSize) -> KernelTrace {
+    size.assert_valid();
+    let n = u64::from(size.iters);
+    let warps = warp_grid(size)
+        .map(|(cta, w, g)| {
+            let mut b = WarpBuilder::new();
+            b.stagger(g);
+            let base = MAT + u64::from(cta.0) * n * ROW * 2 + u64::from(w) * 128;
+            let mut cursor = base;
+            for i in 0..n {
+                // Pivot element, row element, diagonal scale: fixed
+                // relative offsets within the step.
+                b.load(80, cursor);
+                b.load(82, cursor + ROW);
+                b.load(84, cursor + DIAG_OFF);
+                b.compute(6);
+                b.store(86, cursor + ROW);
+                // Shrinking triangular walk: the step grows with i.
+                cursor += ROW + (i % 7) * 128;
+            }
+            b.build(cta)
+        })
+        .collect();
+    KernelTrace::new("lud", warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_core::analysis::predictability;
+
+    #[test]
+    fn chains_survive_the_variable_walk() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(
+            p.chains > p.intra + 0.1,
+            "chains {} should clearly beat intra {} on lud",
+            p.chains,
+            p.intra
+        );
+    }
+
+    #[test]
+    fn variable_stride_hurts_intra() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(p.intra < 0.5, "intra on lud: {}", p.intra);
+    }
+}

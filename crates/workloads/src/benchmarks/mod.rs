@@ -1,0 +1,15 @@
+//! Per-application trace generators (Table 2). Each module documents
+//! the real application's memory structure it reproduces and why the
+//! substitution preserves the prefetcher-relevant behaviour.
+
+pub mod backprop;
+pub mod cp;
+pub mod histo;
+pub mod hotspot;
+pub mod lib_mc;
+pub mod lps;
+pub mod lud;
+pub mod mrq;
+pub mod mum;
+pub mod nw;
+pub mod srad;

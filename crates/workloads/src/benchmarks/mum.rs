@@ -1,0 +1,70 @@
+//! MUM — MUMmerGPU (ISPASS \[5\]).
+//!
+//! Suffix-tree matching: each thread chases pointers through a large
+//! tree with data-dependent branching. Addresses look random at the
+//! prefetcher, warps frequently diverge (uncoalesced node fetches),
+//! and no mechanism achieves meaningful coverage — MUM is the paper's
+//! canonical low-coverage outlier.
+
+use rand::Rng;
+use snake_sim::KernelTrace;
+
+use crate::pattern::{random_line_addr, rng, warp_grid, WarpBuilder, WorkloadSize};
+
+const TREE: u64 = 0x4000_0000;
+/// Tree size: far beyond any cache.
+const TREE_BYTES: u64 = 1 << 26;
+
+/// Generates the MUM kernel trace.
+pub fn trace(size: &WorkloadSize) -> KernelTrace {
+    size.assert_valid();
+    let warps = warp_grid(size)
+        .map(|(cta, _w, g)| {
+            let mut r = rng(size.seed, u64::from(g));
+            let mut b = WarpBuilder::new();
+            b.stagger(g);
+            for _ in 0..size.iters {
+                // A query walks 2–4 tree levels before mismatching.
+                let depth = r.gen_range(2..=4);
+                for level in 0..depth {
+                    let node = TREE + random_line_addr(&mut r, TREE_BYTES);
+                    if r.gen_bool(0.25) {
+                        // Divergent node fetch: threads hit two lines.
+                        let other = TREE + random_line_addr(&mut r, TREE_BYTES);
+                        b.divergent_load(40 + level, vec![node, other]);
+                    } else {
+                        b.load(40 + level, node);
+                    }
+                    b.compute(4);
+                }
+            }
+            b.build(cta)
+        })
+        .collect();
+    KernelTrace::new("MUM", warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_core::analysis::predictability;
+
+    #[test]
+    fn nothing_predicts_pointer_chasing() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(p.ideal < 0.35, "MUM ideal: {}", p.ideal);
+        assert!(p.chains < 0.2, "MUM chains: {}", p.chains);
+        assert!(p.mta < 0.2, "MUM mta: {}", p.mta);
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = trace(&WorkloadSize::tiny());
+        let b = trace(&WorkloadSize::tiny());
+        assert_eq!(a, b);
+        let mut other = WorkloadSize::tiny();
+        other.seed ^= 1;
+        assert_ne!(a, trace(&other));
+    }
+}

@@ -1,0 +1,74 @@
+//! Srad — Speckle Reducing Anisotropic Diffusion (Rodinia \[31\]).
+//!
+//! Image-processing stencil over an image `J` and a diffusion
+//! coefficient array `c`, with the bursty access behaviour the paper
+//! calls out (§5.2: high baseline hit rate but bursty misses causing
+//! congestion): every 16th row triggers a rapid back-to-back burst of
+//! loads with no compute gaps.
+
+use snake_sim::KernelTrace;
+
+use crate::pattern::{warp_grid, WarpBuilder, WorkloadSize};
+
+const IMAGE: u64 = 0x7000_0000;
+const COEFF: u64 = 0x7400_0000;
+/// Image row pitch.
+const ROW: u64 = 4096;
+const CTA_ROWS: u64 = 256;
+
+/// Generates the Srad kernel trace.
+pub fn trace(size: &WorkloadSize) -> KernelTrace {
+    size.assert_valid();
+    let warps = warp_grid(size)
+        .map(|(cta, w, g)| {
+            let mut b = WarpBuilder::new();
+            b.stagger(g);
+            let base = IMAGE + u64::from(cta.0) * CTA_ROWS * ROW + u64::from(w) * 128 + ROW;
+            for r in 0..u64::from(size.iters) {
+                let ind = base + r * ROW;
+                b.load(70, ind);
+                b.load(72, ind + ROW); // south neighbor
+                b.load(74, ind - IMAGE + COEFF); // c[ind]
+                if r % 16 == 15 {
+                    // Burst: prefetch-window flush of the next rows,
+                    // back-to-back with no compute in between.
+                    for k in 1..=6 {
+                        b.load(76, ind + k * ROW + 128);
+                    }
+                } else {
+                    b.compute(6);
+                }
+                b.store(78, ind - IMAGE + COEFF);
+            }
+            b.build(cta)
+        })
+        .collect();
+    KernelTrace::new("Srad", warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_core::analysis::predictability;
+
+    #[test]
+    fn stencil_plus_bursts_remains_predictable() {
+        let k = trace(&WorkloadSize::tiny());
+        let p = predictability(&k);
+        assert!(p.ideal > 0.6, "srad ideal: {}", p.ideal);
+        assert!(p.chains > 0.4, "srad chains: {}", p.chains);
+    }
+
+    #[test]
+    fn bursts_exist() {
+        let size = WorkloadSize {
+            iters: 32,
+            ..WorkloadSize::tiny()
+        };
+        let k = trace(&size);
+        // 2 bursts of 6 extra loads each in 32 iters.
+        let per_warp_regular = 32 * 3;
+        let per_warp = k.total_loads() / k.warp_count();
+        assert_eq!(per_warp, per_warp_regular + 12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # snake-workloads
+//!
+//! Synthetic trace generators standing in for the paper's benchmark
+//! suites (Rodinia \[31\], Parboil \[44\], ISPASS \[5\] — Table 2). Real
+//! CUDA binaries and Accel-Sim traces are unavailable in this
+//! reproduction, so each generator reproduces the *address structure*
+//! its application presents to a prefetcher: chain content and length,
+//! repetition counts, inter-warp/inter-CTA regularity, divergence, and
+//! burstiness. See each module under [`benchmarks`] for the per-app
+//! rationale and `DESIGN.md` for the substitution argument.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snake_workloads::{Benchmark, WorkloadSize};
+//!
+//! let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+//! assert_eq!(kernel.name(), "LPS");
+//! assert!(kernel.total_loads() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod multi;
+pub mod pattern;
+pub mod suite;
+pub mod tiled;
+
+pub use pattern::{WarpBuilder, WorkloadSize};
+pub use suite::{Benchmark, ParseBenchmarkError};

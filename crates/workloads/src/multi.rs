@@ -1,0 +1,163 @@
+//! Multi-application co-location (§1 extension).
+//!
+//! The paper notes Snake "can be extended to support multiple
+//! applications where the chains of strides are detected within each
+//! application". This module builds co-located kernels from two
+//! benchmarks so that claim can be tested:
+//!
+//! * [`colocate`] with `PcSpace::PerApp` models per-application chain
+//!   detection — each application keeps its own load-PC space, so the
+//!   Tail table never confuses their chains (the extension).
+//! * `PcSpace::Shared` models the unextended hardware — the second
+//!   application's load PCs are remapped *onto* the first's, so both
+//!   applications train the same Tail-table entries and their chains
+//!   fight each other.
+
+use std::collections::BTreeSet;
+
+use snake_sim::{AddrList, CtaId, Instr, KernelTrace, Pc, WarpTrace};
+
+/// How the co-located applications' load PCs relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcSpace {
+    /// Each application keeps distinct PCs (per-app chain detection —
+    /// the paper's proposed extension).
+    PerApp,
+    /// The second application's PCs are aliased onto the first's
+    /// (an untagged shared table — the failure mode the extension
+    /// avoids).
+    Shared,
+}
+
+/// Merges two kernels into one co-located kernel.
+///
+/// Warps are interleaved (one from each application alternately, then
+/// the remainder), the second application's CTA ids are offset past
+/// the first's, and its PCs are remapped per `pc_space`.
+pub fn colocate(a: &KernelTrace, b: &KernelTrace, pc_space: PcSpace) -> KernelTrace {
+    let a_ctas = a.cta_count() as u32;
+    let a_pcs: Vec<Pc> = distinct_pcs(a).into_iter().collect();
+    let b_pcs: Vec<Pc> = distinct_pcs(b).into_iter().collect();
+
+    // Only load PCs participate in chain detection; store PCs are
+    // simply moved out of the way in both modes.
+    let remap = |pc: Pc| -> Pc {
+        match pc_space {
+            PcSpace::PerApp => Pc(pc.0 + 1_000_000),
+            PcSpace::Shared => match b_pcs.iter().position(|p| *p == pc) {
+                // Alias b's i-th distinct load PC onto a's (i mod n)-th.
+                Some(i) if !a_pcs.is_empty() => a_pcs[i % a_pcs.len()],
+                _ => Pc(pc.0 + 1_000_000),
+            },
+        }
+    };
+
+    let b_warps: Vec<WarpTrace> = b
+        .warps()
+        .iter()
+        .map(|w| {
+            let instrs = w
+                .instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::Load { pc, addrs } => Instr::Load {
+                        pc: remap(*pc),
+                        addrs: addrs.clone(),
+                    },
+                    Instr::Store { pc, addrs } => Instr::Store {
+                        pc: remap(*pc),
+                        addrs: AddrList::from_vec(addrs.iter().collect()),
+                    },
+                    Instr::Compute { cycles } => Instr::Compute { cycles: *cycles },
+                })
+                .collect();
+            WarpTrace::new(CtaId(w.cta.0 + a_ctas), instrs)
+        })
+        .collect();
+
+    // Interleave warps so both applications are co-resident from the
+    // first CTA wave onward.
+    let mut warps = Vec::with_capacity(a.warp_count() + b_warps.len());
+    let mut ia = a.warps().iter().cloned();
+    let mut ib = b_warps.into_iter();
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => break,
+            (x, y) => {
+                warps.extend(x);
+                warps.extend(y);
+            }
+        }
+    }
+    let name = format!(
+        "{}+{}{}",
+        a.name(),
+        b.name(),
+        if pc_space == PcSpace::Shared { " (shared PCs)" } else { "" }
+    );
+    KernelTrace::new(name, warps)
+}
+
+fn distinct_pcs(k: &KernelTrace) -> BTreeSet<Pc> {
+    k.warps()
+        .iter()
+        .flat_map(|w| w.instrs.iter())
+        .filter_map(|i| match i {
+            Instr::Load { pc, .. } => Some(*pc),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::WorkloadSize;
+    use crate::suite::Benchmark;
+
+    fn pair(space: PcSpace) -> KernelTrace {
+        let s = WorkloadSize::tiny();
+        colocate(&Benchmark::Lps.build(&s), &Benchmark::Mrq.build(&s), space)
+    }
+
+    #[test]
+    fn colocation_preserves_all_work() {
+        let s = WorkloadSize::tiny();
+        let a = Benchmark::Lps.build(&s);
+        let b = Benchmark::Mrq.build(&s);
+        let m = pair(PcSpace::PerApp);
+        assert_eq!(m.warp_count(), a.warp_count() + b.warp_count());
+        assert_eq!(m.total_instrs(), a.total_instrs() + b.total_instrs());
+        assert_eq!(m.cta_count(), a.cta_count() + b.cta_count());
+    }
+
+    #[test]
+    fn per_app_pcs_stay_disjoint() {
+        let m = pair(PcSpace::PerApp);
+        let pcs = distinct_pcs(&m);
+        let low = pcs.iter().filter(|p| p.0 < 1_000_000).count();
+        let high = pcs.iter().filter(|p| p.0 >= 1_000_000).count();
+        assert!(low > 0 && high > 0, "both PC spaces present");
+    }
+
+    #[test]
+    fn shared_pcs_alias_onto_the_first_app() {
+        let s = WorkloadSize::tiny();
+        let a = Benchmark::Lps.build(&s);
+        let m = pair(PcSpace::Shared);
+        let a_pcs = distinct_pcs(&a);
+        for pc in distinct_pcs(&m) {
+            assert!(a_pcs.contains(&pc), "{pc} must come from app A's space");
+        }
+    }
+
+    #[test]
+    fn warps_are_interleaved() {
+        let m = pair(PcSpace::PerApp);
+        // First two warps come from different applications (CTA spaces).
+        let c0 = m.warps()[0].cta.0;
+        let c1 = m.warps()[1].cta.0;
+        let a_ctas = 2; // tiny() has 2 CTAs
+        assert!((c0 < a_ctas) != (c1 < a_ctas));
+    }
+}

@@ -1,0 +1,210 @@
+//! Building blocks for synthetic GPGPU traces.
+//!
+//! Each benchmark generator composes warp instruction streams from
+//! these helpers. Addresses are raw byte addresses in a flat global
+//! memory; the conventions match what the simulator and prefetchers
+//! expect (coalesced loads carry one base address per warp).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snake_sim::{AddrList, Address, CtaId, Instr, Pc, WarpTrace};
+
+/// Deterministic RNG for workload generation, seeded per (kernel,
+/// warp) so traces are reproducible.
+pub fn rng(seed: u64, stream: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Fluent builder for one warp's instruction stream.
+#[derive(Debug, Clone, Default)]
+pub struct WarpBuilder {
+    instrs: Vec<Instr>,
+}
+
+impl WarpBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        WarpBuilder { instrs: Vec::new() }
+    }
+
+    /// Appends a coalesced load.
+    pub fn load(&mut self, pc: u32, addr: u64) -> &mut Self {
+        self.instrs.push(Instr::load(pc, addr));
+        self
+    }
+
+    /// Appends a divergent load touching several lines (the generator
+    /// models an uncoalesced warp; such loads are excluded from
+    /// prefetcher training, as in §3.4).
+    pub fn divergent_load(&mut self, pc: u32, addrs: Vec<u64>) -> &mut Self {
+        self.instrs.push(Instr::Load {
+            pc: Pc(pc),
+            addrs: AddrList::from_vec(addrs.into_iter().map(Address).collect()),
+        });
+        self
+    }
+
+    /// Appends a coalesced store.
+    pub fn store(&mut self, pc: u32, addr: u64) -> &mut Self {
+        self.instrs.push(Instr::store(pc, addr));
+        self
+    }
+
+    /// Appends compute work.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.instrs.push(Instr::compute(cycles));
+        self
+    }
+
+    /// Adds a launch-skew preamble: real warps never start in perfect
+    /// lockstep (index computation, parameter setup differ per warp).
+    /// Without skew, broadcast loads executed by every warp in the
+    /// same cycle produce pathological MSHR merge storms that no real
+    /// GPU exhibits.
+    pub fn stagger(&mut self, global_warp: u32) -> &mut Self {
+        self.compute(1 + (global_warp % 16) * 13)
+    }
+
+    /// Number of instructions so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Finishes the warp.
+    pub fn build(self, cta: CtaId) -> WarpTrace {
+        WarpTrace::new(cta, self.instrs)
+    }
+}
+
+/// Size/scale knobs shared by all benchmark generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSize {
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+    /// Number of CTAs.
+    pub ctas: u32,
+    /// Main-loop iterations per warp (the scale knob).
+    pub iters: u32,
+    /// Seed for stochastic components.
+    pub seed: u64,
+}
+
+impl WorkloadSize {
+    /// Standard size used by the figure harness: 16 CTAs of 8 warps
+    /// (several waves per SM) with *shallow* per-warp loops — real
+    /// memory-bound GPGPU code replaces deep loops with parallelism
+    /// (§2), which is exactly what separates Snake's cross-warp chain
+    /// promotion from per-warp stride training.
+    pub fn standard() -> Self {
+        WorkloadSize {
+            warps_per_cta: 8,
+            ctas: 16,
+            iters: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Tiny size for unit tests (runs in milliseconds).
+    pub fn tiny() -> Self {
+        WorkloadSize {
+            warps_per_cta: 4,
+            ctas: 2,
+            iters: 12,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Total warps.
+    pub fn total_warps(&self) -> u32 {
+        self.warps_per_cta * self.ctas
+    }
+
+    /// Validates the size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn assert_valid(&self) {
+        assert!(self.warps_per_cta > 0 && self.ctas > 0 && self.iters > 0);
+    }
+}
+
+impl Default for WorkloadSize {
+    fn default() -> Self {
+        WorkloadSize::standard()
+    }
+}
+
+/// Iterates `(cta, warp-within-cta, global-warp-index)` tuples.
+pub fn warp_grid(size: &WorkloadSize) -> impl Iterator<Item = (CtaId, u32, u32)> + '_ {
+    (0..size.ctas).flat_map(move |c| {
+        (0..size.warps_per_cta).map(move |w| (CtaId(c), w, c * size.warps_per_cta + w))
+    })
+}
+
+/// Draws a pseudo-random line-aligned address below `limit`.
+pub fn random_line_addr(rng: &mut ChaCha8Rng, limit: u64) -> u64 {
+    (rng.gen_range(0..limit) / 128) * 128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_stream() {
+        let mut b = WarpBuilder::new();
+        b.load(1, 0).compute(4).store(2, 128).divergent_load(3, vec![0, 4096]);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        let w = b.build(CtaId(1));
+        assert_eq!(w.cta, CtaId(1));
+        assert_eq!(w.load_count(), 2);
+    }
+
+    #[test]
+    fn warp_grid_enumerates_all() {
+        let size = WorkloadSize {
+            warps_per_cta: 3,
+            ctas: 2,
+            iters: 1,
+            seed: 0,
+        };
+        let v: Vec<_> = warp_grid(&size).collect();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], (CtaId(0), 0, 0));
+        assert_eq!(v[5], (CtaId(1), 2, 5));
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_stream_dependent() {
+        let a: u64 = rng(1, 2).gen();
+        let b: u64 = rng(1, 2).gen();
+        let c: u64 = rng(1, 3).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_line_addr_is_aligned() {
+        let mut r = rng(9, 0);
+        for _ in 0..64 {
+            let a = random_line_addr(&mut r, 1 << 24);
+            assert_eq!(a % 128, 0);
+            assert!(a < (1 << 24));
+        }
+    }
+
+    #[test]
+    fn sizes_are_valid() {
+        WorkloadSize::standard().assert_valid();
+        WorkloadSize::tiny().assert_valid();
+        assert_eq!(WorkloadSize::standard().total_warps(), 128);
+    }
+}

@@ -1,0 +1,178 @@
+//! The benchmark suite of Table 2: the eleven memory-bound GPGPU
+//! applications from Rodinia, Parboil and ISPASS the paper evaluates.
+
+use snake_sim::KernelTrace;
+
+use crate::benchmarks;
+use crate::pattern::WorkloadSize;
+
+/// The Table 2 applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Coulombic Potential (ISPASS).
+    Cp,
+    /// 3D Laplace Solver (ISPASS).
+    Lps,
+    /// LIBOR Monte Carlo (ISPASS).
+    Lib,
+    /// MUMmerGPU (ISPASS).
+    Mum,
+    /// Back Propagation (Rodinia).
+    Backprop,
+    /// HotSpot (Rodinia).
+    Hotspot,
+    /// Speckle Reducing Anisotropic Diffusion (Rodinia).
+    Srad,
+    /// LU Decomposition (Rodinia).
+    Lud,
+    /// Needleman-Wunsch (Rodinia).
+    Nw,
+    /// Histogram (Parboil).
+    Histo,
+    /// mri-q (Parboil).
+    Mrq,
+}
+
+impl Benchmark {
+    /// All Table 2 applications, in the paper's order.
+    pub fn all() -> &'static [Benchmark] {
+        &[
+            Benchmark::Cp,
+            Benchmark::Lps,
+            Benchmark::Lib,
+            Benchmark::Mum,
+            Benchmark::Backprop,
+            Benchmark::Hotspot,
+            Benchmark::Srad,
+            Benchmark::Lud,
+            Benchmark::Nw,
+            Benchmark::Histo,
+            Benchmark::Mrq,
+        ]
+    }
+
+    /// The paper's abbreviation (Table 2).
+    pub fn abbr(self) -> &'static str {
+        match self {
+            Benchmark::Cp => "CP",
+            Benchmark::Lps => "LPS",
+            Benchmark::Lib => "LIB",
+            Benchmark::Mum => "MUM",
+            Benchmark::Backprop => "Backprop",
+            Benchmark::Hotspot => "Hotspot",
+            Benchmark::Srad => "Srad",
+            Benchmark::Lud => "lud",
+            Benchmark::Nw => "nw",
+            Benchmark::Histo => "histo",
+            Benchmark::Mrq => "MRQ",
+        }
+    }
+
+    /// Full application name (Table 2).
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Benchmark::Cp => "Coulombic Potential",
+            Benchmark::Lps => "3D Laplace Solver",
+            Benchmark::Lib => "LIBOR Monte Carlo",
+            Benchmark::Mum => "MUMmerGPU",
+            Benchmark::Backprop => "Back Propagation",
+            Benchmark::Hotspot => "HotSpot",
+            Benchmark::Srad => "Speckle Reducing Anisotropic Diffusion",
+            Benchmark::Lud => "LU Decomposition",
+            Benchmark::Nw => "Needleman-Wunsch",
+            Benchmark::Histo => "Histogram",
+            Benchmark::Mrq => "mri-q",
+        }
+    }
+
+    /// Source suite (Table 2 citation).
+    pub fn suite(self) -> &'static str {
+        match self {
+            Benchmark::Cp | Benchmark::Lps | Benchmark::Lib | Benchmark::Mum => "ISPASS",
+            Benchmark::Histo | Benchmark::Mrq => "Parboil",
+            _ => "Rodinia",
+        }
+    }
+
+    /// Builds the application's kernel trace at the given size.
+    pub fn build(self, size: &WorkloadSize) -> KernelTrace {
+        match self {
+            Benchmark::Cp => benchmarks::cp::trace(size),
+            Benchmark::Lps => benchmarks::lps::trace(size),
+            Benchmark::Lib => benchmarks::lib_mc::trace(size),
+            Benchmark::Mum => benchmarks::mum::trace(size),
+            Benchmark::Backprop => benchmarks::backprop::trace(size),
+            Benchmark::Hotspot => benchmarks::hotspot::trace(size),
+            Benchmark::Srad => benchmarks::srad::trace(size),
+            Benchmark::Lud => benchmarks::lud::trace(size),
+            Benchmark::Nw => benchmarks::nw::trace(size),
+            Benchmark::Histo => benchmarks::histo::trace(size),
+            Benchmark::Mrq => benchmarks::mrq::trace(size),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbr())
+    }
+}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::all()
+            .iter()
+            .copied()
+            .find(|b| b.abbr().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseBenchmarkError(s.to_owned()))
+    }
+}
+
+/// Error parsing a benchmark abbreviation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(String);
+
+impl std::fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_benchmarks_as_in_table2() {
+        assert_eq!(Benchmark::all().len(), 11);
+    }
+
+    #[test]
+    fn every_benchmark_builds_a_nonempty_trace() {
+        let size = WorkloadSize::tiny();
+        for &b in Benchmark::all() {
+            let k = b.build(&size);
+            assert!(k.total_loads() > 0, "{b} has loads");
+            assert_eq!(k.warp_count(), size.total_warps() as usize, "{b}");
+            assert_eq!(k.name(), b.abbr(), "{b} names its kernel");
+        }
+    }
+
+    #[test]
+    fn abbreviations_parse_case_insensitively() {
+        assert_eq!("lps".parse::<Benchmark>().unwrap(), Benchmark::Lps);
+        assert_eq!("HISTO".parse::<Benchmark>().unwrap(), Benchmark::Histo);
+        assert!("nope".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn suites_match_table2() {
+        assert_eq!(Benchmark::Lps.suite(), "ISPASS");
+        assert_eq!(Benchmark::Hotspot.suite(), "Rodinia");
+        assert_eq!(Benchmark::Mrq.suite(), "Parboil");
+    }
+}

@@ -1,0 +1,110 @@
+//! Tiled convolution-as-matrix-multiply workload for the §5.6 tiling
+//! sensitivity study (Fig 24).
+//!
+//! The generator models a tiled GEMM-style kernel: each tile of the
+//! input is loaded cooperatively by the CTA's warps, reused for
+//! several passes (the data reuse tiling exists to create), and then
+//! the kernel advances to the next tile at a fixed stride — the
+//! tile-boundary jump Snake's chains detect (§3.5). `tile_bytes = 0`
+//! produces the untiled version (no reuse passes, column-major B walk
+//! with no locality).
+
+use snake_sim::KernelTrace;
+
+use crate::pattern::{warp_grid, WarpBuilder, WorkloadSize};
+
+const A_BASE: u64 = 0xc000_0000;
+const B_BASE: u64 = 0xc800_0000;
+const C_BASE: u64 = 0xd000_0000;
+/// Column pitch of the untiled B walk.
+const B_COL_PITCH: u64 = 64 * 1024;
+/// Reuse passes over each tile.
+const REUSE: u64 = 3;
+
+/// Generates the tiled (or untiled, when `tile_bytes == 0`) kernel.
+///
+/// `size.iters` scales the total amount of data processed; the tile
+/// count adapts so total traffic is comparable across tile sizes.
+pub fn trace(size: &WorkloadSize, tile_bytes: u64) -> KernelTrace {
+    size.assert_valid();
+    assert_eq!(tile_bytes % 128, 0, "tiles are whole lines");
+    let warps_per_cta = u64::from(size.warps_per_cta);
+    let total_lines = u64::from(size.iters) * warps_per_cta;
+
+    let warps = warp_grid(size)
+        .map(|(cta, w, g)| {
+            let mut b = WarpBuilder::new();
+            let cta_off = u64::from(cta.0) * (total_lines + 1) * 256;
+            if tile_bytes == 0 {
+                // Untiled: stream A, walk B column-major, no reuse.
+                for i in 0..u64::from(size.iters) {
+                    b.load(130, A_BASE + cta_off + (u64::from(g) + i * warps_per_cta) * 128);
+                    b.load(132, B_BASE + cta_off + u64::from(w) * 128 + i * B_COL_PITCH);
+                    b.compute(2);
+                    if i % 8 == 7 {
+                        b.store(134, C_BASE + cta_off + u64::from(g) * 4096 + (i / 8) * 128);
+                    }
+                }
+            } else {
+                let lines_per_tile = tile_bytes / 128;
+                let lines_per_warp = (lines_per_tile / warps_per_cta).max(1);
+                let tiles = (total_lines / lines_per_tile).max(1);
+                for t in 0..tiles {
+                    let tile_base = A_BASE + cta_off + t * tile_bytes;
+                    for pass in 0..REUSE {
+                        for k in 0..lines_per_warp {
+                            // Warp-interleaved cooperative tile load.
+                            let line = u64::from(w) + k * warps_per_cta;
+                            b.load(130, tile_base + line * 128);
+                            b.compute(if pass == 0 { 1 } else { 3 });
+                        }
+                    }
+                    b.store(134, C_BASE + cta_off + u64::from(g) * 4096 + t * 128);
+                }
+            }
+            b.build(cta)
+        })
+        .collect();
+    let name = if tile_bytes == 0 {
+        "conv-untiled".to_owned()
+    } else {
+        format!("conv-tiled-{}k", tile_bytes / 1024)
+    };
+    KernelTrace::new(name, warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_sim::{run_kernel, GpuConfig, NullPrefetcher};
+
+    #[test]
+    fn tiled_reuses_cache_untiled_does_not() {
+        let size = WorkloadSize::tiny();
+        let cfg = GpuConfig::scaled(1);
+        let tile = u64::from(cfg.l1.capacity_bytes) / 2;
+        let tiled = run_kernel(cfg.clone(), trace(&size, tile), |_| Box::new(NullPrefetcher))
+            .unwrap();
+        let untiled =
+            run_kernel(cfg, trace(&size, 0), |_| Box::new(NullPrefetcher)).unwrap();
+        assert!(
+            tiled.stats.l1.hit_rate() > untiled.stats.l1.hit_rate() + 0.2,
+            "tiled {} vs untiled {}",
+            tiled.stats.l1.hit_rate(),
+            untiled.stats.l1.hit_rate()
+        );
+    }
+
+    #[test]
+    fn tile_sizes_name_the_kernel() {
+        let size = WorkloadSize::tiny();
+        assert_eq!(trace(&size, 0).name(), "conv-untiled");
+        assert_eq!(trace(&size, 8192).name(), "conv-tiled-8k");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole lines")]
+    fn unaligned_tile_rejected() {
+        let _ = trace(&WorkloadSize::tiny(), 100);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests over the benchmark generators: every
+//! application must produce well-formed, deterministic traces at any
+//! (small) size, with the structural properties the simulator relies
+//! on.
+
+use proptest::prelude::*;
+use snake_sim::Instr;
+use snake_workloads::{Benchmark, WorkloadSize};
+
+fn size() -> impl Strategy<Value = WorkloadSize> {
+    (1u32..4, 1u32..4, 2u32..24, 0u64..4).prop_map(|(warps_per_cta, ctas, iters, seed)| {
+        WorkloadSize {
+            warps_per_cta,
+            ctas,
+            iters,
+            seed,
+        }
+    })
+}
+
+fn benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traces_are_well_formed(b in benchmark(), s in size()) {
+        let k = b.build(&s);
+        prop_assert_eq!(k.warp_count(), s.total_warps() as usize);
+        prop_assert_eq!(k.cta_count(), s.ctas as usize);
+        prop_assert!(k.total_loads() > 0, "{} must load", b);
+        // Every warp belongs to a CTA in range, loads have addresses,
+        // compute instructions have non-zero-representable cycles.
+        for w in k.warps() {
+            prop_assert!(w.cta.0 < s.ctas);
+            for i in &w.instrs {
+                if let Instr::Load { addrs, .. } = i {
+                    prop_assert!(!addrs.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic(b in benchmark(), s in size()) {
+        prop_assert_eq!(b.build(&s), b.build(&s));
+    }
+
+    #[test]
+    fn warps_within_a_benchmark_have_comparable_length(b in benchmark(), s in size()) {
+        let k = b.build(&s);
+        let lens: Vec<usize> = k.warps().iter().map(|w| w.instrs.len()).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        // Warps are SPMD: no warp does more than ~3x another's work
+        // (MUM's random walk varies, others are near-uniform).
+        prop_assert!(max <= 3 * min.max(1), "{}: min {min} max {max}", b);
+    }
+
+    #[test]
+    fn representative_warp_has_the_most_loads(b in benchmark(), s in size()) {
+        let k = b.build(&s);
+        let (_, rep) = k.representative_warp();
+        let best = k.warps().iter().map(|w| w.load_count()).max().unwrap();
+        prop_assert_eq!(rep.load_count(), best);
+    }
+
+    #[test]
+    fn tiled_traffic_scales_with_size(s in size(), frac in 1u32..5) {
+        let tile = u64::from(frac) * 2048;
+        let k = snake_workloads::tiled::trace(&s, tile);
+        prop_assert!(k.total_loads() > 0);
+        prop_assert_eq!(k.warp_count(), s.total_warps() as usize);
+        let untiled = snake_workloads::tiled::trace(&s, 0);
+        prop_assert!(untiled.total_loads() > 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Run every mechanism of the paper's Fig 16/18 on one application and
+//! print coverage, accuracy, hit rate, and speedup side by side.
+//!
+//! ```text
+//! cargo run --release --example compare_prefetchers [APP]
+//! ```
+
+use snake_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Benchmark::Hotspot);
+    let size = WorkloadSize::standard();
+    let cfg = GpuConfig::scaled(2);
+    let warps = cfg.max_warps_per_sm;
+
+    println!("application: {}\n", app.full_name());
+    println!(
+        "{:<15} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "mechanism", "coverage", "accuracy", "hit rate", "IPC", "speedup"
+    );
+
+    let mut baseline_ipc = None;
+    for &kind in PrefetcherKind::all() {
+        let out = run_kernel(cfg.clone(), app.build(&size), |_| kind.build(warps))?;
+        let s = &out.stats;
+        let ipc = s.ipc();
+        let base = *baseline_ipc.get_or_insert(ipc);
+        println!(
+            "{:<15} {:>8.1}% {:>8.1}% {:>8.1}% {:>9.3} {:>8.3}x",
+            kind.name(),
+            s.coverage() * 100.0,
+            s.timely_coverage() * 100.0,
+            s.l1.hit_rate() * 100.0,
+            ipc,
+            ipc / base
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run one benchmark with and without Snake and print the
+//! headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [APP]
+//! ```
+
+use snake_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Benchmark::Lps);
+    let size = WorkloadSize::standard();
+    let cfg = GpuConfig::scaled(2);
+    let warps = cfg.max_warps_per_sm;
+
+    println!("app: {} ({}, {})", app.abbr(), app.full_name(), app.suite());
+    let kernel = app.build(&size);
+    println!(
+        "trace: {} warps, {} CTAs, {} instructions ({} loads)",
+        kernel.warp_count(),
+        kernel.cta_count(),
+        kernel.total_instrs(),
+        kernel.total_loads()
+    );
+
+    let base = run_kernel(cfg.clone(), app.build(&size), |_| Box::new(NullPrefetcher))?;
+    let snake = run_kernel(cfg, app.build(&size), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })?;
+
+    let b = &base.stats;
+    let s = &snake.stats;
+    println!("\n             baseline      snake");
+    println!("cycles       {:>8}   {:>8}", b.cycles, s.cycles);
+    println!("IPC          {:>8.3}   {:>8.3}", b.ipc(), s.ipc());
+    println!(
+        "L1 hit rate  {:>7.1}%   {:>7.1}%",
+        b.l1.hit_rate() * 100.0,
+        s.l1.hit_rate() * 100.0
+    );
+    println!(
+        "coverage     {:>7.1}%   {:>7.1}%",
+        b.coverage() * 100.0,
+        s.coverage() * 100.0
+    );
+    println!(
+        "accuracy     {:>7.1}%   {:>7.1}%",
+        b.timely_coverage() * 100.0,
+        s.timely_coverage() * 100.0
+    );
+    println!("\nspeedup: {:.3}x", s.ipc() / b.ipc());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # snake-repro
+//!
+//! Umbrella crate for the reproduction of *Snake: A Variable-length
+//! Chain-based Prefetching for GPUs* (MICRO '23). It re-exports the
+//! three library crates so examples and integration tests can use one
+//! coherent namespace:
+//!
+//! * [`sim`] — the cycle-driven GPU simulator substrate.
+//! * [`core`] — the Snake prefetcher, all baselines, trace analyses.
+//! * [`workloads`] — the Table 2 benchmark trace generators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory; the `repro` binary in `snake-bench` regenerates every
+//! table and figure.
+//!
+//! ```
+//! use snake_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+//! let out = run_kernel(GpuConfig::scaled(1), kernel, |_| {
+//!     PrefetcherKind::Snake.build(16)
+//! })?;
+//! assert!(out.stats.prefetch.issued > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use snake_core as core;
+pub use snake_sim as sim;
+pub use snake_workloads as workloads;
+
+/// Common imports for examples and tests.
+pub mod prelude {
+    pub use snake_core::snake::{Snake, SnakeConfig};
+    pub use snake_core::{MechanismReport, PrefetcherKind};
+    pub use snake_sim::{
+        run_kernel, EnergyModel, Gpu, GpuConfig, Instr, KernelTrace, NullPrefetcher, Prefetcher,
+        SimOutcome, WarpTrace,
+    };
+    pub use snake_workloads::{Benchmark, WorkloadSize};
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: workloads → simulator → prefetchers
+//! → metrics, exercising the full reproduction pipeline.
+
+use snake_repro::prelude::*;
+use snake_repro::sim::StopReason;
+
+fn small() -> WorkloadSize {
+    WorkloadSize {
+        warps_per_cta: 4,
+        ctas: 4,
+        iters: 24,
+        seed: 0xC0FFEE,
+    }
+}
+
+fn run(app: Benchmark, kind: PrefetcherKind) -> SimOutcome {
+    let cfg = GpuConfig::scaled(1);
+    let warps = cfg.max_warps_per_sm;
+    run_kernel(cfg, app.build(&small()), |_| kind.build(warps)).expect("valid config")
+}
+
+#[test]
+fn every_app_completes_under_baseline_and_snake() {
+    for &app in Benchmark::all() {
+        for kind in [PrefetcherKind::Baseline, PrefetcherKind::Snake] {
+            let out = run(app, kind);
+            assert_eq!(out.stop, StopReason::Completed, "{app}/{kind}");
+            assert!(out.stats.instructions > 0, "{app}/{kind}");
+        }
+    }
+}
+
+#[test]
+fn every_mechanism_completes_on_a_chain_app() {
+    for &kind in PrefetcherKind::all() {
+        let out = run(Benchmark::Lps, kind);
+        assert_eq!(out.stop, StopReason::Completed, "{kind}");
+    }
+    let out = run(Benchmark::Lps, PrefetcherKind::IsolatedSnake);
+    assert_eq!(out.stop, StopReason::Completed);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for kind in [PrefetcherKind::Baseline, PrefetcherKind::Snake] {
+        let a = run(Benchmark::Srad, kind);
+        let b = run(Benchmark::Srad, kind);
+        assert_eq!(a.stats, b.stats, "{kind} must be deterministic");
+    }
+}
+
+#[test]
+fn snake_improves_chain_heavy_apps() {
+    // (Hotspot needs the standard scale for training to amortize;
+    // the figure harness covers it.)
+    for app in [Benchmark::Lps, Benchmark::Mrq, Benchmark::Cp] {
+        let base = run(app, PrefetcherKind::Baseline);
+        let snake = run(app, PrefetcherKind::Snake);
+        let speedup = snake.stats.ipc() / base.stats.ipc();
+        assert!(speedup > 1.05, "{app}: speedup {speedup:.3}");
+        assert!(snake.stats.coverage() > 0.4, "{app}: coverage {}", snake.stats.coverage());
+    }
+}
+
+#[test]
+fn no_mechanism_helps_pointer_chasing() {
+    let base = run(Benchmark::Mum, PrefetcherKind::Baseline);
+    for kind in [PrefetcherKind::Snake, PrefetcherKind::Mta, PrefetcherKind::Cta] {
+        let out = run(Benchmark::Mum, kind);
+        let speedup = out.stats.ipc() / base.stats.ipc();
+        assert!(
+            (0.9..1.1).contains(&speedup),
+            "{kind} on MUM: {speedup:.3}"
+        );
+        assert!(out.stats.coverage() < 0.1, "{kind} MUM coverage");
+    }
+}
+
+#[test]
+fn prefetch_accounting_identities_hold() {
+    for &app in Benchmark::all() {
+        let out = run(app, PrefetcherKind::Snake);
+        assert_eq!(out.stop, StopReason::Completed);
+        let s = &out.stats;
+        let p = &s.prefetch;
+        // Every demand transaction is classified exactly once.
+        let classified = s.l1.hits
+            + s.l1.hits_on_prefetch
+            + s.l1.hits_reserved
+            + s.l1.merges_with_prefetch
+            + s.l1.misses;
+        assert_eq!(classified, s.demand_loads, "{app}: demand classification");
+        // Every issued prefetch either filled as a pure prefetch or was
+        // converted by a merging demand (counted late exactly once).
+        assert_eq!(p.issued, p.fills + p.late, "{app}: prefetch fate");
+        // Funnel ordering.
+        assert!(p.useful <= p.fills, "{app}");
+        assert!(p.issued + p.redundant + p.rejected == p.requested || p.requested == 0, "{app}");
+        // Rates are probabilities.
+        for v in [
+            s.coverage(),
+            s.timely_coverage(),
+            s.l1.hit_rate(),
+            s.l1.reservation_fail_rate(),
+            s.memory_stall_fraction(),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{app}: {v}");
+        }
+        assert!(s.timely_coverage() <= s.coverage() + 1e-12, "{app}");
+    }
+}
+
+#[test]
+fn energy_tracks_runtime_for_winning_apps() {
+    let cfg = GpuConfig::scaled(1);
+    let em = EnergyModel::volta_like();
+    let base = run(Benchmark::Lps, PrefetcherKind::Baseline);
+    let snake = run(Benchmark::Lps, PrefetcherKind::Snake);
+    let be = em.evaluate(&base.stats, &cfg, false).total_j();
+    let se = em.evaluate(&snake.stats, &cfg, true).total_j();
+    assert!(se < be, "snake energy {se} < baseline {be}");
+}
+
+#[test]
+fn analysis_and_timing_agree_on_predictability_ordering() {
+    // Apps the trace analysis calls highly chain-predictable should
+    // show high Snake coverage in the timing simulation, and vice
+    // versa for MUM.
+    let lps = snake_repro::core::analysis::predictability(&Benchmark::Lps.build(&small()));
+    let mum = snake_repro::core::analysis::predictability(&Benchmark::Mum.build(&small()));
+    assert!(lps.chains > 0.6);
+    assert!(mum.chains < 0.1);
+    let lps_cov = run(Benchmark::Lps, PrefetcherKind::Snake).stats.coverage();
+    let mum_cov = run(Benchmark::Mum, PrefetcherKind::Snake).stats.coverage();
+    assert!(lps_cov > mum_cov + 0.3);
+}
+
+#[test]
+fn isolated_snake_does_not_pollute_the_l1() {
+    // Isolated placement serves prefetch hits from a side buffer; the
+    // L1 keeps at least the baseline's demand hit behaviour.
+    let out = run(Benchmark::Cp, PrefetcherKind::IsolatedSnake);
+    assert_eq!(out.stop, StopReason::Completed);
+    assert!(out.stats.l1.hit_rate() > 0.0);
+}
+
+#[test]
+fn volta_config_also_runs() {
+    // The full-scale Table 1 configuration is heavy; a tiny kernel
+    // suffices to validate it end to end.
+    let mut cfg = GpuConfig::volta_v100();
+    cfg.num_sms = 4; // keep the test fast
+    let size = WorkloadSize::tiny();
+    let warps = cfg.max_warps_per_sm;
+    let out = run_kernel(cfg, Benchmark::Lps.build(&size), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .expect("volta config valid");
+    assert_eq!(out.stop, StopReason::Completed);
+}
