@@ -58,5 +58,10 @@ fn bench_prefetch_issue(c: &mut Criterion) {
     });
 }
 
-criterion_group!(cache, bench_demand_hit, bench_miss_fill_cycle, bench_prefetch_issue);
+criterion_group!(
+    cache,
+    bench_demand_hit,
+    bench_miss_fill_cycle,
+    bench_prefetch_issue
+);
 criterion_main!(cache);

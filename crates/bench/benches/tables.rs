@@ -44,8 +44,7 @@ fn bench_tail_generate(c: &mut Criterion) {
             let base = 1_000_000 * u64::from(w);
             for i in 0..8u64 {
                 for (pc, off) in [(10u32, 0u64), (20, 400), (30, 1000), (40, 1800)] {
-                    if let Some(t) =
-                        head.update(WarpId(w), Pc(pc), Address(base + i * 4096 + off))
+                    if let Some(t) = head.update(WarpId(w), Pc(pc), Address(base + i * 4096 + off))
                     {
                         tail.observe(&t);
                     }
@@ -71,5 +70,10 @@ fn bench_tail_generate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(tables, bench_head_update, bench_tail_observe, bench_tail_generate);
+criterion_group!(
+    tables,
+    bench_head_update,
+    bench_tail_observe,
+    bench_tail_generate
+);
 criterion_main!(tables);

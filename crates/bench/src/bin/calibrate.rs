@@ -18,8 +18,8 @@ fn main() {
     let mut t = Table::new(
         "Calibration — baseline symptoms & Snake headline",
         [
-            "app", "rfail", "noc", "memstall", "hit", "ipc", "s.cov", "s.acc", "s.prec",
-            "s.hit", "speedup", "energy",
+            "app", "rfail", "noc", "memstall", "hit", "ipc", "s.cov", "s.acc", "s.prec", "s.hit",
+            "speedup", "energy",
         ]
         .iter()
         .map(|s| s.to_string())

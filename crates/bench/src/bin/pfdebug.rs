@@ -1,26 +1,69 @@
 //! Prefetch-funnel diagnostics for one benchmark/mechanism pair.
 
+use snake_bench::cli::{self, CliError};
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
 use snake_sim::Gpu;
 use snake_workloads::Benchmark;
 
+fn usage() -> String {
+    let benches: Vec<&str> = Benchmark::all().iter().map(|b| b.abbr()).collect();
+    format!(
+        "usage: pfdebug [BENCH] [MECHANISM]\n  BENCH: {} (default lps)\n  MECHANISM: a PrefetcherKind name, e.g. baseline, snake (default snake)",
+        benches.join(" ")
+    )
+}
+
 fn main() {
+    if let Err(e) = run() {
+        cli::fail("pfdebug", &e, &usage());
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().collect();
-    let bench: Benchmark = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(Benchmark::Lps);
-    let kind: PrefetcherKind = args
-        .get(2)
-        .map(|s| s.parse().unwrap())
-        .unwrap_or(PrefetcherKind::Snake);
+    if args.len() > 3 {
+        return Err(CliError::Usage(format!(
+            "expected at most 2 arguments, got {}",
+            args.len() - 1
+        )));
+    }
+    let bench: Benchmark = match args.get(1) {
+        Some(s) => {
+            s.parse().map_err(
+                |e: <Benchmark as std::str::FromStr>::Err| CliError::BadArg {
+                    what: "benchmark",
+                    why: e.to_string(),
+                },
+            )?
+        }
+        None => Benchmark::Lps,
+    };
+    let kind: PrefetcherKind = match args.get(2) {
+        Some(s) => {
+            s.parse().map_err(
+                |e: <PrefetcherKind as std::str::FromStr>::Err| CliError::BadArg {
+                    what: "mechanism",
+                    why: e.to_string(),
+                },
+            )?
+        }
+        None => PrefetcherKind::Snake,
+    };
     let h = Harness::standard();
     let kernel = bench.build(&h.size);
     let warps = h.cfg.max_warps_per_sm;
-    let mut gpu = Gpu::new(h.cfg.clone(), kernel, |_| kind.build(warps)).unwrap();
+    let mut gpu = Gpu::new(h.cfg.clone(), kernel, |_| kind.build(warps))?;
     let out = gpu.run();
     let s = &out.stats;
     let p = &s.prefetch;
     println!("bench={bench} kind={} stop={:?}", kind.name(), out.stop);
-    println!("cycles={} instr={} ipc={:.3}", s.cycles, s.instructions, s.ipc());
+    println!(
+        "cycles={} instr={} ipc={:.3}",
+        s.cycles,
+        s.instructions,
+        s.ipc()
+    );
     println!(
         "demand={} hits={} hits_pf={} reserved={} merge_pf={} miss={} rfail={}",
         s.demand_loads,
@@ -44,4 +87,5 @@ fn main() {
         s.l1.hit_rate(),
         s.noc_utilization(u64::from(h.cfg.noc_bytes_per_cycle))
     );
+    Ok(())
 }

@@ -10,6 +10,7 @@
 
 use std::io::Write;
 
+use snake_bench::cli::{self, CliError};
 use snake_bench::figures::{self, EvalMatrix};
 use snake_bench::report::Table;
 use snake_bench::Harness;
@@ -21,13 +22,21 @@ const EXPERIMENTS: &[&str] = &[
     "xhead", "xsched", "xmulti",
 ];
 
-fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--markdown] [--out FILE] (--list | --all | <experiment>...)");
-    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
-    std::process::exit(2);
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--markdown] [--out FILE] (--list | --all | <experiment>...)\nexperiments: {}",
+        EXPERIMENTS.join(" ")
+    )
 }
 
 fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => cli::fail("repro", &e, &usage()),
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let mut quick = false;
     let mut markdown = false;
     let mut all = false;
@@ -41,9 +50,19 @@ fn main() {
             "--markdown" => markdown = true,
             "--all" => all = true,
             "--list" => list = true,
-            "--out" => out_file = Some(args.next().unwrap_or_else(|| usage())),
-            "--help" | "-h" => usage(),
-            other if other.starts_with('-') => usage(),
+            "--out" => {
+                out_file = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a file operand".into()))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag: {other}")));
+            }
             other => wanted.push(other.to_string()),
         }
     }
@@ -51,23 +70,31 @@ fn main() {
         for e in EXPERIMENTS {
             println!("{e}");
         }
-        return;
+        return Ok(());
     }
     if !all && wanted.is_empty() {
-        usage();
+        return Err(CliError::Usage(
+            "nothing to do: pass --all, --list, or experiment ids".into(),
+        ));
     }
     for w in &wanted {
         if !EXPERIMENTS.contains(&w.as_str()) {
-            eprintln!("unknown experiment: {w}");
-            usage();
+            return Err(CliError::BadArg {
+                what: "experiment",
+                why: format!("unknown experiment: {w}"),
+            });
         }
     }
 
-    let h = if quick { Harness::quick() } else { Harness::standard() };
+    let h = if quick {
+        Harness::quick()
+    } else {
+        Harness::standard()
+    };
     let tables = if all {
         figures::all(&h)
     } else {
-        run_selected(&h, &wanted)
+        run_selected(&h, &wanted)?
     };
 
     let mut rendered = String::new();
@@ -82,15 +109,17 @@ fn main() {
     }
     match out_file {
         Some(path) => {
-            let mut f = std::fs::File::create(&path).expect("create output file");
-            f.write_all(rendered.as_bytes()).expect("write output");
+            let mut f = std::fs::File::create(&path).map_err(|e| CliError::io(&path, e))?;
+            f.write_all(rendered.as_bytes())
+                .map_err(|e| CliError::io(&path, e))?;
             eprintln!("wrote {path}");
         }
         None => print!("{rendered}"),
     }
+    Ok(())
 }
 
-fn run_selected(h: &Harness, wanted: &[String]) -> Vec<Table> {
+fn run_selected(h: &Harness, wanted: &[String]) -> Result<Vec<Table>, CliError> {
     // The timing matrix is only collected if a figure needs it.
     let needs_matrix = wanted.iter().any(|w| {
         matches!(
@@ -103,34 +132,44 @@ fn run_selected(h: &Harness, wanted: &[String]) -> Vec<Table> {
         kinds.push(PrefetcherKind::IsolatedSnake);
         EvalMatrix::collect(h, &kinds)
     });
-    let m = matrix.as_ref();
+    // `needs_matrix` lists exactly the figures that take the matrix, so
+    // a miss here is a bug in this binary, not in the invocation.
+    let need = |id: &str| -> Result<&EvalMatrix, CliError> {
+        matrix.as_ref().ok_or_else(|| {
+            CliError::Internal(format!(
+                "{id} needs the timing matrix but it was not collected"
+            ))
+        })
+    };
     wanted
         .iter()
-        .map(|w| match w.as_str() {
-            "table1" => figures::table1_config(h),
-            "table2" => figures::table2_benchmarks(),
-            "table3" => figures::table3_cost(),
-            "fig03" => figures::fig03_reservation_fails(m.expect("matrix")),
-            "fig04" => figures::fig04_noc_utilization(m.expect("matrix")),
-            "fig05" => figures::fig05_memory_stalls(m.expect("matrix")),
-            "fig06" => figures::fig06_coverage_vs_ideal(h),
-            "fig09" => figures::fig09_chain_pcs(h),
-            "fig10" => figures::fig10_chain_repetition(h),
-            "fig11" => figures::fig11_chain_vs_mta(h),
-            "fig16" => figures::fig16_coverage(m.expect("matrix")),
-            "fig17" => figures::fig17_accuracy(m.expect("matrix")),
-            "fig18" => figures::fig18_performance(m.expect("matrix")),
-            "fig19" => figures::fig19_energy(m.expect("matrix")),
-            "fig20" => figures::fig20_tail_entries(h),
-            "fig21" => figures::fig21_hw_cost(),
-            "fig22" => figures::fig22_eviction_policy(h),
-            "fig23" => figures::fig23_throttling(h),
-            "fig24" => figures::fig24_tiling(h),
-            "fig25" => figures::fig25_hit_rate(m.expect("matrix")),
-            "xhead" => figures::extra_head_layout(h),
-            "xsched" => figures::extra_scheduler(h),
-            "xmulti" => figures::extra_multi_app(h),
-            _ => unreachable!("validated above"),
+        .map(|w| {
+            Ok(match w.as_str() {
+                "table1" => figures::table1_config(h),
+                "table2" => figures::table2_benchmarks(),
+                "table3" => figures::table3_cost(),
+                "fig03" => figures::fig03_reservation_fails(need("fig03")?),
+                "fig04" => figures::fig04_noc_utilization(need("fig04")?),
+                "fig05" => figures::fig05_memory_stalls(need("fig05")?),
+                "fig06" => figures::fig06_coverage_vs_ideal(h),
+                "fig09" => figures::fig09_chain_pcs(h),
+                "fig10" => figures::fig10_chain_repetition(h),
+                "fig11" => figures::fig11_chain_vs_mta(h),
+                "fig16" => figures::fig16_coverage(need("fig16")?),
+                "fig17" => figures::fig17_accuracy(need("fig17")?),
+                "fig18" => figures::fig18_performance(need("fig18")?),
+                "fig19" => figures::fig19_energy(need("fig19")?),
+                "fig20" => figures::fig20_tail_entries(h),
+                "fig21" => figures::fig21_hw_cost(),
+                "fig22" => figures::fig22_eviction_policy(h),
+                "fig23" => figures::fig23_throttling(h),
+                "fig24" => figures::fig24_tiling(h),
+                "fig25" => figures::fig25_hit_rate(need("fig25")?),
+                "xhead" => figures::extra_head_layout(h),
+                "xsched" => figures::extra_scheduler(h),
+                "xmulti" => figures::extra_multi_app(h),
+                _ => unreachable!("validated above"),
+            })
         })
         .collect()
 }

@@ -1,0 +1,104 @@
+//! Shared command-line error handling for the bench binaries.
+//!
+//! Every binary funnels fatal conditions through [`CliError`] so a bad
+//! argument, a rejected configuration, or an unwritable output file
+//! produces a one-line diagnostic plus the usage string and a nonzero
+//! exit code — never a panic backtrace.
+
+/// A fatal error in a bench binary.
+#[derive(Debug)]
+pub enum CliError {
+    /// A positional argument or flag operand failed to parse.
+    BadArg {
+        /// What the argument selects ("benchmark", "mechanism", ...).
+        what: &'static str,
+        /// The parse failure, including the offending value.
+        why: String,
+    },
+    /// The simulator rejected the configuration.
+    Config(snake_sim::ConfigError),
+    /// Reading or writing a file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The command line itself is malformed (missing operand, unknown
+    /// flag, no experiments selected...).
+    Usage(String),
+    /// An internal precondition failed; indicates a bug in the binary,
+    /// not in the invocation.
+    Internal(String),
+}
+
+impl CliError {
+    /// Convenience constructor for file I/O failures.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::BadArg { what, why } => write!(f, "bad {what}: {why}"),
+            CliError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Config(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<snake_sim::ConfigError> for CliError {
+    fn from(e: snake_sim::ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+/// Prints `err` and the binary's usage string to stderr, then exits
+/// with status 2 (the conventional usage-error code).
+pub fn fail(program: &str, err: &CliError, usage: &str) -> ! {
+    eprintln!("{program}: {err}");
+    eprintln!("{usage}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_argument_and_value() {
+        let e = CliError::BadArg {
+            what: "benchmark",
+            why: "unknown benchmark: \"nope\"".into(),
+        };
+        assert_eq!(e.to_string(), "bad benchmark: unknown benchmark: \"nope\"");
+    }
+
+    #[test]
+    fn io_errors_carry_the_path_and_source() {
+        let e = CliError::io(
+            "/no/such/dir/out.md",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "not found"),
+        );
+        let text = e.to_string();
+        assert!(text.contains("/no/such/dir/out.md"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

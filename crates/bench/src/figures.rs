@@ -28,7 +28,21 @@ pub struct EvalMatrix {
 impl EvalMatrix {
     /// Runs every `(application, mechanism)` pair, in parallel across
     /// OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics after *all* workers have drained if any pair's
+    /// evaluation panicked, naming every failed `benchmark/mechanism`
+    /// pair — one bad benchmark no longer aborts the whole matrix with
+    /// an anonymous `Any` payload.
     pub fn collect(h: &Harness, kinds: &[PrefetcherKind]) -> Self {
+        Self::collect_with(kinds, |b, k| h.run(b, k))
+    }
+
+    fn collect_with(
+        kinds: &[PrefetcherKind],
+        runner: impl Fn(Benchmark, PrefetcherKind) -> MechanismReport + Sync,
+    ) -> Self {
         let pairs: Vec<(Benchmark, PrefetcherKind)> = Benchmark::all()
             .iter()
             .flat_map(|&b| kinds.iter().map(move |&k| (b, k)))
@@ -39,19 +53,59 @@ impl EvalMatrix {
             .min(pairs.len().max(1));
         let chunk = pairs.len().div_ceil(threads);
         let mut reports = HashMap::with_capacity(pairs.len());
+        let mut failures: Vec<String> = Vec::new();
+        let runner = &runner;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in pairs.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    part.iter()
-                        .map(|&(b, k)| ((b, k), h.run(b, k)))
-                        .collect::<Vec<_>>()
-                }));
+                handles.push((
+                    part,
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&(b, k)| {
+                                let r =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        runner(b, k)
+                                    }));
+                                ((b, k), r)
+                            })
+                            .collect::<Vec<_>>()
+                    }),
+                ));
             }
-            for handle in handles {
-                reports.extend(handle.join().expect("eval worker panicked"));
+            for (part, handle) in handles {
+                match handle.join() {
+                    Ok(results) => {
+                        for ((b, k), r) in results {
+                            match r {
+                                Ok(report) => {
+                                    reports.insert((b, k), report);
+                                }
+                                Err(payload) => failures
+                                    .push(format!("{b}/{k}: {}", panic_message(payload.as_ref()))),
+                            }
+                        }
+                    }
+                    // catch_unwind above makes this unreachable in
+                    // practice; cover it so a worker dying some other
+                    // way still names its pairs.
+                    Err(payload) => {
+                        let names: Vec<String> =
+                            part.iter().map(|(b, k)| format!("{b}/{k}")).collect();
+                        failures.push(format!(
+                            "worker for [{}] died: {}",
+                            names.join(", "),
+                            panic_message(payload.as_ref())
+                        ));
+                    }
+                }
             }
         });
+        assert!(
+            failures.is_empty(),
+            "eval worker(s) panicked:\n  {}",
+            failures.join("\n  ")
+        );
         EvalMatrix { reports }
     }
 
@@ -71,6 +125,15 @@ impl EvalMatrix {
     }
 }
 
+/// Best-effort text of a worker's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// The mechanisms shown in Figs 16–18 (baseline excluded from the
 /// coverage/accuracy plots but needed as the speedup denominator).
 pub fn figure_mechanisms() -> Vec<PrefetcherKind> {
@@ -86,7 +149,11 @@ pub fn table1_config(h: &Harness) -> Table {
     let ours = &h.cfg;
     let mut t = Table::new(
         "Table 1 — Baseline GPU configuration (paper V100 vs scaled substrate)",
-        vec!["parameter".into(), "paper (V100)".into(), "simulated".into()],
+        vec![
+            "parameter".into(),
+            "paper (V100)".into(),
+            "simulated".into(),
+        ],
     );
     let rows: Vec<(&str, String, String)> = vec![
         ("SMs", paper.num_sms.to_string(), ours.num_sms.to_string()),
@@ -117,7 +184,10 @@ pub fn table1_config(h: &Harness) -> Table {
         ),
         (
             "MSHR",
-            format!("{} entries, {} merges", paper.mshr_entries, paper.mshr_merge),
+            format!(
+                "{} entries, {} merges",
+                paper.mshr_entries, paper.mshr_merge
+            ),
             format!("{} entries, {} merges", ours.mshr_entries, ours.mshr_merge),
         ),
         (
@@ -169,7 +239,11 @@ pub fn table2_benchmarks() -> Table {
         vec!["abbr".into(), "application".into(), "suite".into()],
     );
     for &b in Benchmark::all() {
-        t.push_row(vec![b.abbr().into(), b.full_name().into(), b.suite().into()]);
+        t.push_row(vec![
+            b.abbr().into(),
+            b.full_name().into(),
+            b.suite().into(),
+        ]);
     }
     t.note("All eleven applications from the paper's Table 2, rebuilt as synthetic trace generators (see snake-workloads).");
     t
@@ -699,15 +773,14 @@ pub fn extra_scheduler(h: &Harness) -> Table {
     use snake_sim::SchedulerPolicy;
     let mut t = Table::new(
         "Extra B — Snake speedup under GTO vs loose round-robin",
-        vec![
-            "app".into(),
-            "GTO speedup".into(),
-            "LRR speedup".into(),
-        ],
+        vec!["app".into(), "GTO speedup".into(), "LRR speedup".into()],
     );
     for &b in Benchmark::all() {
         let mut row = vec![b.abbr().to_string()];
-        for policy in [SchedulerPolicy::GreedyThenOldest, SchedulerPolicy::LooseRoundRobin] {
+        for policy in [
+            SchedulerPolicy::GreedyThenOldest,
+            SchedulerPolicy::LooseRoundRobin,
+        ] {
             let mut harness = h.clone();
             harness.cfg.scheduler = policy;
             let base = harness.run(b, PrefetcherKind::Baseline);
@@ -716,7 +789,9 @@ pub fn extra_scheduler(h: &Harness) -> Table {
         }
         t.push_row(row);
     }
-    t.note("the paper's baseline is GTO (Table 1); Snake's tables are scheduler-agnostic by design");
+    t.note(
+        "the paper's baseline is GTO (Table 1); Snake's tables are scheduler-agnostic by design",
+    );
     t
 }
 
@@ -826,6 +901,32 @@ mod tests {
         let t = table3_cost();
         assert!(t.rows[0].contains(&"448 B".to_string()));
         assert!(t.rows[1].contains(&"320 B".to_string()));
+    }
+
+    #[test]
+    fn panicking_worker_is_named_and_the_rest_drain() {
+        let h = quick();
+        let kinds = [PrefetcherKind::Baseline];
+        let ran = std::sync::Mutex::new(Vec::new());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            EvalMatrix::collect_with(&kinds, |b, k| {
+                if b == Benchmark::Mum {
+                    panic!("synthetic failure");
+                }
+                let r = h.run(b, k);
+                ran.lock().unwrap().push(b);
+                r
+            })
+        }));
+        let payload = outcome.expect_err("the failed pair must surface");
+        let msg = panic_message(payload.as_ref());
+        assert!(
+            msg.contains(&format!("{}/{}", Benchmark::Mum, PrefetcherKind::Baseline)),
+            "failure must name the pair: {msg}"
+        );
+        assert!(msg.contains("synthetic failure"), "{msg}");
+        // Every other pair still produced a report before the abort.
+        assert_eq!(ran.lock().unwrap().len(), Benchmark::all().len() - 1);
     }
 
     #[test]

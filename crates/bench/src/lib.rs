@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figures;
 pub mod report;
 pub mod runner;

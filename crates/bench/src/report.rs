@@ -51,7 +51,11 @@ impl Table {
         s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         s.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             s.push_str(&format!("| {} |\n", row.join(" | ")));

@@ -1,9 +1,7 @@
 //! Shared run harness: configuration, simulation, and report rows.
 
 use snake_core::{MechanismReport, PrefetcherKind};
-use snake_sim::{
-    EnergyModel, Gpu, GpuConfig, KernelTrace, Prefetcher, SimOutcome, SmId,
-};
+use snake_sim::{EnergyModel, Gpu, GpuConfig, KernelTrace, Prefetcher, SimOutcome, SmId};
 use snake_workloads::{Benchmark, WorkloadSize};
 
 /// The experiment harness: one GPU configuration, one workload size,
@@ -80,8 +78,8 @@ impl Harness {
         kernel: &KernelTrace,
         mk: impl FnMut(SmId) -> Box<dyn Prefetcher>,
     ) -> SimOutcome {
-        let mut gpu = Gpu::new(self.cfg.clone(), kernel.clone(), mk)
-            .expect("harness configuration is valid");
+        let mut gpu =
+            Gpu::new(self.cfg.clone(), kernel.clone(), mk).expect("harness configuration is valid");
         gpu.run()
     }
 }

@@ -127,11 +127,7 @@ pub fn analyze_chains(kernel: &KernelTrace, cfg: &ChainAnalysisConfig) -> ChainR
 
     let stable_links = warps_per_link
         .keys()
-        .filter(|l| {
-            per_warp_counts
-                .iter()
-                .any(|c| stable(l, c))
-        })
+        .filter(|l| per_warp_counts.iter().any(|c| stable(l, c)))
         .count();
 
     ChainReport {
@@ -170,8 +166,7 @@ pub fn analyze_chains(kernel: &KernelTrace, cfg: &ChainAnalysisConfig) -> ChainR
 /// ```
 pub fn chain_graph_dot(kernel: &KernelTrace, cfg: &ChainAnalysisConfig) -> String {
     // Count within-warp occurrences and observing warps per link.
-    let per_warp: Vec<HashMap<ChainLink, u32>> =
-        kernel.warps().iter().map(link_counts).collect();
+    let per_warp: Vec<HashMap<ChainLink, u32>> = kernel.warps().iter().map(link_counts).collect();
     let mut total: HashMap<ChainLink, (u32, u32)> = HashMap::new(); // (occurrences, warps)
     for counts in &per_warp {
         for (link, n) in counts {
@@ -191,14 +186,13 @@ pub fn chain_graph_dot(kernel: &KernelTrace, cfg: &ChainAnalysisConfig) -> Strin
         .collect();
     stable.sort_by_key(|(l, _)| **l);
 
-    let mut dot = String::from("digraph chains {
+    let mut dot = String::from(
+        "digraph chains {
   rankdir=LR;
   node [shape=box];
-");
-    let mut pcs: Vec<Pc> = stable
-        .iter()
-        .flat_map(|(l, _)| [l.pc1, l.pc2])
-        .collect();
+",
+    );
+    let mut pcs: Vec<Pc> = stable.iter().flat_map(|(l, _)| [l.pc1, l.pc2]).collect();
     pcs.sort_unstable();
     pcs.dedup();
     for pc in pcs {

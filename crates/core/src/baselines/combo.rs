@@ -3,7 +3,7 @@
 //! the "decoupled versions of competitors" discussed with Fig 18.
 
 use snake_sim::{
-    AccessEvent, KernelTrace, PrefetchContext, PrefetchPlacement, Prefetcher, PrefetchRequest,
+    AccessEvent, KernelTrace, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
 };
 
 /// Runs two prefetchers side by side, merging their requests
@@ -17,7 +17,9 @@ pub struct Combined {
 
 impl std::fmt::Debug for Combined {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Combined").field("name", &self.name).finish()
+        f.debug_struct("Combined")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

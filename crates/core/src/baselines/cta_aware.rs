@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use snake_sim::{
-    AccessEvent, Address, CtaId, KernelTrace, Pc, PrefetchContext, Prefetcher, PrefetchRequest,
+    AccessEvent, Address, CtaId, KernelTrace, Pc, PrefetchContext, PrefetchRequest, Prefetcher,
 };
 
 #[derive(Debug, Clone)]

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use snake_sim::{
-    AccessEvent, Address, KernelTrace, Pc, PrefetchContext, Prefetcher, PrefetchRequest, WarpId,
+    AccessEvent, Address, KernelTrace, Pc, PrefetchContext, PrefetchRequest, Prefetcher, WarpId,
 };
 
 #[derive(Debug, Clone, Copy)]

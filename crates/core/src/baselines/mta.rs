@@ -2,7 +2,7 @@
 //! intra-warp and inter-warp mechanisms — the best-coverage prior work
 //! the paper compares against (§2, Fig 6/11/16).
 
-use snake_sim::{AccessEvent, KernelTrace, PrefetchContext, Prefetcher, PrefetchRequest};
+use snake_sim::{AccessEvent, KernelTrace, PrefetchContext, PrefetchRequest, Prefetcher};
 
 use crate::baselines::inter_warp::InterWarp;
 use crate::baselines::intra_warp::IntraWarp;
@@ -78,7 +78,11 @@ mod tests {
         for iter in 0..3u64 {
             for w in 0..3u32 {
                 out.clear();
-                p.on_demand_access(&ev(w, 1, 4096 * u64::from(w) + 128 * iter), &ctx(), &mut out);
+                p.on_demand_access(
+                    &ev(w, 1, 4096 * u64::from(w) + 128 * iter),
+                    &ctx(),
+                    &mut out,
+                );
             }
         }
         // Last access (warp 2): intra target (+128) and inter targets

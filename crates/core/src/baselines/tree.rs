@@ -8,8 +8,7 @@
 use std::collections::HashMap;
 
 use snake_sim::{
-    AccessEvent, AccessOutcome, Address, KernelTrace, PrefetchContext, Prefetcher,
-    PrefetchRequest,
+    AccessEvent, AccessOutcome, Address, KernelTrace, PrefetchContext, PrefetchRequest, Prefetcher,
 };
 
 /// The chunk-based spatial prefetcher.
@@ -86,8 +85,8 @@ impl Prefetcher for Tree {
         }
         let frontier = self.frontier.get_mut(&chunk).expect("just inserted");
         // Advance the frontier from max(current access, old frontier).
-        let mut next = (*frontier).max(event.addr.raw()) / self.line_bytes * self.line_bytes
-            + self.line_bytes;
+        let mut next =
+            (*frontier).max(event.addr.raw()) / self.line_bytes * self.line_bytes + self.line_bytes;
         for _ in 0..self.degree {
             if next >= chunk_end {
                 break;

@@ -30,9 +30,9 @@ impl Default for FieldWidths {
     fn default() -> Self {
         FieldWidths {
             pc_bits: 32,
-            warp_id_bits: 6,   // 64 warps per SM
-            addr_bits: 34,     // 16 GiB device memory
-            stride_bits: 40,   // signed strides spanning the heap
+            warp_id_bits: 6, // 64 warps per SM
+            addr_bits: 34,   // 16 GiB device memory
+            stride_bits: 40, // signed strides spanning the heap
             train_bits: 2,
             warp_vec_bits: 64, // one bit per resident warp
         }
@@ -113,7 +113,7 @@ mod tests {
     }
 
     #[test]
-    fn storage_scales_linearly_with_entries(){
+    fn storage_scales_linearly_with_entries() {
         let w = FieldWidths::default();
         let s10 = snake_storage_bytes(&w, 32, 10);
         let s20 = snake_storage_bytes(&w, 32, 20);

@@ -124,8 +124,14 @@ mod tests {
     fn speedup_and_energy_ratios() {
         let cfg = GpuConfig::scaled(1);
         let em = EnergyModel::volta_like();
-        let base =
-            MechanismReport::from_outcome("baseline", "app", &outcome(1000, 1000), &cfg, &em, false);
+        let base = MechanismReport::from_outcome(
+            "baseline",
+            "app",
+            &outcome(1000, 1000),
+            &cfg,
+            &em,
+            false,
+        );
         let fast =
             MechanismReport::from_outcome("snake", "app", &outcome(1000, 800), &cfg, &em, true);
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-9);

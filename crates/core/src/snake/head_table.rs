@@ -129,7 +129,11 @@ impl HeadTable {
                 })
             }
             HeadLayout::PairedDoubled | HeadLayout::PairedSingle => {
-                let slots = if self.layout == HeadLayout::PairedDoubled { 2 } else { 1 };
+                let slots = if self.layout == HeadLayout::PairedDoubled {
+                    2
+                } else {
+                    1
+                };
                 let idx = (warp.index() / 2) % self.rows.len();
                 let row = &mut self.rows[idx];
                 // A transition exists only if this warp still holds a
@@ -167,7 +171,11 @@ impl HeadTable {
         match self.layout {
             HeadLayout::PerWarp => self.entries[warp.index() % self.entries.len()],
             HeadLayout::PairedDoubled | HeadLayout::PairedSingle => {
-                let slots = if self.layout == HeadLayout::PairedDoubled { 2 } else { 1 };
+                let slots = if self.layout == HeadLayout::PairedDoubled {
+                    2
+                } else {
+                    1
+                };
                 let row = &self.rows[(warp.index() / 2) % self.rows.len()];
                 row.slots[..slots]
                     .iter()

@@ -7,8 +7,8 @@ pub mod tail_table;
 pub mod throttle;
 
 use snake_sim::{
-    AccessEvent, Address, KernelTrace, PrefetchContext, PrefetchPlacement, Prefetcher,
-    PrefetchRequest,
+    AccessEvent, Address, KernelTrace, PrefetchContext, PrefetchPlacement, PrefetchRequest,
+    Prefetcher,
 };
 
 use head_table::{HeadLayout, HeadTable};
@@ -123,11 +123,7 @@ pub struct Snake {
 impl Snake {
     /// Creates a Snake instance from a configuration.
     pub fn new(cfg: SnakeConfig) -> Self {
-        let name = match (
-            cfg.use_fixed_strides,
-            cfg.throttle.enabled,
-            cfg.placement,
-        ) {
+        let name = match (cfg.use_fixed_strides, cfg.throttle.enabled, cfg.placement) {
             (false, _, _) => "s-snake",
             (true, false, PrefetchPlacement::PlainL1) => "snake-dt",
             (true, false, PrefetchPlacement::Decoupled) => "snake-t",
@@ -248,7 +244,11 @@ mod tests {
                 &mut out,
             );
             // Break the warp's chain so pc2 -> pc1 noise is distinct.
-            s.on_demand_access(&ev(w, 999, base + 50_000 + u64::from(w), 0), &ctx(0), &mut out);
+            s.on_demand_access(
+                &ev(w, 999, base + 50_000 + u64::from(w), 0),
+                &ctx(0),
+                &mut out,
+            );
         }
         out.clear();
     }
@@ -333,7 +333,10 @@ mod tests {
         assert_eq!(Snake::new(SnakeConfig::snake()).name(), "snake");
         assert_eq!(Snake::new(SnakeConfig::s_snake()).name(), "s-snake");
         assert_eq!(Snake::new(SnakeConfig::snake_t()).name(), "snake-t");
-        assert_eq!(Snake::new(SnakeConfig::isolated(32)).name(), "isolated-snake");
+        assert_eq!(
+            Snake::new(SnakeConfig::isolated(32)).name(),
+            "isolated-snake"
+        );
     }
 
     #[test]
@@ -341,10 +344,8 @@ mod tests {
         let mut s = Snake::new(SnakeConfig::snake());
         train_pair(&mut s, 10, 20, 400);
         assert!(s.trained());
-        let kernel = snake_sim::KernelTrace::new(
-            "k",
-            vec![snake_sim::WarpTrace::new(CtaId(0), vec![])],
-        );
+        let kernel =
+            snake_sim::KernelTrace::new("k", vec![snake_sim::WarpTrace::new(CtaId(0), vec![])]);
         s.on_kernel_launch(&kernel);
         assert!(!s.trained());
     }
@@ -362,7 +363,11 @@ mod tests {
             let base = 100_000 * u64::from(w);
             s.on_demand_access(&ev(w, 10, base, 0), &full, &mut out);
             s.on_demand_access(&ev(w, 20, base + 400, 0), &full, &mut out);
-            s.on_demand_access(&ev(w, 999, base + 77_000 + u64::from(w), 0), &full, &mut out);
+            s.on_demand_access(
+                &ev(w, 999, base + 77_000 + u64::from(w), 0),
+                &full,
+                &mut out,
+            );
         }
         assert!(s.trained(), "learning must continue under throttle");
     }

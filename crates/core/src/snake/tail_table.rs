@@ -162,7 +162,10 @@ impl TailTable {
     /// Panics if the configured capacity or promote threshold is zero.
     pub fn new(cfg: TailTableConfig) -> Self {
         assert!(cfg.entries > 0, "tail table needs capacity");
-        assert!(cfg.promote_threshold > 0, "promote threshold must be positive");
+        assert!(
+            cfg.promote_threshold > 0,
+            "promote threshold must be positive"
+        );
         TailTable {
             entries: Vec::with_capacity(cfg.entries),
             cfg,
@@ -228,10 +231,11 @@ impl TailTable {
         let intra_candidate = if t.cur_pc == t.prev_pc {
             Some(stride)
         } else {
-            self.chain_distance(t.warp, t.cur_pc, t.prev_pc).map(|total| {
-                let old_base = t.prev_addr.offset(-total);
-                t.cur_addr.stride_from(old_base)
-            })
+            self.chain_distance(t.warp, t.cur_pc, t.prev_pc)
+                .map(|total| {
+                    let old_base = t.prev_addr.offset(-total);
+                    t.cur_addr.stride_from(old_base)
+                })
         };
 
         // ── Inter-thread chain entry: match or insert (Fig 12 ❷–❺).
@@ -250,9 +254,7 @@ impl TailTable {
             if e.t1 == TrainState::Promoted && had_warp {
                 // Re-confirmation after promotion.
                 e.t1 = TrainState::Trained;
-            } else if e.t1 < TrainState::Promoted
-                && (e.popcount() >= threshold || e.repeats >= 2)
-            {
+            } else if e.t1 < TrainState::Promoted && (e.popcount() >= threshold || e.repeats >= 2) {
                 // Promote via the SIMT multi-warp rule (>= 3 warps) or
                 // via in-warp loop repetition (seen, then repeated) —
                 // both training paths of §3.2.
@@ -422,7 +424,9 @@ impl TailTable {
         let mut visited = 0usize;
         while visited < chain_depth {
             let Some(idx) = self.entries.iter().position(|e| {
-                e.pc1 == cur_pc && e.t1.can_prefetch() && (e.has_warp(warp) || e.t1 == TrainState::Promoted)
+                e.pc1 == cur_pc
+                    && e.t1.can_prefetch()
+                    && (e.has_warp(warp) || e.t1 == TrainState::Promoted)
             }) else {
                 break;
             };
@@ -622,7 +626,13 @@ mod tests {
     fn generate_uses_promoted_entries_for_new_warps() {
         let mut t = table();
         for w in 0..3u32 {
-            t.observe(&tr(w, 10, 1000 * u64::from(w), 20, 1000 * u64::from(w) + 400));
+            t.observe(&tr(
+                w,
+                10,
+                1000 * u64::from(w),
+                20,
+                1000 * u64::from(w) + 400,
+            ));
         }
         // Warp 7 never observed the pattern but it is promoted.
         let mut out = Vec::new();
@@ -648,10 +658,7 @@ mod tests {
         }
         let mut out = Vec::new();
         t.generate(WarpId(5), Pc(10), Address(10_000), 0, 3, true, &mut out);
-        assert_eq!(
-            out,
-            vec![Address(10_512), Address(11_024), Address(11_536)]
-        );
+        assert_eq!(out, vec![Address(10_512), Address(11_024), Address(11_536)]);
     }
 
     #[test]

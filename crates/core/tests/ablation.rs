@@ -28,7 +28,10 @@ fn run_kind(app: Benchmark, kind: PrefetcherKind) -> SimOutcome {
 fn run_standard(app: Benchmark, kind: PrefetcherKind) -> SimOutcome {
     let cfg = GpuConfig::scaled(2);
     let warps = cfg.max_warps_per_sm;
-    run_kernel(cfg, app.build(&WorkloadSize::standard()), |_| kind.build(warps)).expect("valid")
+    run_kernel(cfg, app.build(&WorkloadSize::standard()), |_| {
+        kind.build(warps)
+    })
+    .expect("valid")
 }
 
 fn run_snake_cfg(app: Benchmark, mk: impl Fn() -> SnakeConfig) -> SimOutcome {
@@ -125,11 +128,9 @@ fn per_app_chain_detection_beats_shared_pcs() {
     let s = size();
     let a = Benchmark::Lps.build(&s);
     let b = Benchmark::Mrq.build(&s);
-    let tagged = run_kernel(
-        cfg.clone(),
-        colocate(&a, &b, PcSpace::PerApp),
-        |_| PrefetcherKind::Snake.build(warps),
-    )
+    let tagged = run_kernel(cfg.clone(), colocate(&a, &b, PcSpace::PerApp), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
     .unwrap();
     let shared = run_kernel(cfg, colocate(&a, &b, PcSpace::Shared), |_| {
         PrefetcherKind::Snake.build(warps)
@@ -149,7 +150,11 @@ fn isolated_snake_serves_hits_from_the_side_buffer() {
     // there count as covered without the lines ever entering the L1.
     let iso = run_kind(Benchmark::Lps, PrefetcherKind::IsolatedSnake);
     assert!(iso.stats.prefetch.useful > 0, "buffer serves hits");
-    assert!(iso.stats.coverage() > 0.2, "coverage {:.3}", iso.stats.coverage());
+    assert!(
+        iso.stats.coverage() > 0.2,
+        "coverage {:.3}",
+        iso.stats.coverage()
+    );
     // The buffer never occupies L1 lines: demand-side raw hits remain
     // (LPS re-touches every line once per iteration).
     assert!(iso.stats.l1.hits + iso.stats.l1.hits_on_prefetch > 0);

@@ -34,6 +34,11 @@ pub struct MshrEntry {
     pub requests: u32,
     /// Allocation cycle.
     pub alloc_cycle: Cycle,
+    /// Cycle the miss was last sent down the hierarchy (allocation, or
+    /// the most recent timeout-recovery reissue).
+    pub last_issue: Cycle,
+    /// Timeout-recovery reissues consumed.
+    pub retries: u32,
 }
 
 /// Result of attempting to merge into an existing entry.
@@ -122,6 +127,8 @@ impl MshrFile {
                 demand_merged: false,
                 requests: 1,
                 alloc_cycle: now,
+                last_issue: now,
+                retries: 0,
             },
         );
     }
@@ -155,9 +162,36 @@ impl MshrFile {
     ///
     /// Panics if no entry exists for `line`.
     pub fn complete(&mut self, line: LineAddr) -> MshrEntry {
-        self.entries
-            .remove(&line)
+        self.try_complete(line)
             .expect("completed line must have an MSHR entry")
+    }
+
+    /// Completes a miss if an entry exists. Fault injection can deliver
+    /// a fill twice (or a recovered fill after the original straggles
+    /// in); the second arrival finds no entry and must not panic.
+    pub fn try_complete(&mut self, line: LineAddr) -> Option<MshrEntry> {
+        self.entries.remove(&line)
+    }
+
+    /// Configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over all outstanding entries (auditing).
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.entries.values()
+    }
+
+    /// Iterates mutably over all outstanding entries (timeout
+    /// recovery updates `last_issue`/`retries` in place).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut MshrEntry> {
+        self.entries.values_mut()
+    }
+
+    /// Mutable access to the entry for `line`, if present.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut MshrEntry> {
+        self.entries.get_mut(&line)
     }
 }
 
@@ -174,11 +208,17 @@ mod tests {
         assert!(m.get(LineAddr(1)).is_some());
         assert_eq!(
             m.merge_demand(LineAddr(1), WarpId(1)),
-            MergeResult::Merged { was_prefetch: false, first_demand: false }
+            MergeResult::Merged {
+                was_prefetch: false,
+                first_demand: false
+            }
         );
         assert_eq!(
             m.merge_demand(LineAddr(1), WarpId(2)),
-            MergeResult::Merged { was_prefetch: false, first_demand: false }
+            MergeResult::Merged {
+                was_prefetch: false,
+                first_demand: false
+            }
         );
         // merge capacity 3 = allocator + 2 merges.
         assert_eq!(m.merge_demand(LineAddr(1), WarpId(3)), MergeResult::Full);
@@ -192,6 +232,31 @@ mod tests {
         let mut m = MshrFile::new(1, 8);
         m.allocate(LineAddr(1), MissOrigin::Demand, Some(WarpId(0)), Cycle(0));
         assert!(!m.has_free_entry());
+        assert_eq!(m.capacity(), 1);
+    }
+
+    #[test]
+    fn try_complete_tolerates_missing_entry() {
+        let mut m = MshrFile::new(2, 8);
+        assert!(m.try_complete(LineAddr(1)).is_none());
+        m.allocate(LineAddr(1), MissOrigin::Demand, Some(WarpId(0)), Cycle(0));
+        assert!(m.try_complete(LineAddr(1)).is_some());
+        assert!(m.try_complete(LineAddr(1)).is_none(), "duplicate fill");
+    }
+
+    #[test]
+    fn retry_bookkeeping_starts_at_allocation() {
+        let mut m = MshrFile::new(1, 8);
+        m.allocate(LineAddr(3), MissOrigin::Demand, Some(WarpId(0)), Cycle(17));
+        let e = m.get(LineAddr(3)).unwrap();
+        assert_eq!(e.last_issue, Cycle(17));
+        assert_eq!(e.retries, 0);
+        for e in m.iter_mut() {
+            e.retries += 1;
+            e.last_issue = Cycle(40);
+        }
+        assert_eq!(m.iter().count(), 1);
+        assert_eq!(m.get(LineAddr(3)).unwrap().retries, 1);
     }
 
     #[test]
@@ -200,13 +265,19 @@ mod tests {
         m.allocate(LineAddr(7), MissOrigin::Prefetch, None, Cycle(0));
         assert_eq!(
             m.merge_demand(LineAddr(7), WarpId(4)),
-            MergeResult::Merged { was_prefetch: true, first_demand: true }
+            MergeResult::Merged {
+                was_prefetch: true,
+                first_demand: true
+            }
         );
         // Later merges are still covered, but the prefetch is counted
         // late only once.
         assert_eq!(
             m.merge_demand(LineAddr(7), WarpId(5)),
-            MergeResult::Merged { was_prefetch: true, first_demand: false }
+            MergeResult::Merged {
+                was_prefetch: true,
+                first_demand: false
+            }
         );
         let e = m.complete(LineAddr(7));
         assert!(e.demand_merged);

@@ -403,7 +403,11 @@ mod tests {
         for i in 0..8u64 {
             let a = LineAddr(i);
             let w = t.find_victim(a, |_| true).unwrap();
-            let side = if i % 2 == 0 { Side::Prefetch } else { Side::Demand };
+            let side = if i % 2 == 0 {
+                Side::Prefetch
+            } else {
+                Side::Demand
+            };
             t.reserve(w, a, side, Cycle(i));
             t.fill(w, Cycle(i));
         }

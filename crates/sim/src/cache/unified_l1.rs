@@ -19,7 +19,8 @@ use std::collections::VecDeque;
 use crate::cache::mshr::{MergeResult, MissOrigin, MshrFile};
 use crate::cache::tag_array::{Side, TagArray};
 use crate::config::GpuConfig;
-use crate::stats::{AccessOutcome, CacheStats, PrefetchStats, ReservationFailReason};
+use crate::fault::Recovery;
+use crate::stats::{AccessOutcome, CacheStats, FaultStats, PrefetchStats, ReservationFailReason};
 use crate::types::{Cycle, LineAddr, WarpId};
 
 /// Placement/policy mode of the unified SRAM (see module docs).
@@ -95,6 +96,10 @@ pub struct UnifiedL1 {
     /// Sticky flag: an unused prefetched line was evicted since the
     /// last [`UnifiedL1::take_overrun`] call.
     overrun: bool,
+    /// Timeout-and-reissue recovery for lost fills, if enabled.
+    recovery: Option<Recovery>,
+    /// Recovery/fault counters (reissues, spurious fills).
+    pub fault_stats: FaultStats,
     /// Counters exposed to the simulator.
     pub stats: CacheStats,
     /// Prefetch-effectiveness counters (fills/useful/evicted tracked
@@ -122,6 +127,8 @@ impl UnifiedL1 {
             transfer_numer: 0,
             transfer_denom: 0,
             overrun: false,
+            recovery: cfg.fault.recovery,
+            fault_stats: FaultStats::default(),
             stats: CacheStats::default(),
             pf_stats: PrefetchStats::default(),
         }
@@ -285,13 +292,15 @@ impl UnifiedL1 {
         let victim = match self.demand_victim(line, now) {
             Some(w) => w,
             None => {
-                self.stats.record_fail(ReservationFailReason::NoEvictableWay);
+                self.stats
+                    .record_fail(ReservationFailReason::NoEvictableWay);
                 return AccessOutcome::ReservationFail;
             }
         };
         self.evict_for_alloc(victim, now);
         self.tags.reserve(victim, line, Side::Demand, now);
-        self.mshr.allocate(line, MissOrigin::Demand, Some(warp), now);
+        self.mshr
+            .allocate(line, MissOrigin::Demand, Some(warp), now);
         self.miss_queue.push_back(OutgoingRequest {
             line,
             kind: RequestKind::ReadMiss,
@@ -302,7 +311,11 @@ impl UnifiedL1 {
 
     /// Victim choice for a demand allocation, honoring the decoupling
     /// policies.
-    fn demand_victim(&mut self, line: LineAddr, now: Cycle) -> Option<crate::cache::tag_array::Way> {
+    fn demand_victim(
+        &mut self,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Option<crate::cache::tag_array::Way> {
         if self.mode != L1Mode::Decoupled {
             return self.tags.find_victim(line, |_| true);
         }
@@ -478,11 +491,15 @@ impl UnifiedL1 {
     /// Delivers a fill from the memory partition: completes the MSHR,
     /// fills the reserved line, returns the warps to wake.
     ///
-    /// # Panics
-    ///
-    /// Panics if `line` has no outstanding MSHR entry.
+    /// A fill with no outstanding MSHR entry (a fault-injected
+    /// duplicate, or the original response finally arriving after a
+    /// timeout reissue already completed the miss) is counted as
+    /// spurious and discarded.
     pub fn fill(&mut self, line: LineAddr, now: Cycle) -> Waiters {
-        let entry = self.mshr.complete(line);
+        let Some(entry) = self.mshr.try_complete(line) else {
+            self.fault_stats.spurious_fills += 1;
+            return Vec::new();
+        };
         let pure_prefetch = entry.origin == MissOrigin::Prefetch && !entry.demand_merged;
         if pure_prefetch {
             self.pf_stats.fills += 1;
@@ -507,6 +524,129 @@ impl UnifiedL1 {
     /// Outstanding MSHR entries (diagnostics).
     pub fn outstanding_misses(&self) -> usize {
         self.mshr.len()
+    }
+
+    /// MSHR entry capacity (diagnostics).
+    pub fn mshr_capacity(&self) -> usize {
+        self.mshr.capacity()
+    }
+
+    /// Requests queued for the interconnect (diagnostics).
+    pub fn miss_queue_len(&self) -> usize {
+        self.miss_queue.len()
+    }
+
+    /// Tag-array lines reserved for in-flight misses, including the
+    /// isolated side buffer (diagnostics).
+    pub fn reserved_lines(&self) -> u32 {
+        self.tags.reserved_lines() + self.isolated.as_ref().map_or(0, TagArray::reserved_lines)
+    }
+
+    /// Timeout recovery: re-issues read misses whose fill has been
+    /// outstanding longer than the configured timeout, up to the
+    /// per-entry retry budget and the miss queue's spare room. The
+    /// MSHR entry (and its reserved line and waiters) stays in place;
+    /// only a fresh read goes down the hierarchy. No-op unless
+    /// [`FaultPlan::recovery`](crate::FaultPlan) is set.
+    pub fn tick_recovery(&mut self, now: Cycle) {
+        let Some(rec) = self.recovery else { return };
+        if self.mshr.is_empty() {
+            return;
+        }
+        let room = self.miss_queue_depth.saturating_sub(self.miss_queue.len());
+        if room == 0 {
+            return;
+        }
+        // HashMap iteration order varies between runs; reissue oldest
+        // first (line address breaking ties) so identical seeds stay
+        // bit-identical.
+        let mut candidates: Vec<(Cycle, crate::types::LineAddr)> = self
+            .mshr
+            .iter()
+            .filter(|e| now.since(e.last_issue) >= rec.timeout && e.retries < rec.max_retries)
+            .map(|e| (e.last_issue, e.line))
+            .collect();
+        candidates.sort_unstable();
+        candidates.truncate(room);
+        for (_, line) in candidates {
+            let entry = self
+                .mshr
+                .get_mut(line)
+                .expect("candidate collected from the MSHR above");
+            entry.retries += 1;
+            entry.last_issue = now;
+            self.miss_queue.push_back(OutgoingRequest {
+                line,
+                kind: RequestKind::ReadMiss,
+            });
+            self.fault_stats.reissued_requests += 1;
+        }
+    }
+
+    /// Checks the L1's conservation laws, returning a description of
+    /// every violated invariant (empty = healthy). Used by the device
+    /// auditor each audit window; cheap enough to leave on in tests.
+    pub fn audit_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.mshr.len() > self.mshr.capacity() {
+            v.push(format!(
+                "MSHR occupancy {} exceeds capacity {}",
+                self.mshr.len(),
+                self.mshr.capacity()
+            ));
+        }
+        if self.miss_queue.len() > self.miss_queue_depth {
+            v.push(format!(
+                "miss queue length {} exceeds depth {}",
+                self.miss_queue.len(),
+                self.miss_queue_depth
+            ));
+        }
+        // Every outstanding miss must hold exactly one reserved line,
+        // and vice versa: a reservation with no MSHR entry can never
+        // be filled, an entry with no reservation has nowhere to land.
+        let reserved = self.reserved_lines() as usize;
+        if reserved != self.mshr.len() {
+            v.push(format!(
+                "{} reserved lines but {} MSHR entries",
+                reserved,
+                self.mshr.len()
+            ));
+        }
+        for entry in self.mshr.iter() {
+            use crate::cache::tag_array::LineState;
+            let in_tags = self
+                .tags
+                .probe(entry.line)
+                .is_some_and(|w| self.tags.line(w).state == LineState::Reserved);
+            let in_iso = self.isolated.as_ref().is_some_and(|iso| {
+                iso.probe(entry.line)
+                    .is_some_and(|w| iso.line(w).state == LineState::Reserved)
+            });
+            if !in_tags && !in_iso {
+                v.push(format!(
+                    "MSHR entry for line {:#x} has no reserved cache line",
+                    entry.line.0
+                ));
+            }
+        }
+        // Line accounting must balance: every line is free, valid on
+        // one side, or reserved.
+        let t = &self.tags;
+        let sum = t.free_lines() + t.demand_lines() + t.prefetch_lines() + t.reserved_lines();
+        if sum != t.capacity() {
+            v.push(format!(
+                "line census {} (free {} + demand {} + prefetch {} + reserved {}) \
+                 != capacity {}",
+                sum,
+                t.free_lines(),
+                t.demand_lines(),
+                t.prefetch_lines(),
+                t.reserved_lines(),
+                t.capacity()
+            ));
+        }
+        v
     }
 }
 
@@ -634,7 +774,10 @@ mod tests {
         assert_eq!(waiters, vec![WarpId(3)]);
         // Landed on the demand side: no prefetch lines resident.
         assert_eq!(c.prefetch_lines(), 0);
-        assert_eq!(c.pf_stats.fills, 0, "demand-merged fill is not a pure prefetch fill");
+        assert_eq!(
+            c.pf_stats.fills, 0,
+            "demand-merged fill is not a pure prefetch fill"
+        );
     }
 
     #[test]
@@ -671,7 +814,10 @@ mod tests {
         let total = c.total_lines();
         // Fill the whole cache with prefetched lines.
         for i in 0..total as u64 {
-            assert_eq!(c.request_prefetch(LineAddr(i), Cycle(0)), PrefetchIssue::Issued);
+            assert_eq!(
+                c.request_prefetch(LineAddr(i), Cycle(0)),
+                PrefetchIssue::Issued
+            );
             c.pop_outgoing();
             c.fill(LineAddr(i), Cycle(1));
         }
@@ -812,6 +958,96 @@ mod tests {
         fill_with_prefetches(&mut c, 0, total * 2, 0);
         assert!(c.take_overrun(), "frontier churn must raise the flag");
         assert!(!c.take_overrun(), "take clears it");
+    }
+
+    #[test]
+    fn spurious_fill_is_discarded_not_fatal() {
+        let mut c = l1(L1Mode::Plain);
+        let line = LineAddr(5);
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(0)),
+            AccessOutcome::Miss
+        );
+        c.pop_outgoing();
+        assert_eq!(c.fill(line, Cycle(100)), vec![WarpId(0)]);
+        // The duplicate of the same fill arrives later.
+        assert!(c.fill(line, Cycle(101)).is_empty());
+        assert_eq!(c.fault_stats.spurious_fills, 1);
+        // A fill for a line never requested is equally harmless.
+        assert!(c.fill(LineAddr(9999), Cycle(102)).is_empty());
+        assert_eq!(c.fault_stats.spurious_fills, 2);
+        assert!(c.audit_invariants().is_empty());
+    }
+
+    #[test]
+    fn recovery_reissues_timed_out_miss() {
+        let mut cfgv = cfg();
+        cfgv.fault.recovery = Some(crate::fault::Recovery {
+            timeout: 100,
+            max_retries: 2,
+        });
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Plain);
+        let line = LineAddr(5);
+        assert_eq!(
+            c.access_demand(line, WarpId(0), Cycle(0)),
+            AccessOutcome::Miss
+        );
+        c.pop_outgoing(); // request leaves; its fill will be "lost"
+        c.tick_recovery(Cycle(50));
+        assert!(c.peek_outgoing().is_none(), "too early to reissue");
+        c.tick_recovery(Cycle(100));
+        let re = c.pop_outgoing().expect("timed-out miss reissued");
+        assert_eq!(re.line, line);
+        assert_eq!(re.kind, RequestKind::ReadMiss);
+        assert_eq!(c.fault_stats.reissued_requests, 1);
+        // Retry budget: one more, then the entry is left alone.
+        c.tick_recovery(Cycle(200));
+        assert!(c.pop_outgoing().is_some());
+        c.tick_recovery(Cycle(300));
+        assert!(c.pop_outgoing().is_none(), "retry budget spent");
+        assert_eq!(c.fault_stats.reissued_requests, 2);
+        // The reissued fill completes the original miss and waiters.
+        assert_eq!(c.fill(line, Cycle(400)), vec![WarpId(0)]);
+        assert!(c.audit_invariants().is_empty());
+    }
+
+    #[test]
+    fn recovery_respects_miss_queue_room() {
+        let mut cfgv = cfg();
+        cfgv.miss_queue_depth = 2;
+        cfgv.fault.recovery = Some(crate::fault::Recovery {
+            timeout: 10,
+            max_retries: 8,
+        });
+        let mut c = UnifiedL1::new(&cfgv, L1Mode::Plain);
+        c.access_demand(LineAddr(1), WarpId(0), Cycle(0));
+        c.access_demand(LineAddr(2), WarpId(1), Cycle(0));
+        // Queue still full: no room to reissue.
+        c.tick_recovery(Cycle(100));
+        assert_eq!(c.miss_queue_len(), 2);
+        assert_eq!(c.fault_stats.reissued_requests, 0);
+        c.pop_outgoing();
+        c.pop_outgoing();
+        c.tick_recovery(Cycle(200));
+        assert_eq!(c.miss_queue_len(), 2, "both reissued into freed room");
+        assert_eq!(c.fault_stats.reissued_requests, 2);
+    }
+
+    #[test]
+    fn audit_is_clean_through_normal_operation() {
+        let mut c = l1(L1Mode::Decoupled);
+        assert!(c.audit_invariants().is_empty());
+        c.access_demand(LineAddr(1), WarpId(0), Cycle(0));
+        c.request_prefetch(LineAddr(2), Cycle(0));
+        assert!(c.audit_invariants().is_empty());
+        assert_eq!(c.reserved_lines(), 2);
+        assert_eq!(c.outstanding_misses(), 2);
+        c.pop_outgoing();
+        c.pop_outgoing();
+        c.fill(LineAddr(1), Cycle(10));
+        c.fill(LineAddr(2), Cycle(11));
+        assert!(c.audit_invariants().is_empty());
+        assert_eq!(c.reserved_lines(), 0);
     }
 
     #[test]

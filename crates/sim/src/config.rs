@@ -9,6 +9,7 @@
 //!   per miss-queue slot, bandwidth per SM) but simulates in
 //!   milliseconds instead of minutes. All experiments default to it.
 
+use crate::fault::FaultPlan;
 use crate::types::Cycle;
 
 /// Warp scheduling policy, per SM scheduler.
@@ -130,6 +131,23 @@ pub struct GpuConfig {
     /// Stop simulation after this many cycles even if warps remain
     /// (safety net; `None` = run to completion).
     pub max_cycles: Option<Cycle>,
+
+    /// Forward-progress watchdog: after this many consecutive cycles
+    /// with no retired instruction, no delivered fill, and no movement
+    /// anywhere in the memory system, the run stops with
+    /// [`StopReason::Deadlock`](crate::StopReason::Deadlock) and a
+    /// structured report instead of spinning until `max_cycles`.
+    /// `None` disables the watchdog. Must comfortably exceed the
+    /// longest legitimate quiet period (a DRAM round trip plus any
+    /// injected response delay).
+    pub watchdog_cycles: Option<u64>,
+    /// Memory-hierarchy fault injection (default: no faults).
+    pub fault: FaultPlan,
+    /// Run the invariant auditor every this many cycles (and once at
+    /// the end of the run). `None` disables auditing. Building the
+    /// crate with the `audit` feature turns it on by default in both
+    /// constructors.
+    pub audit_window: Option<u64>,
 }
 
 impl GpuConfig {
@@ -168,6 +186,13 @@ impl GpuConfig {
             noc_latency: 20,
             bw_window: 256,
             max_cycles: Some(Cycle(50_000_000)),
+            watchdog_cycles: Some(10_000),
+            fault: FaultPlan::default(),
+            audit_window: if cfg!(feature = "audit") {
+                Some(64)
+            } else {
+                None
+            },
         }
     }
 
@@ -214,6 +239,13 @@ impl GpuConfig {
             noc_latency: 20,
             bw_window: 256,
             max_cycles: Some(Cycle(20_000_000)),
+            watchdog_cycles: Some(10_000),
+            fault: FaultPlan::default(),
+            audit_window: if cfg!(feature = "audit") {
+                Some(64)
+            } else {
+                None
+            },
         }
     }
 
@@ -256,6 +288,24 @@ impl GpuConfig {
                 l2: self.l2.line_bytes,
             });
         }
+        if self.watchdog_cycles == Some(0) {
+            return Err(ConfigError::ZeroParameter("watchdog_cycles"));
+        }
+        if self.audit_window == Some(0) {
+            return Err(ConfigError::ZeroParameter("audit_window"));
+        }
+        self.fault
+            .validate()
+            .map_err(ConfigError::InvalidFaultPlan)?;
+        if let (Some(wd), Some(r)) = (self.watchdog_cycles, self.fault.recovery) {
+            if r.timeout >= wd {
+                return Err(ConfigError::InvalidFaultPlan(format!(
+                    "recovery timeout {} must be below watchdog_cycles {wd} \
+                     or recovery can never fire",
+                    r.timeout
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -285,6 +335,9 @@ pub enum ConfigError {
         /// L2 line bytes.
         l2: u32,
     },
+    /// The fault-injection plan is inconsistent (probability outside
+    /// `[0, 1]`, malformed brownout, or recovery that cannot fire).
+    InvalidFaultPlan(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -298,6 +351,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::LineSizeMismatch { l1, l2 } => {
                 write!(f, "L1 line size {l1} B differs from L2 line size {l2} B")
             }
+            ConfigError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
         }
     }
 }
@@ -368,5 +422,49 @@ mod tests {
     fn config_error_displays() {
         let e = ConfigError::ZeroParameter("mshr");
         assert!(e.to_string().contains("mshr"));
+        let e = ConfigError::InvalidFaultPlan("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_plan() {
+        let mut c = GpuConfig::scaled(1);
+        c.fault.drop_response = 2.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidFaultPlan(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_recovery_slower_than_watchdog() {
+        let mut c = GpuConfig::scaled(1);
+        c.watchdog_cycles = Some(100);
+        c.fault.recovery = Some(crate::fault::Recovery {
+            timeout: 200,
+            max_retries: 4,
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidFaultPlan(_))
+        ));
+        c.watchdog_cycles = Some(1_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_watchdog_and_audit() {
+        let mut c = GpuConfig::scaled(1);
+        c.watchdog_cycles = Some(0);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ZeroParameter("watchdog_cycles"))
+        ));
+        let mut c = GpuConfig::scaled(1);
+        c.audit_window = Some(0);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ZeroParameter("audit_window"))
+        ));
     }
 }

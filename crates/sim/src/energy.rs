@@ -97,7 +97,12 @@ impl EnergyModel {
     ///
     /// `has_prefetcher` enables the table costs (a baseline GPU carries
     /// no prefetcher hardware).
-    pub fn evaluate(&self, stats: &SimStats, cfg: &GpuConfig, has_prefetcher: bool) -> EnergyBreakdown {
+    pub fn evaluate(
+        &self,
+        stats: &SimStats,
+        cfg: &GpuConfig,
+        has_prefetcher: bool,
+    ) -> EnergyBreakdown {
         let seconds = stats.cycles as f64 / (cfg.core_clock_mhz as f64 * 1e6);
         let pj = 1e-12;
         let l1_accesses = stats.l1.total_accesses() + stats.prefetch.issued + stats.stores;

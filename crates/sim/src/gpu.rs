@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use crate::audit::{self, Auditor};
 use crate::config::{ConfigError, GpuConfig};
 use crate::kernel::KernelTrace;
 use crate::mem::interconnect::{Interconnect, UpPacket, READ_REQUEST_BYTES};
@@ -11,14 +12,20 @@ use crate::prefetch::Prefetcher;
 use crate::sm::{PendingCta, Sm};
 use crate::stats::SimStats;
 use crate::types::{Cycle, SmId};
+use crate::watchdog::{DeadlockReport, NocCensus, Watchdog};
 
 /// Why a simulation ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StopReason {
     /// All warps retired and the memory system drained.
     Completed,
     /// The configured cycle limit was reached first.
     CycleLimit,
+    /// The forward-progress watchdog found the device wedged: for
+    /// [`GpuConfig::watchdog_cycles`] consecutive cycles nothing
+    /// issued, filled, or moved. The boxed report says who was blocked
+    /// on what.
+    Deadlock(Box<DeadlockReport>),
 }
 
 /// The simulated GPU.
@@ -46,6 +53,10 @@ pub struct Gpu {
     noc: Interconnect,
     partition: MemoryPartition,
     cycle: Cycle,
+    watchdog: Option<Watchdog>,
+    auditor: Option<Auditor>,
+    deadlock: Option<Box<DeadlockReport>>,
+    brownout_cycles: u64,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -111,6 +122,8 @@ impl Gpu {
 
         let noc = Interconnect::new(cfg.noc_bytes_per_cycle, cfg.noc_latency, cfg.bw_window);
         let partition = MemoryPartition::new(&cfg);
+        let watchdog = cfg.watchdog_cycles.map(Watchdog::new);
+        let auditor = cfg.audit_window.map(|_| Auditor::new());
         Ok(Gpu {
             cfg,
             kernel,
@@ -118,6 +131,10 @@ impl Gpu {
             noc,
             partition,
             cycle: Cycle::ZERO,
+            watchdog,
+            auditor,
+            deadlock: None,
+            brownout_cycles: 0,
         })
     }
 
@@ -136,9 +153,25 @@ impl Gpu {
         &self.sms
     }
 
-    /// Advances one cycle. Returns `false` once the device is idle.
+    /// Advances one cycle. Returns `false` once the device is idle,
+    /// the cycle limit is reached, or the forward-progress watchdog
+    /// trips (see [`StopReason::Deadlock`]).
     pub fn step(&mut self) -> bool {
         let now = self.cycle;
+
+        // Fault injection: scale interconnect bandwidth during brownout
+        // windows before this cycle's credit refill.
+        let scale = self.cfg.fault.bandwidth_scale(now);
+        self.noc.set_bandwidth_scale(scale);
+        if scale < 1.0 {
+            self.brownout_cycles += 1;
+        }
+
+        // Progress baselines for the watchdog.
+        let instr_before: u64 = self.sms.iter().map(Sm::instructions_issued).sum();
+        let partition_events_before = self.partition.events();
+        let mut noc_moved = false;
+
         self.noc.begin_cycle(now);
         self.partition.tick(now);
 
@@ -159,7 +192,11 @@ impl Gpu {
                     .peek_outgoing()
                     .expect("has_outgoing checked");
                 let is_store = req.kind == crate::cache::unified_l1::RequestKind::Store;
-                let bytes = if is_store { line_bytes } else { READ_REQUEST_BYTES };
+                let bytes = if is_store {
+                    line_bytes
+                } else {
+                    READ_REQUEST_BYTES
+                };
                 let pkt = UpPacket {
                     sm: SmId(i as u32),
                     line: req.line,
@@ -167,6 +204,7 @@ impl Gpu {
                 };
                 if self.noc.try_send_up(pkt, bytes, now) {
                     self.sms[i].pop_outgoing();
+                    noc_moved = true;
                 } else {
                     break 'inject; // uplink budget spent this cycle
                 }
@@ -175,6 +213,7 @@ impl Gpu {
 
         // Deliver requests to the partition.
         while let Some(up) = self.noc.pop_up(now) {
+            noc_moved = true;
             if up.is_store {
                 self.partition.push_store(up.line, now);
             } else {
@@ -188,10 +227,12 @@ impl Gpu {
                 self.partition.unpop_response(resp);
                 break;
             }
+            noc_moved = true;
         }
 
         // Deliver fills to the L1s.
         while let Some(down) = self.noc.pop_down(now) {
+            noc_moved = true;
             self.sms[down.sm.0 as usize].deliver_fill(down.line, now);
         }
 
@@ -201,24 +242,104 @@ impl Gpu {
 
         self.cycle = now.plus(1);
 
+        if let Some(window) = self.cfg.audit_window {
+            if self.cycle.0.is_multiple_of(window) {
+                self.run_audit(false);
+            }
+        }
+
         let done =
             self.sms.iter().all(Sm::is_done) && self.partition.is_idle() && self.noc.is_idle();
-        let limit_hit = self
-            .cfg
-            .max_cycles
-            .is_some_and(|limit| self.cycle >= limit);
-        !(done || limit_hit)
+        let limit_hit = self.cfg.max_cycles.is_some_and(|limit| self.cycle >= limit);
+        if done || limit_hit {
+            return false;
+        }
+
+        if let Some(watchdog) = &mut self.watchdog {
+            let instr_after: u64 = self.sms.iter().map(Sm::instructions_issued).sum();
+            let progressed = instr_after > instr_before
+                || noc_moved
+                || self.partition.events() > partition_events_before
+                || self.sms.iter().any(|sm| sm.has_busy_warp(now));
+            if watchdog.observe(progressed, self.cycle) {
+                let stalled_for = watchdog.stalled_for(self.cycle);
+                self.deadlock = Some(self.deadlock_report(stalled_for));
+                return false;
+            }
+        }
+        true
     }
 
-    /// Runs to completion (or the cycle limit) and returns merged
-    /// device statistics.
+    /// Snapshot of everything the watchdog can see, for
+    /// [`StopReason::Deadlock`].
+    fn deadlock_report(&self, stalled_for: u64) -> Box<DeadlockReport> {
+        Box::new(DeadlockReport {
+            cycle: self.cycle.0,
+            stalled_for,
+            sms: self.sms.iter().map(Sm::census).collect(),
+            noc: NocCensus {
+                in_flight_up: self.noc.in_flight_up(),
+                in_flight_down: self.noc.in_flight_down(),
+            },
+            partition: self.partition.census(),
+        })
+    }
+
+    /// Runs the invariant auditor, panicking on any violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full violation list if any conservation law
+    /// fails — by design: an invariant break means simulator state is
+    /// corrupt and every stat after this point is suspect.
+    fn run_audit(&mut self, end_of_run: bool) {
+        let Some(mut auditor) = self.auditor.take() else {
+            return;
+        };
+        let mut violations: Vec<String> = Vec::new();
+        for sm in &self.sms {
+            for v in sm.l1().audit_invariants() {
+                violations.push(format!("sm {}: {v}", sm.id().0));
+            }
+        }
+        let stats = self.collect_stats();
+        violations.extend(auditor.check_stats(&stats));
+        if end_of_run {
+            let misses: usize = self.sms.iter().map(|s| s.l1().outstanding_misses()).sum();
+            let reserved: u32 = self.sms.iter().map(|s| s.l1().reserved_lines()).sum();
+            let queued: usize = self.sms.iter().map(|s| s.l1().miss_queue_len()).sum();
+            let in_flight = self.noc.in_flight_up() + self.noc.in_flight_down();
+            violations.extend(audit::check_drained(
+                misses,
+                reserved,
+                queued,
+                in_flight,
+                self.partition.is_idle(),
+            ));
+        }
+        self.auditor = Some(auditor);
+        assert!(
+            violations.is_empty(),
+            "invariant audit failed at cycle {}:\n  {}",
+            self.cycle.0,
+            violations.join("\n  ")
+        );
+    }
+
+    /// Runs to completion (or the cycle limit, or a watchdog trip) and
+    /// returns merged device statistics.
     pub fn run(&mut self) -> SimOutcome {
         while self.step() {}
-        let stop = if self.sms.iter().all(Sm::is_done) {
+        let stop = if let Some(report) = self.deadlock.take() {
+            StopReason::Deadlock(report)
+        } else if self.sms.iter().all(Sm::is_done) {
             StopReason::Completed
         } else {
             StopReason::CycleLimit
         };
+        if self.auditor.is_some() && stop == StopReason::Completed {
+            self.run_audit(true);
+        }
         SimOutcome {
             stats: self.collect_stats(),
             stop,
@@ -237,7 +358,19 @@ impl Gpu {
         total.noc_bytes_down = self.noc.total_bytes_down();
         total.l2_hits = self.partition.stats.l2_hits;
         total.l2_misses = self.partition.stats.l2_misses;
+        let pf = self.partition.fault_stats();
+        total.fault.dropped_responses = pf.dropped_responses;
+        total.fault.duplicated_responses = pf.duplicated_responses;
+        total.fault.delayed_responses = pf.delayed_responses;
+        total.fault.brownout_cycles = self.brownout_cycles;
         total
+    }
+
+    /// The deadlock report from a tripped watchdog, if stepping stopped
+    /// because of one (also carried by [`StopReason::Deadlock`] when
+    /// using [`Gpu::run`]).
+    pub fn deadlock_info(&self) -> Option<&DeadlockReport> {
+        self.deadlock.as_deref()
     }
 
     /// Lifetime interconnect utilization (Fig 4).

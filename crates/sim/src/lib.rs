@@ -34,9 +34,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod cache;
 mod config;
 pub mod energy;
+pub mod fault;
 mod gpu;
 mod kernel;
 pub mod mem;
@@ -47,14 +49,22 @@ mod stats;
 pub mod trace_io;
 mod types;
 mod warp;
+pub mod watchdog;
 
+pub use audit::Auditor;
 pub use config::{CacheGeometry, ConfigError, GpuConfig, SchedulerPolicy};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use fault::{Brownout, FaultPlan, Recovery};
 pub use gpu::{run_kernel, Gpu, SimOutcome, StopReason};
 pub use kernel::{AddrList, Instr, KernelTrace, WarpTrace};
 pub use prefetch::{
-    AccessEvent, NullPrefetcher, PrefetchContext, PrefetchPlacement, Prefetcher, PrefetchRequest,
+    AccessEvent, NullPrefetcher, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
 };
 pub use sm::Sm;
-pub use stats::{AccessOutcome, CacheStats, PrefetchStats, ReservationFailReason, SimStats};
+pub use stats::{
+    AccessOutcome, CacheStats, FaultStats, PrefetchStats, ReservationFailReason, SimStats,
+};
 pub use types::{Address, CtaId, Cycle, LineAddr, Pc, SmId, WarpId};
+pub use watchdog::{
+    DeadlockReport, NocCensus, PartitionCensus, SmCensus, WarpBlock, WarpCensus, Watchdog,
+};

@@ -36,6 +36,9 @@ pub const READ_REQUEST_BYTES: u64 = 32;
 #[derive(Debug, Clone)]
 struct Channel<T> {
     budget: u64,
+    /// Budget actually granted per cycle; below `budget` during an
+    /// injected bandwidth brownout.
+    effective_budget: u64,
     /// Token-bucket credit; may go negative when a packet larger than
     /// one cycle's budget is sent (it then borrows from future cycles,
     /// modeling multi-cycle flit serialization).
@@ -50,6 +53,7 @@ impl<T> Channel<T> {
     fn new(budget: u64, latency: u64) -> Self {
         Channel {
             budget,
+            effective_budget: budget,
             credit: budget as i64,
             latency,
             in_flight: VecDeque::new(),
@@ -59,7 +63,8 @@ impl<T> Channel<T> {
     }
 
     fn begin_cycle(&mut self) {
-        self.credit = (self.credit + self.budget as i64).min(self.budget as i64);
+        let b = self.effective_budget as i64;
+        self.credit = (self.credit + b).min(b);
     }
 
     fn try_send(&mut self, pkt: T, bytes: u64, now: Cycle) -> bool {
@@ -91,6 +96,12 @@ pub struct Interconnect {
     window: u64,
     window_start: Cycle,
     last_window_utilization: f64,
+    /// Deliverable bytes accumulated over the current window (both
+    /// directions at their *effective* budgets). Utilization is
+    /// measured against this, so a brownout raises utilization for the
+    /// same traffic — exactly the signal Snake's bandwidth throttle
+    /// must see to back off.
+    window_capacity: u64,
     cycles: u64,
 }
 
@@ -110,8 +121,19 @@ impl Interconnect {
             window: u64::from(window),
             window_start: Cycle::ZERO,
             last_window_utilization: 0.0,
+            window_capacity: 0,
             cycles: 0,
         }
+    }
+
+    /// Scales both directions' per-cycle budgets (fault-injected
+    /// brownouts). `1.0` restores full bandwidth; the effective budget
+    /// never drops below one byte per cycle.
+    pub fn set_bandwidth_scale(&mut self, scale: f64) {
+        debug_assert!((0.0..=1.0).contains(&scale) && scale > 0.0);
+        let eff = ((self.up.budget as f64 * scale) as u64).max(1);
+        self.up.effective_budget = eff;
+        self.down.effective_budget = eff;
     }
 
     /// Starts a new cycle: refreshes per-cycle credits and rolls the
@@ -121,13 +143,15 @@ impl Interconnect {
         self.down.begin_cycle();
         self.cycles += 1;
         if now.since(self.window_start) >= self.window {
-            let capacity = 2 * self.up.budget * self.window;
+            let capacity = self.window_capacity.max(1);
             self.last_window_utilization =
                 (self.up.window_bytes + self.down.window_bytes) as f64 / capacity as f64;
             self.up.window_bytes = 0;
             self.down.window_bytes = 0;
+            self.window_capacity = 0;
             self.window_start = now;
         }
+        self.window_capacity += self.up.effective_budget + self.down.effective_budget;
     }
 
     /// Utilization (both directions) measured over the last completed
@@ -171,6 +195,16 @@ impl Interconnect {
     /// Whether no packets are in flight in either direction.
     pub fn is_idle(&self) -> bool {
         self.up.in_flight.is_empty() && self.down.in_flight.is_empty()
+    }
+
+    /// Requests currently in flight L1→L2 (deadlock diagnostics).
+    pub fn in_flight_up(&self) -> usize {
+        self.up.in_flight.len()
+    }
+
+    /// Responses currently in flight L2→L1 (deadlock diagnostics).
+    pub fn in_flight_down(&self) -> usize {
+        self.down.in_flight.len()
     }
 
     /// Lifetime utilization over `cycles` simulated cycles (Fig 4).
@@ -240,6 +274,49 @@ mod tests {
             }
         }
         assert!((n.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brownout_reduces_per_cycle_budget() {
+        let mut n = Interconnect::new(64, 2, 16);
+        n.set_bandwidth_scale(0.5);
+        n.begin_cycle(Cycle(0));
+        assert!(n.try_send_up(pkt(1), 32, Cycle(0)));
+        assert!(!n.try_send_up(pkt(2), 32, Cycle(0)), "32 B brownout budget");
+        n.set_bandwidth_scale(1.0);
+        n.begin_cycle(Cycle(1));
+        assert!(n.try_send_up(pkt(2), 32, Cycle(1)));
+        assert!(n.try_send_up(pkt(3), 32, Cycle(1)), "full budget restored");
+    }
+
+    #[test]
+    fn brownout_raises_windowed_utilization_for_same_traffic() {
+        // 50 B/cy of traffic: 25% of healthy capacity, 50% of a half-
+        // bandwidth brownout's capacity.
+        let mut healthy = Interconnect::new(100, 1, 4);
+        let mut browned = Interconnect::new(100, 1, 4);
+        browned.set_bandwidth_scale(0.5);
+        for cy in 0..5u64 {
+            healthy.begin_cycle(Cycle(cy));
+            browned.begin_cycle(Cycle(cy));
+            if cy < 4 {
+                assert!(healthy.try_send_up(pkt(cy), 50, Cycle(cy)));
+                assert!(browned.try_send_up(pkt(cy), 50, Cycle(cy)));
+            }
+        }
+        assert!((healthy.utilization() - 0.25).abs() < 1e-9);
+        assert!((browned.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_flight_census() {
+        let mut n = Interconnect::new(640, 5, 16);
+        n.begin_cycle(Cycle(0));
+        n.try_send_up(pkt(1), 32, Cycle(0));
+        n.try_send_up(pkt(2), 32, Cycle(0));
+        assert_eq!(n.in_flight_up(), 2);
+        assert_eq!(n.in_flight_down(), 0);
+        assert!(!n.is_idle());
     }
 
     #[test]

@@ -10,7 +10,9 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::cache::tag_array::{LineState, Side, TagArray};
 use crate::config::GpuConfig;
+use crate::fault::{FaultInjector, ResponseFault};
 use crate::mem::interconnect::DownPacket;
+use crate::stats::FaultStats;
 use crate::types::{Cycle, LineAddr, SmId};
 
 /// A read request pending in the partition.
@@ -56,6 +58,15 @@ pub struct MemoryPartition {
     dram_merges: HashMap<LineAddr, Vec<SmId>>,
     /// Responses ready to go back over the interconnect.
     outbox: VecDeque<DownPacket>,
+    /// Responses held back by injected delay faults (constant delay,
+    /// so FIFO release order is preserved).
+    delayed: VecDeque<(Cycle, DownPacket)>,
+    /// Injected-fault decision stream for outgoing responses.
+    injector: FaultInjector,
+    /// Monotone count of state-changing events, for the
+    /// forward-progress watchdog (a partition quietly working through
+    /// its DRAM pipe is progress even when nothing crosses the NoC).
+    events: u64,
     /// Counters.
     pub stats: PartitionStats,
 }
@@ -66,7 +77,9 @@ impl MemoryPartition {
         // The configured l2_hit_latency is the total L1→data latency;
         // subtract the interconnect round trip to get bank time.
         let noc_round_trip = u64::from(2 * cfg.noc_latency);
-        let l2_service = u64::from(cfg.l2_hit_latency).saturating_sub(noc_round_trip).max(1);
+        let l2_service = u64::from(cfg.l2_hit_latency)
+            .saturating_sub(noc_round_trip)
+            .max(1);
         MemoryPartition {
             l2: TagArray::new(cfg.l2.lines(), cfg.l2.ways),
             line_bytes: cfg.l2.line_bytes,
@@ -81,7 +94,23 @@ impl MemoryPartition {
             dram_pipe: VecDeque::new(),
             dram_merges: HashMap::new(),
             outbox: VecDeque::new(),
+            delayed: VecDeque::new(),
+            injector: FaultInjector::new(cfg.fault),
+            events: 0,
             stats: PartitionStats::default(),
+        }
+    }
+
+    /// Routes a finished read response through the fault injector.
+    fn emit(&mut self, pkt: DownPacket, now: Cycle) {
+        match self.injector.on_response() {
+            ResponseFault::Deliver => self.outbox.push_back(pkt),
+            ResponseFault::Drop => {} // stats counted by the injector
+            ResponseFault::Duplicate => {
+                self.outbox.push_back(pkt);
+                self.outbox.push_back(pkt);
+            }
+            ResponseFault::Delay(extra) => self.delayed.push_back((now.plus(extra), pkt)),
         }
     }
 
@@ -105,6 +134,16 @@ impl MemoryPartition {
 
     /// Advances the partition by one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        // 0. Release fault-delayed responses whose hold expired.
+        while let Some((ready, _)) = self.delayed.front() {
+            if *ready > now {
+                break;
+            }
+            let (_, pkt) = self.delayed.pop_front().expect("front checked");
+            self.outbox.push_back(pkt);
+            self.events += 1;
+        }
+
         // 1. DRAM completions fill the L2 and produce responses.
         while let Some((ready, _)) = self.dram_pipe.front() {
             if *ready > now {
@@ -112,15 +151,19 @@ impl MemoryPartition {
             }
             let (_, req) = self.dram_pipe.pop_front().expect("front checked");
             self.fill_l2(req.line, now);
-            self.outbox.push_back(DownPacket {
-                sm: req.sm,
-                line: req.line,
-            });
+            self.emit(
+                DownPacket {
+                    sm: req.sm,
+                    line: req.line,
+                },
+                now,
+            );
             if let Some(extra) = self.dram_merges.remove(&req.line) {
                 for sm in extra {
-                    self.outbox.push_back(DownPacket { sm, line: req.line });
+                    self.emit(DownPacket { sm, line: req.line }, now);
                 }
             }
+            self.events += 1;
         }
 
         // 2. L2 hit pipeline completions.
@@ -129,13 +172,17 @@ impl MemoryPartition {
                 break;
             }
             let (_, pkt) = self.hit_pipe.pop_front().expect("front checked");
-            self.outbox.push_back(pkt);
+            self.emit(pkt, now);
+            self.events += 1;
         }
 
         // 3. Bank services.
         for _ in 0..self.banks {
-            let Some(req) = self.incoming.pop_front() else { break };
+            let Some(req) = self.incoming.pop_front() else {
+                break;
+            };
             self.service(req, now);
+            self.events += 1;
         }
 
         // 4. DRAM bandwidth: accumulate credit, start queued reads.
@@ -144,11 +191,13 @@ impl MemoryPartition {
             .saturating_add(self.dram_bytes_per_cycle)
             .min(self.dram_bytes_per_cycle * 8);
         while self.dram_credit >= u64::from(self.line_bytes) {
-            let Some(req) = self.dram_queue.pop_front() else { break };
+            let Some(req) = self.dram_queue.pop_front() else {
+                break;
+            };
             self.dram_credit -= u64::from(self.line_bytes);
             self.stats.dram_reads += 1;
-            self.dram_pipe
-                .push_back((now.plus(self.dram_latency), req));
+            self.dram_pipe.push_back((now.plus(self.dram_latency), req));
+            self.events += 1;
         }
     }
 
@@ -213,7 +262,51 @@ impl MemoryPartition {
             && self.dram_queue.is_empty()
             && self.dram_pipe.is_empty()
             && self.outbox.is_empty()
+            && self.delayed.is_empty()
     }
+
+    /// Monotone count of state-changing events (watchdog input).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Fault counters accumulated by this partition's injector.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats
+    }
+
+    /// Snapshot of queue and pipe occupancy for deadlock reports.
+    pub fn census(&self) -> PartitionCensus {
+        PartitionCensus {
+            incoming: self.incoming.len(),
+            hit_pipe: self.hit_pipe.len(),
+            dram_queue: self.dram_queue.len(),
+            dram_pipe: self.dram_pipe.len(),
+            merged_readers: self.dram_merges.values().map(Vec::len).sum(),
+            outbox: self.outbox.len(),
+            fault_delayed: self.delayed.len(),
+        }
+    }
+}
+
+/// Occupancy snapshot of the memory partition's internal queues,
+/// embedded in [`DeadlockReport`](crate::DeadlockReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionCensus {
+    /// Requests waiting for an L2 bank.
+    pub incoming: usize,
+    /// L2-hit responses still in the service pipeline.
+    pub hit_pipe: usize,
+    /// DRAM reads waiting for bandwidth.
+    pub dram_queue: usize,
+    /// DRAM reads in flight.
+    pub dram_pipe: usize,
+    /// Extra readers merged onto outstanding DRAM reads.
+    pub merged_readers: usize,
+    /// Responses waiting for the interconnect.
+    pub outbox: usize,
+    /// Responses held back by injected delay faults.
+    pub fault_delayed: usize,
 }
 
 #[cfg(test)]
@@ -296,11 +389,76 @@ mod tests {
             p.push_read(SmId(0), LineAddr(i));
         }
         p.tick(Cycle(0)); // all serviced by banks, queued for DRAM
-        // 64 B/cy credit: one 128 B line starts every 2 cycles.
+                          // 64 B/cy credit: one 128 B line starts every 2 cycles.
         assert!(p.stats.dram_reads <= 1);
         p.tick(Cycle(1));
         p.tick(Cycle(2));
         assert!(p.stats.dram_reads <= 2);
+    }
+
+    #[test]
+    fn dropped_responses_never_leave_the_partition() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.fault.drop_response = 1.0;
+        let mut p = MemoryPartition::new(&cfg);
+        p.push_read(SmId(0), LineAddr(1));
+        for cy in 0..500u64 {
+            p.tick(Cycle(cy));
+            assert!(p.pop_response().is_none(), "all responses dropped");
+        }
+        assert!(p.is_idle(), "the read was serviced, its response eaten");
+        assert_eq!(p.fault_stats().dropped_responses, 1);
+    }
+
+    #[test]
+    fn duplicated_responses_arrive_twice() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.fault.duplicate_response = 1.0;
+        let mut p = MemoryPartition::new(&cfg);
+        p.push_read(SmId(0), LineAddr(1));
+        let mut got = 0;
+        for cy in 0..500u64 {
+            p.tick(Cycle(cy));
+            while let Some(pkt) = p.pop_response() {
+                assert_eq!(pkt.line, LineAddr(1));
+                got += 1;
+            }
+        }
+        assert_eq!(got, 2);
+        assert_eq!(p.fault_stats().duplicated_responses, 1);
+    }
+
+    #[test]
+    fn delayed_responses_arrive_late_and_block_idle() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.fault.delay_response = 1.0;
+        cfg.fault.delay_cycles = 300;
+        let mut p = MemoryPartition::new(&cfg);
+        p.push_read(SmId(0), LineAddr(1));
+        let mut baseline = MemoryPartition::new(&GpuConfig::scaled(1));
+        baseline.push_read(SmId(0), LineAddr(1));
+        let (cy_base, _) = run_until_response(&mut baseline, 0, 600);
+        let (cy_delayed, _) = run_until_response(&mut p, 0, 1200);
+        assert!(
+            cy_delayed >= cy_base + 250,
+            "delay must apply: {cy_base} vs {cy_delayed}"
+        );
+        assert_eq!(p.fault_stats().delayed_responses, 1);
+    }
+
+    #[test]
+    fn census_tracks_queues() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.l2_banks = 1;
+        let mut p = MemoryPartition::new(&cfg);
+        for i in 0..3u64 {
+            p.push_read(SmId(0), LineAddr(i));
+        }
+        assert_eq!(p.census().incoming, 3);
+        let before = p.events();
+        p.tick(Cycle(0));
+        assert_eq!(p.census().incoming, 2);
+        assert!(p.events() > before, "servicing counts as progress");
     }
 
     #[test]

@@ -6,11 +6,14 @@ use std::collections::VecDeque;
 use crate::cache::unified_l1::{L1Mode, OutgoingRequest, PrefetchIssue, UnifiedL1};
 use crate::config::GpuConfig;
 use crate::kernel::{Instr, KernelTrace};
-use crate::prefetch::{AccessEvent, PrefetchContext, PrefetchPlacement, Prefetcher, PrefetchRequest};
+use crate::prefetch::{
+    AccessEvent, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
+};
 use crate::scheduler::Scheduler;
 use crate::stats::{AccessOutcome, SimStats};
 use crate::types::{CtaId, Cycle, SmId, WarpId};
 use crate::warp::{WarpSlot, WarpState};
+use crate::watchdog::{SmCensus, WarpBlock, WarpCensus};
 
 /// A CTA waiting to be launched on this SM.
 #[derive(Debug, Clone)]
@@ -115,7 +118,9 @@ impl Sm {
 
     fn try_launch_ctas(&mut self) {
         loop {
-            let Some(front) = self.cta_queue.front() else { return };
+            let Some(front) = self.cta_queue.front() else {
+                return;
+            };
             let free: Vec<usize> = self
                 .slots
                 .iter()
@@ -138,6 +143,7 @@ impl Sm {
     /// from each scheduler, account stalls, sync prefetcher state.
     pub fn tick(&mut self, kernel: &KernelTrace, now: Cycle, noc_utilization: f64) {
         self.try_launch_ctas();
+        self.l1.tick_recovery(now);
         for slot in self.slots.iter_mut().flatten() {
             slot.refresh(now);
         }
@@ -185,7 +191,9 @@ impl Sm {
         now: Cycle,
         noc_utilization: f64,
     ) -> bool {
-        let mut slot = self.slots[slot_idx].take().expect("scheduler picked a live slot");
+        let mut slot = self.slots[slot_idx]
+            .take()
+            .expect("scheduler picked a live slot");
 
         if !slot.pending.is_empty() {
             let next_is_load = matches!(
@@ -215,8 +223,7 @@ impl Sm {
                 slot.cur_coalesced = addrs.len() == 1;
                 slot.pending = addrs.iter().collect();
                 self.stats.instructions += 1;
-                let next_is_load =
-                    matches!(trace.instrs.get(slot.next), Some(Instr::Load { .. }));
+                let next_is_load = matches!(trace.instrs.get(slot.next), Some(Instr::Load { .. }));
                 self.process_txns(&mut slot, slot_idx, now, noc_utilization, next_is_load);
             }
             Some(Instr::Store { pc, addrs }) => {
@@ -300,7 +307,8 @@ impl Sm {
             prefetch_overrun: self.l1.take_overrun(),
         };
         self.scratch.clear();
-        self.prefetcher.on_demand_access(event, &ctx, &mut self.scratch);
+        self.prefetcher
+            .on_demand_access(event, &ctx, &mut self.scratch);
         self.scratch.truncate(self.max_prefetches_per_event);
         self.stats.prefetch.requested += self.scratch.len() as u64;
         for i in 0..self.scratch.len() {
@@ -345,6 +353,54 @@ impl Sm {
         pf.useful = l1pf.useful;
         pf.late = l1pf.late;
         pf.evicted_unused = l1pf.evicted_unused;
+        self.stats.fault.reissued_requests = self.l1.fault_stats.reissued_requests;
+        self.stats.fault.spurious_fills = self.l1.fault_stats.spurious_fills;
+    }
+
+    /// Count of instructions issued so far (watchdog progress signal).
+    pub fn instructions_issued(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Whether any resident warp is absorbing a fixed latency that ends
+    /// after `now` — guaranteed future progress the watchdog must not
+    /// mistake for a wedge.
+    pub fn has_busy_warp(&self, now: Cycle) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|s| matches!(s.state, WarpState::Busy(until) if until > now))
+    }
+
+    /// Snapshot of this SM's blocked state for a
+    /// [`DeadlockReport`](crate::DeadlockReport).
+    pub fn census(&self) -> SmCensus {
+        let warps = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|s| WarpCensus {
+                cta: s.cta,
+                trace_idx: s.trace_idx,
+                next: s.next,
+                block: match s.state {
+                    WarpState::Ready => WarpBlock::Ready,
+                    WarpState::Busy(until) => WarpBlock::Busy(until),
+                    WarpState::Waiting => WarpBlock::Waiting,
+                },
+                outstanding: s.outstanding,
+                pending_txns: s.pending.len(),
+            })
+            .collect();
+        SmCensus {
+            sm: self.id,
+            mshr_entries: self.l1.outstanding_misses(),
+            mshr_capacity: self.l1.mshr_capacity(),
+            reserved_lines: self.l1.reserved_lines(),
+            miss_queue: self.l1.miss_queue_len(),
+            queued_ctas: self.cta_queue.len(),
+            warps,
+        }
     }
 
     /// Frees retired warps (trace exhausted, nothing outstanding).

@@ -99,9 +99,11 @@ impl CacheStats {
     /// (it still waits), but reservation fails are excluded since the
     /// access is retried.
     pub fn hit_rate(&self) -> f64 {
-        let accepted =
-            self.hits + self.hits_on_prefetch + self.hits_reserved + self.merges_with_prefetch
-                + self.misses;
+        let accepted = self.hits
+            + self.hits_on_prefetch
+            + self.hits_reserved
+            + self.merges_with_prefetch
+            + self.misses;
         ratio(self.hits + self.hits_on_prefetch, accepted)
     }
 
@@ -150,6 +152,26 @@ impl PrefetchStats {
     }
 }
 
+/// Counters for injected faults and the simulator's reaction to them
+/// (see [`crate::FaultPlan`]). All zero on a healthy run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fill responses silently dropped by the injector.
+    pub dropped_responses: u64,
+    /// Fill responses delivered twice.
+    pub duplicated_responses: u64,
+    /// Fill responses held back by the injected extra delay.
+    pub delayed_responses: u64,
+    /// Read misses re-issued by timeout recovery.
+    pub reissued_requests: u64,
+    /// Fills that arrived with no outstanding MSHR entry (duplicate or
+    /// post-recovery stragglers) and were discarded.
+    pub spurious_fills: u64,
+    /// Cycles the interconnect ran at reduced (brownout) bandwidth.
+    pub brownout_cycles: u64,
+}
+
 /// Per-SM and device-wide summary.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -181,6 +203,8 @@ pub struct SimStats {
     pub noc_bytes_down: u64,
     /// Prefetch counters.
     pub prefetch: PrefetchStats,
+    /// Injected-fault counters.
+    pub fault: FaultStats,
 }
 
 impl SimStats {
@@ -253,6 +277,16 @@ impl SimStats {
         p.late += q.late;
         p.evicted_unused += q.evicted_unused;
         p.throttled_cycles += q.throttled_cycles;
+        let f = &mut self.fault;
+        let g = &other.fault;
+        f.dropped_responses += g.dropped_responses;
+        f.duplicated_responses += g.duplicated_responses;
+        f.delayed_responses += g.delayed_responses;
+        f.reissued_requests += g.reissued_requests;
+        f.spurious_fills += g.spurious_fills;
+        // Brownouts are device-global; like cycles, take the max rather
+        // than multiply by the SM count.
+        f.brownout_cycles = f.brownout_cycles.max(g.brownout_cycles);
     }
 }
 

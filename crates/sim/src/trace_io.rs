@@ -107,8 +107,12 @@ pub fn from_text(text: &str) -> Result<KernelTrace, ParseTraceError> {
                     .to_owned();
             }
             "warp" => {
-                let cta: u32 = parse_num(parts.next().ok_or_else(|| err(line_no, "warp needs a CTA id"))?)
-                    .ok_or_else(|| err(line_no, "bad CTA id"))?;
+                let cta: u32 = parse_num(
+                    parts
+                        .next()
+                        .ok_or_else(|| err(line_no, "warp needs a CTA id"))?,
+                )
+                .ok_or_else(|| err(line_no, "bad CTA id"))?;
                 if let Some((cta, instrs)) = current.take() {
                     warps.push(WarpTrace::new(cta, instrs));
                 }
@@ -120,13 +124,14 @@ pub fn from_text(text: &str) -> Result<KernelTrace, ParseTraceError> {
                     .ok_or_else(|| err(line_no, "instruction before first warp"))?;
                 let pc: u32 = parse_num(parts.next().ok_or_else(|| err(line_no, "missing pc"))?)
                     .ok_or_else(|| err(line_no, "bad pc"))?;
-                let addr_field = parts.next().ok_or_else(|| err(line_no, "missing address"))?;
+                let addr_field = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "missing address"))?;
                 let addrs: Option<Vec<Address>> = addr_field
                     .split(',')
                     .map(|a| parse_num::<u64>(a).map(Address))
                     .collect();
-                let addrs =
-                    AddrList::from_vec(addrs.ok_or_else(|| err(line_no, "bad address"))?);
+                let addrs = AddrList::from_vec(addrs.ok_or_else(|| err(line_no, "bad address"))?);
                 instrs.push(if op == "L" {
                     Instr::Load { pc: Pc(pc), addrs }
                 } else {
@@ -137,9 +142,12 @@ pub fn from_text(text: &str) -> Result<KernelTrace, ParseTraceError> {
                 let (_, instrs) = current
                     .as_mut()
                     .ok_or_else(|| err(line_no, "instruction before first warp"))?;
-                let cycles: u32 =
-                    parse_num(parts.next().ok_or_else(|| err(line_no, "missing cycle count"))?)
-                        .ok_or_else(|| err(line_no, "bad cycle count"))?;
+                let cycles: u32 = parse_num(
+                    parts
+                        .next()
+                        .ok_or_else(|| err(line_no, "missing cycle count"))?,
+                )
+                .ok_or_else(|| err(line_no, "bad cycle count"))?;
                 instrs.push(Instr::Compute { cycles });
             }
             other => return Err(err(line_no, &format!("unknown directive {other:?}"))),

@@ -159,7 +159,10 @@ mod tests {
         assert!(w.memory_stalled());
         let mut w = WarpSlot::new(CtaId(0), 0, 0);
         w.pending.push(Address(4));
-        assert!(w.memory_stalled(), "retrying a reservation fail is a memory stall");
+        assert!(
+            w.memory_stalled(),
+            "retrying a reservation fail is a memory stall"
+        );
         let mut w = WarpSlot::new(CtaId(0), 0, 0);
         w.state = WarpState::Busy(Cycle(100));
         assert!(!w.memory_stalled(), "compute busy is not a memory stall");

@@ -1,0 +1,145 @@
+//! Property-based tests for the text trace parser: `from_text` must
+//! return a structured [`ParseTraceError`] — never panic — on
+//! arbitrary bytes, truncated traces, and corrupted traces, and must
+//! round-trip everything `to_text` can produce.
+
+use proptest::prelude::*;
+use snake_sim::trace_io::{from_text, to_text};
+use snake_sim::{AddrList, Address, CtaId, Instr, KernelTrace, Pc, WarpTrace};
+
+#[derive(Debug, Clone)]
+enum GenInstr {
+    Load { pc: u16, addrs: Vec<u32> },
+    Store { pc: u16, addr: u32 },
+    Compute { cycles: u16 },
+}
+
+fn gen_instr() -> impl Strategy<Value = GenInstr> {
+    prop_oneof![
+        3 => (any::<u16>(), prop::collection::vec(any::<u32>(), 1..4))
+            .prop_map(|(pc, addrs)| GenInstr::Load { pc, addrs }),
+        1 => (any::<u16>(), any::<u32>()).prop_map(|(pc, addr)| GenInstr::Store { pc, addr }),
+        1 => (0u16..5000).prop_map(|cycles| GenInstr::Compute { cycles }),
+    ]
+}
+
+fn kernel() -> impl Strategy<Value = KernelTrace> {
+    prop::collection::vec((0u32..8, prop::collection::vec(gen_instr(), 0..12)), 1..6).prop_map(
+        |warps| {
+            let traces = warps
+                .into_iter()
+                .map(|(cta, instrs)| {
+                    let instrs = instrs
+                        .into_iter()
+                        .map(|g| match g {
+                            GenInstr::Load { pc, addrs } => Instr::Load {
+                                pc: Pc(u32::from(pc)),
+                                addrs: AddrList::from_vec(
+                                    addrs.into_iter().map(|a| Address(u64::from(a))).collect(),
+                                ),
+                            },
+                            GenInstr::Store { pc, addr } => {
+                                Instr::store(u32::from(pc), u64::from(addr))
+                            }
+                            GenInstr::Compute { cycles } => Instr::compute(u32::from(cycles)),
+                        })
+                        .collect();
+                    WarpTrace::new(CtaId(cta), instrs)
+                })
+                .collect();
+            KernelTrace::new("fuzz", traces)
+        },
+    )
+}
+
+/// Tokens chosen to land on every parser path: valid directives,
+/// numbers in both radices, and junk.
+fn token() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "kernel",
+        "warp",
+        "L",
+        "S",
+        "C",
+        "#",
+        "0",
+        "1",
+        "42",
+        "0x80",
+        "0xZZ",
+        "99999999999999999999",
+        "-3",
+        "foo",
+        ",",
+        "0x1000,0x80",
+        ",,,",
+        "18446744073709551615",
+        "\t",
+        "kernel#x",
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Ok or Err are both fine; reaching here at all is the property.
+        let _ = from_text(&text);
+    }
+
+    #[test]
+    fn token_soup_never_panics(
+        lines in prop::collection::vec(prop::collection::vec(token(), 0..5), 0..20)
+    ) {
+        let text = lines
+            .iter()
+            .map(|l| l.join(" "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        if let Ok(k) = from_text(&text) {
+            prop_assert!(!k.warps().is_empty(), "a parsed trace has at least one warp");
+        }
+    }
+
+    #[test]
+    fn truncated_traces_never_panic(k in kernel(), cut in any::<usize>()) {
+        let text = to_text(&k);
+        prop_assert!(text.is_ascii(), "format is ASCII, any byte offset is a char boundary");
+        let cut = cut % (text.len() + 1);
+        if let Ok(parsed) = from_text(&text[..cut]) {
+            prop_assert!(!parsed.warps().is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_traces_never_panic(k in kernel(), idx in any::<usize>(), byte in any::<u8>()) {
+        let mut bytes = to_text(&k).into_bytes();
+        let idx = idx % bytes.len();
+        bytes[idx] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = from_text(&text);
+    }
+
+    #[test]
+    fn round_trip_is_lossless(k in kernel()) {
+        let parsed = from_text(&to_text(&k));
+        prop_assert_eq!(parsed, Ok(k));
+    }
+
+    #[test]
+    fn parse_errors_name_a_plausible_line(
+        lines in prop::collection::vec(prop::collection::vec(token(), 0..5), 0..20)
+    ) {
+        let text = lines
+            .iter()
+            .map(|l| l.join(" "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        if let Err(e) = from_text(&text) {
+            prop_assert!(e.line <= lines.len().max(1), "line {} of {}", e.line, lines.len());
+            prop_assert!(!e.message.is_empty());
+        }
+    }
+}

@@ -5,7 +5,7 @@
 
 use snake_sim::{
     run_kernel, AccessEvent, AddrList, Address, CtaId, Gpu, GpuConfig, Instr, KernelTrace,
-    NullPrefetcher, Prefetcher, PrefetchContext, PrefetchPlacement, PrefetchRequest, WarpTrace,
+    NullPrefetcher, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher, WarpTrace,
 };
 
 fn cfg() -> GpuConfig {
@@ -200,10 +200,12 @@ fn two_sms_split_the_work() {
         .flat_map(|c| (0..4).map(move |w| streaming_warp(c, (c * 4 + w) as u64 * 65536, 8)))
         .collect();
     let k = KernelTrace::new("split", warps);
-    let one = run_kernel(GpuConfig::scaled(1), k.clone(), |_| Box::new(NullPrefetcher))
-        .unwrap()
-        .stats
-        .cycles;
+    let one = run_kernel(GpuConfig::scaled(1), k.clone(), |_| {
+        Box::new(NullPrefetcher)
+    })
+    .unwrap()
+    .stats
+    .cycles;
     let two = run_kernel(GpuConfig::scaled(2), k, |_| Box::new(NullPrefetcher))
         .unwrap()
         .stats

@@ -30,8 +30,8 @@ pub fn trace(size: &WorkloadSize) -> KernelTrace {
             let input = INPUT + u64::from(g) * IN_SPAN;
             for i in 0..u64::from(size.iters) {
                 b.load(110, input + i * 128); // sequential input
-                // Skewed bin access: hot bins mostly, occasional bursts
-                // across the whole bin array.
+                                              // Skewed bin access: hot bins mostly, occasional bursts
+                                              // across the whole bin array.
                 if r.gen_bool(0.15) {
                     for _ in 0..3 {
                         let bin = (r.gen_range(0..BIN_BYTES) / 128) * 128;

@@ -26,10 +26,8 @@ pub fn trace(size: &WorkloadSize) -> KernelTrace {
         .map(|(cta, w, g)| {
             let mut b = WarpBuilder::new();
             b.stagger(g);
-            let base = TEMP
-                + u64::from(cta.0) * CTA_ROWS * ROW_BYTES
-                + u64::from(w) * 128
-                + ROW_BYTES; // skip halo row
+            let base =
+                TEMP + u64::from(cta.0) * CTA_ROWS * ROW_BYTES + u64::from(w) * 128 + ROW_BYTES; // skip halo row
             for r in 0..u64::from(size.iters) {
                 let center = base + r * ROW_BYTES;
                 b.load(60, center);
@@ -62,7 +60,12 @@ mod tests {
     fn chains_dominate_fixed_strides() {
         let k = trace(&WorkloadSize::tiny());
         let p = predictability(&k);
-        assert!(p.chains > p.intra, "chains {} vs intra {}", p.chains, p.intra);
+        assert!(
+            p.chains > p.intra,
+            "chains {} vs intra {}",
+            p.chains,
+            p.intra
+        );
         assert!(p.ideal > 0.8);
     }
 }

@@ -28,4 +28,4 @@ pub mod suite;
 pub mod tiled;
 
 pub use pattern::{WarpBuilder, WorkloadSize};
-pub use suite::{Benchmark, ParseBenchmarkError};
+pub use suite::{memory_bound, Benchmark, ParseBenchmarkError};

@@ -93,7 +93,11 @@ pub fn colocate(a: &KernelTrace, b: &KernelTrace, pc_space: PcSpace) -> KernelTr
         "{}+{}{}",
         a.name(),
         b.name(),
-        if pc_space == PcSpace::Shared { " (shared PCs)" } else { "" }
+        if pc_space == PcSpace::Shared {
+            " (shared PCs)"
+        } else {
+            ""
+        }
     );
     KernelTrace::new(name, warps)
 }

@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn builder_produces_expected_stream() {
         let mut b = WarpBuilder::new();
-        b.load(1, 0).compute(4).store(2, 128).divergent_load(3, vec![0, 4096]);
+        b.load(1, 0)
+            .compute(4)
+            .store(2, 128)
+            .divergent_load(3, vec![0, 4096]);
         assert_eq!(b.len(), 4);
         assert!(!b.is_empty());
         let w = b.build(CtaId(1));

@@ -112,6 +112,21 @@ impl Benchmark {
     }
 }
 
+/// The Table 2 subset whose baseline runs are dominated by memory
+/// stalls (>50% of all-stall cycles on the scaled substrate) — the
+/// natural targets for prefetching and for the fault-injection and
+/// robustness sweeps, where memory-response faults actually bite.
+pub fn memory_bound() -> &'static [Benchmark] {
+    &[
+        Benchmark::Lib,
+        Benchmark::Mum,
+        Benchmark::Srad,
+        Benchmark::Lud,
+        Benchmark::Nw,
+        Benchmark::Histo,
+    ]
+}
+
 impl std::fmt::Display for Benchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.abbr())

@@ -38,7 +38,10 @@ pub fn trace(size: &WorkloadSize, tile_bytes: u64) -> KernelTrace {
             if tile_bytes == 0 {
                 // Untiled: stream A, walk B column-major, no reuse.
                 for i in 0..u64::from(size.iters) {
-                    b.load(130, A_BASE + cta_off + (u64::from(g) + i * warps_per_cta) * 128);
+                    b.load(
+                        130,
+                        A_BASE + cta_off + (u64::from(g) + i * warps_per_cta) * 128,
+                    );
                     b.load(132, B_BASE + cta_off + u64::from(w) * 128 + i * B_COL_PITCH);
                     b.compute(2);
                     if i % 8 == 7 {
@@ -83,10 +86,11 @@ mod tests {
         let size = WorkloadSize::tiny();
         let cfg = GpuConfig::scaled(1);
         let tile = u64::from(cfg.l1.capacity_bytes) / 2;
-        let tiled = run_kernel(cfg.clone(), trace(&size, tile), |_| Box::new(NullPrefetcher))
-            .unwrap();
-        let untiled =
-            run_kernel(cfg, trace(&size, 0), |_| Box::new(NullPrefetcher)).unwrap();
+        let tiled = run_kernel(cfg.clone(), trace(&size, tile), |_| {
+            Box::new(NullPrefetcher)
+        })
+        .unwrap();
+        let untiled = run_kernel(cfg, trace(&size, 0), |_| Box::new(NullPrefetcher)).unwrap();
         assert!(
             tiled.stats.l1.hit_rate() > untiled.stats.l1.hit_rate() + 0.2,
             "tiled {} vs untiled {}",

@@ -1,0 +1,62 @@
+//! Tests for the `suite::memory_bound` subset: membership is justified
+//! by measured stall behaviour, and the whole matrix is a determinism
+//! regression gate (same seed → bit-identical statistics).
+
+use snake_sim::{run_kernel, GpuConfig, NullPrefetcher, SimStats};
+use snake_workloads::{memory_bound, Benchmark, WorkloadSize};
+
+fn small() -> WorkloadSize {
+    WorkloadSize {
+        warps_per_cta: 4,
+        ctas: 4,
+        iters: 24,
+        seed: 0xC0FFEE,
+    }
+}
+
+fn run_baseline(b: Benchmark) -> SimStats {
+    let cfg = GpuConfig::scaled(1);
+    run_kernel(cfg, b.build(&small()), |_| Box::new(NullPrefetcher))
+        .expect("valid config")
+        .stats
+}
+
+#[test]
+fn memory_bound_is_a_nonempty_subset_of_table2() {
+    let subset = memory_bound();
+    assert!(!subset.is_empty());
+    for b in subset {
+        assert!(Benchmark::all().contains(b), "{b} not in Table 2");
+    }
+    // No duplicates.
+    let mut seen = subset.to_vec();
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), subset.len());
+}
+
+#[test]
+fn memory_bound_apps_are_actually_memory_stall_dominated() {
+    for &b in memory_bound() {
+        let s = run_baseline(b);
+        assert!(
+            s.memory_stall_fraction() > 0.5,
+            "{b}: memory stall fraction {:.3} — not memory-bound",
+            s.memory_stall_fraction()
+        );
+    }
+}
+
+#[test]
+fn memory_bound_matrix_is_bit_identical_across_runs() {
+    // The determinism regression gate: the same seed must give
+    // bit-identical statistics (not merely similar IPC) across the
+    // whole memory-bound matrix. Any hidden nondeterminism — hash-map
+    // iteration order, uninitialized state, wall-clock leakage — shows
+    // up here as a field-level diff.
+    for &b in memory_bound() {
+        let a = run_baseline(b);
+        let again = run_baseline(b);
+        assert_eq!(a, again, "{b}: statistics differ between identical runs");
+    }
+}

@@ -64,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n== Chain graph (Graphviz DOT, Fig 8 style) ==");
         print!(
             "{}",
-            snake_repro::core::analysis::chain_graph_dot(
-                &kernel,
-                &ChainAnalysisConfig::default()
-            )
+            snake_repro::core::analysis::chain_graph_dot(&kernel, &ChainAnalysisConfig::default())
         );
     }
 

@@ -11,8 +11,16 @@ use snake_repro::workloads::multi::{colocate, PcSpace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let a: Benchmark = args.next().map(|s| s.parse()).transpose()?.unwrap_or(Benchmark::Lps);
-    let b: Benchmark = args.next().map(|s| s.parse()).transpose()?.unwrap_or(Benchmark::Mrq);
+    let a: Benchmark = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Benchmark::Lps);
+    let b: Benchmark = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Benchmark::Mrq);
     let size = WorkloadSize::standard();
     let cfg = GpuConfig::scaled(2);
     let warps = cfg.max_warps_per_sm;

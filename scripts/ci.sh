@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full local CI gate. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (default features)"
+cargo test --workspace -q
+
+echo "==> cargo test (audit feature)"
+cargo test -p snake-sim --features audit -q
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI gate passed."

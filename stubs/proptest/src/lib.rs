@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates registry, so this vendored crate
+//! implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro, `prop_assert*` macros, [`strategy::Strategy`]
+//! with `prop_map`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::select`, `any::<T>()`, and integer/float range and
+//! tuple strategies.
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` random cases
+//! from a generator seeded deterministically from the test's module
+//! path and name, so failures reproduce across runs. There is no
+//! shrinking; the failing case's debug representation is printed
+//! instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies (`prop::sample::select`).
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test, failing the case (with
+/// the optional formatted message) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test (by reference, like
+/// `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                $crate::prop_assert!(
+                    *left_val == *right_val,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left_val,
+                    right_val
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                $crate::prop_assert!(
+                    *left_val == *right_val,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left_val,
+                    right_val,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                $crate::prop_assert!(
+                    *left_val != *right_val,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    left_val
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                $crate::prop_assert!(
+                    *left_val != *right_val,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+                    left_val,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(
+                (
+                    ($weight) as u32,
+                    {
+                        let s = $strategy;
+                        ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                            $crate::strategy::Strategy::generate(&s, rng)
+                        }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+                    },
+                )
+            ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strategy),+)
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..100, flip in any::<bool>()) {
+///         prop_assert!(x < 100 || flip);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}"),+),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:{}",
+                        case + 1,
+                        config.cases,
+                        err,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses serde as an optional marker capability on
+//! stats/config types (no wire format is exercised in-tree, and the
+//! registry is unreachable in this build environment). This stub keeps
+//! the `serde` feature compiling: the traits exist, blanket impls make
+//! every type satisfy them, and the paired `serde_derive` stub accepts
+//! the derive attributes while emitting no code. Anything needing real
+//! serialization must replace this with the actual crates.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Deserializer-side helper traits.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

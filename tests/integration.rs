@@ -14,7 +14,10 @@ fn small() -> WorkloadSize {
 }
 
 fn run(app: Benchmark, kind: PrefetcherKind) -> SimOutcome {
-    let cfg = GpuConfig::scaled(1);
+    let mut cfg = GpuConfig::scaled(1);
+    // Every integration run doubles as an invariant audit (conservation
+    // laws checked every window; violations panic the test).
+    cfg.audit_window = Some(64);
     let warps = cfg.max_warps_per_sm;
     run_kernel(cfg, app.build(&small()), |_| kind.build(warps)).expect("valid config")
 }
@@ -58,20 +61,25 @@ fn snake_improves_chain_heavy_apps() {
         let snake = run(app, PrefetcherKind::Snake);
         let speedup = snake.stats.ipc() / base.stats.ipc();
         assert!(speedup > 1.05, "{app}: speedup {speedup:.3}");
-        assert!(snake.stats.coverage() > 0.4, "{app}: coverage {}", snake.stats.coverage());
+        assert!(
+            snake.stats.coverage() > 0.4,
+            "{app}: coverage {}",
+            snake.stats.coverage()
+        );
     }
 }
 
 #[test]
 fn no_mechanism_helps_pointer_chasing() {
     let base = run(Benchmark::Mum, PrefetcherKind::Baseline);
-    for kind in [PrefetcherKind::Snake, PrefetcherKind::Mta, PrefetcherKind::Cta] {
+    for kind in [
+        PrefetcherKind::Snake,
+        PrefetcherKind::Mta,
+        PrefetcherKind::Cta,
+    ] {
         let out = run(Benchmark::Mum, kind);
         let speedup = out.stats.ipc() / base.stats.ipc();
-        assert!(
-            (0.9..1.1).contains(&speedup),
-            "{kind} on MUM: {speedup:.3}"
-        );
+        assert!((0.9..1.1).contains(&speedup), "{kind} on MUM: {speedup:.3}");
         assert!(out.stats.coverage() < 0.1, "{kind} MUM coverage");
     }
 }
@@ -95,7 +103,10 @@ fn prefetch_accounting_identities_hold() {
         assert_eq!(p.issued, p.fills + p.late, "{app}: prefetch fate");
         // Funnel ordering.
         assert!(p.useful <= p.fills, "{app}");
-        assert!(p.issued + p.redundant + p.rejected == p.requested || p.requested == 0, "{app}");
+        assert!(
+            p.issued + p.redundant + p.rejected == p.requested || p.requested == 0,
+            "{app}"
+        );
         // Rates are probabilities.
         for v in [
             s.coverage(),
@@ -150,6 +161,7 @@ fn volta_config_also_runs() {
     // suffices to validate it end to end.
     let mut cfg = GpuConfig::volta_v100();
     cfg.num_sms = 4; // keep the test fast
+    cfg.audit_window = Some(64);
     let size = WorkloadSize::tiny();
     let warps = cfg.max_warps_per_sm;
     let out = run_kernel(cfg, Benchmark::Lps.build(&size), |_| {

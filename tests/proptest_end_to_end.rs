@@ -31,9 +31,7 @@ fn kernel() -> impl Strategy<Value = KernelTrace> {
                 let instrs = instrs
                     .into_iter()
                     .map(|g| match g {
-                        GenInstr::Load { pc, addr } => {
-                            Instr::load(u32::from(pc), u64::from(addr))
-                        }
+                        GenInstr::Load { pc, addr } => Instr::load(u32::from(pc), u64::from(addr)),
                         GenInstr::Store { pc, addr } => {
                             Instr::store(u32::from(pc), u64::from(addr))
                         }

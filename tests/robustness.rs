@@ -1,0 +1,301 @@
+//! End-to-end robustness tests: fault injection through the full
+//! workloads → simulator → prefetcher pipeline.
+//!
+//! These tests deliberately break the memory hierarchy — dropping,
+//! duplicating, and delaying responses, and browning out interconnect
+//! bandwidth — and assert the hardening layers respond as designed:
+//! the watchdog converts silent hangs into structured
+//! [`StopReason::Deadlock`] reports, timeout-and-reissue recovery
+//! masks lost responses, Snake's bandwidth throttle backs off during
+//! brownouts, and IPC degrades gracefully (monotonically, not
+//! catastrophically) as the fault rate rises.
+
+use snake_repro::prelude::*;
+use snake_repro::sim::{Brownout, FaultPlan, Recovery, StopReason};
+
+fn small() -> WorkloadSize {
+    WorkloadSize {
+        warps_per_cta: 4,
+        ctas: 4,
+        iters: 24,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// A run with every response dropped and recovery disabled must not
+/// hang: the watchdog trips and reports who was blocked on what.
+#[test]
+fn dropped_fills_without_recovery_deadlock() {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.fault = FaultPlan {
+        seed: 7,
+        drop_response: 1.0,
+        ..FaultPlan::default()
+    };
+    cfg.watchdog_cycles = Some(1_000);
+    cfg.audit_window = Some(64);
+    let warps = cfg.max_warps_per_sm;
+    let out = run_kernel(cfg, Benchmark::Srad.build(&small()), |_| {
+        PrefetcherKind::Baseline.build(warps)
+    })
+    .expect("valid config");
+
+    let StopReason::Deadlock(report) = &out.stop else {
+        panic!("expected a deadlock, got {:?}", out.stop);
+    };
+    assert!(
+        report.stalled_for >= 1_000,
+        "stalled {}",
+        report.stalled_for
+    );
+    assert!(
+        report.waiting_warps() > 0,
+        "someone must be blocked on memory"
+    );
+    assert!(
+        report.total_mshr_entries() > 0,
+        "misses must be outstanding"
+    );
+    assert!(out.stats.fault.dropped_responses > 0);
+    // The report renders to a human-readable dump naming the blockage.
+    let text = report.to_string();
+    assert!(text.contains("deadlock at cycle"));
+    assert!(text.contains("mshr"));
+}
+
+/// The same all-drops substrate with timeout-and-reissue recovery
+/// enabled... still wedges (every reissue is dropped too), but a
+/// *partial* drop rate that would wedge without recovery completes
+/// with it.
+#[test]
+fn recovery_masks_dropped_responses() {
+    let plan = FaultPlan {
+        seed: 11,
+        drop_response: 0.5,
+        ..FaultPlan::default()
+    };
+
+    // Without recovery: wedged.
+    let mut broken = GpuConfig::scaled(1);
+    broken.fault = plan;
+    broken.watchdog_cycles = Some(2_000);
+    let warps = broken.max_warps_per_sm;
+    let out = run_kernel(broken, Benchmark::Srad.build(&small()), |_| {
+        PrefetcherKind::Baseline.build(warps)
+    })
+    .expect("valid config");
+    assert!(
+        matches!(out.stop, StopReason::Deadlock(_)),
+        "half the fills lost with no recovery must wedge, got {:?}",
+        out.stop
+    );
+
+    // With recovery: completes, and the reissue counter shows why.
+    let mut recovered = GpuConfig::scaled(1);
+    recovered.fault = FaultPlan {
+        recovery: Some(Recovery {
+            timeout: 400,
+            max_retries: 32,
+        }),
+        ..plan
+    };
+    recovered.audit_window = Some(64);
+    let out = run_kernel(recovered, Benchmark::Srad.build(&small()), |_| {
+        PrefetcherKind::Baseline.build(warps)
+    })
+    .expect("valid config");
+    assert_eq!(
+        out.stop,
+        StopReason::Completed,
+        "recovery must mask the drops"
+    );
+    assert!(
+        out.stats.fault.reissued_requests > 0,
+        "recovery must have fired"
+    );
+    assert!(out.stats.fault.dropped_responses > 0);
+}
+
+/// Duplicated and delayed responses are absorbed without corruption:
+/// the run completes, retires exactly the fault-free instruction
+/// count, and stray fills are counted, not fatal.
+#[test]
+fn duplicates_and_delays_are_harmless() {
+    let clean = {
+        let cfg = GpuConfig::scaled(1);
+        let warps = cfg.max_warps_per_sm;
+        run_kernel(cfg, Benchmark::Srad.build(&small()), |_| {
+            PrefetcherKind::Baseline.build(warps)
+        })
+        .expect("valid config")
+    };
+
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.fault = FaultPlan {
+        seed: 23,
+        duplicate_response: 0.3,
+        delay_response: 0.3,
+        delay_cycles: 300,
+        ..FaultPlan::default()
+    };
+    cfg.audit_window = Some(64);
+    let warps = cfg.max_warps_per_sm;
+    let out = run_kernel(cfg, Benchmark::Srad.build(&small()), |_| {
+        PrefetcherKind::Baseline.build(warps)
+    })
+    .expect("valid config");
+
+    assert_eq!(out.stop, StopReason::Completed);
+    assert_eq!(out.stats.instructions, clean.stats.instructions);
+    assert!(out.stats.fault.duplicated_responses > 0);
+    assert!(out.stats.fault.delayed_responses > 0);
+    assert!(
+        out.stats.fault.spurious_fills > 0,
+        "duplicates become spurious fills"
+    );
+    assert!(
+        out.stats.cycles >= clean.stats.cycles,
+        "delays cannot speed things up"
+    );
+}
+
+/// NoC brownouts raise measured utilization, which must engage Snake's
+/// bandwidth throttle (halt >= 70% utilization, resume <= 50%); the
+/// run still completes.
+#[test]
+fn brownout_engages_snake_throttle() {
+    let healthy = {
+        let cfg = GpuConfig::scaled(1);
+        let warps = cfg.max_warps_per_sm;
+        run_kernel(cfg, Benchmark::Lps.build(&small()), |_| {
+            PrefetcherKind::Snake.build(warps)
+        })
+        .expect("valid config")
+    };
+
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.fault = FaultPlan {
+        seed: 3,
+        brownout: Some(Brownout {
+            period: 2_000,
+            active: 1_000,
+            scale: 0.25,
+        }),
+        ..FaultPlan::default()
+    };
+    cfg.audit_window = Some(64);
+    let warps = cfg.max_warps_per_sm;
+    let out = run_kernel(cfg, Benchmark::Lps.build(&small()), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .expect("valid config");
+
+    assert_eq!(out.stop, StopReason::Completed);
+    assert!(out.stats.fault.brownout_cycles > 0);
+    assert!(
+        out.stats.prefetch.throttled_cycles > healthy.stats.prefetch.throttled_cycles,
+        "brownout must drive the throttle harder: {} vs healthy {}",
+        out.stats.prefetch.throttled_cycles,
+        healthy.stats.prefetch.throttled_cycles
+    );
+    // The throttle resumes once bandwidth returns: prefetching still
+    // happened (it halted and resumed rather than dying).
+    assert!(out.stats.prefetch.issued > 0);
+}
+
+/// Sweeping the drop rate with recovery enabled: every point
+/// completes, IPC never *improves* with more faults, and the worst
+/// point keeps a usable fraction of fault-free throughput (degradation
+/// is graceful, not a cliff).
+#[test]
+fn ipc_degrades_monotonically_with_fault_rate() {
+    let rates = [0.0, 0.05, 0.15, 0.3];
+    let mut ipcs = Vec::new();
+    for &rate in &rates {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.fault = FaultPlan {
+            seed: 42,
+            drop_response: rate,
+            recovery: Some(Recovery {
+                timeout: 400,
+                max_retries: 32,
+            }),
+            ..FaultPlan::default()
+        };
+        let warps = cfg.max_warps_per_sm;
+        let out = run_kernel(cfg, Benchmark::Srad.build(&small()), |_| {
+            PrefetcherKind::Baseline.build(warps)
+        })
+        .expect("valid config");
+        assert_eq!(out.stop, StopReason::Completed, "drop rate {rate}");
+        ipcs.push(out.stats.ipc());
+    }
+    for w in ipcs.windows(2) {
+        assert!(
+            w[1] <= w[0] * 1.02,
+            "IPC must not improve with more faults: {ipcs:?}"
+        );
+    }
+    assert!(
+        ipcs[ipcs.len() - 1] > ipcs[0] * 0.1,
+        "worst case must stay within 10x of fault-free: {ipcs:?}"
+    );
+}
+
+/// Fault injection is part of the deterministic state: the same plan
+/// and seed give bit-identical statistics, fault counters included.
+#[test]
+fn fault_injection_is_deterministic() {
+    let run_once = || {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.fault = FaultPlan {
+            seed: 99,
+            drop_response: 0.2,
+            duplicate_response: 0.1,
+            delay_response: 0.1,
+            delay_cycles: 150,
+            recovery: Some(Recovery {
+                timeout: 400,
+                max_retries: 32,
+            }),
+            brownout: Some(Brownout {
+                period: 1_000,
+                active: 300,
+                scale: 0.5,
+            }),
+        };
+        let warps = cfg.max_warps_per_sm;
+        run_kernel(cfg, Benchmark::Srad.build(&small()), |_| {
+            PrefetcherKind::Snake.build(warps)
+        })
+        .expect("valid config")
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(
+        a.stats, b.stats,
+        "seeded faults must be fully deterministic"
+    );
+    assert!(
+        a.stats.fault.dropped_responses > 0,
+        "the plan must actually fire"
+    );
+}
+
+/// The watchdog never fires on a healthy but *slow* device: a
+/// fault-free run with a tight threshold still completes.
+#[test]
+fn watchdog_is_quiet_on_healthy_runs() {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.watchdog_cycles = Some(600); // just above the DRAM round trip
+    cfg.audit_window = Some(64);
+    let warps = cfg.max_warps_per_sm;
+    for &app in Benchmark::all() {
+        let out = run_kernel(cfg.clone(), app.build(&small()), |_| {
+            PrefetcherKind::Snake.build(warps)
+        })
+        .expect("valid config");
+        assert_eq!(out.stop, StopReason::Completed, "{app}");
+    }
+}
