@@ -1,16 +1,45 @@
 //! Prefetch-funnel diagnostics for one benchmark/mechanism pair.
+//!
+//! Besides the funnel counters, the binary exposes the observability
+//! layer: `--trace-out` writes a Chrome trace-event JSON loadable in
+//! Perfetto, `--timeline` renders the windowed time series as an ASCII
+//! chart, and `--overhead-guard` measures the no-sink tracing overhead
+//! against a recorded wall-clock baseline (used by `scripts/ci.sh`).
+
+use std::io::Write;
+use std::time::Instant;
 
 use snake_bench::cli::{self, CliError};
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
+use snake_sim::obs::{chrome_trace, SharedVecSink};
 use snake_sim::Gpu;
 use snake_workloads::Benchmark;
+
+/// Window width (cycles) used when `--timeline` is given without an
+/// explicit `--window`.
+const DEFAULT_WINDOW: u64 = 1000;
+
+/// Timed repetitions for `--overhead-guard` (min-of-N suppresses
+/// scheduler noise; the first run doubles as warm-up).
+const GUARD_REPS: u32 = 5;
+
+/// Allowed slowdown of the no-sink path over the recorded baseline.
+const GUARD_TOLERANCE: f64 = 1.02;
 
 fn usage() -> String {
     let benches: Vec<&str> = Benchmark::all().iter().map(|b| b.abbr()).collect();
     format!(
-        "usage: pfdebug [BENCH] [MECHANISM]\n  BENCH: {} (default lps)\n  MECHANISM: a PrefetcherKind name, e.g. baseline, snake (default snake)",
-        benches.join(" ")
+        "usage: pfdebug [FLAGS] [BENCH] [MECHANISM]\n  \
+         BENCH: {} (default lps)\n  \
+         MECHANISM: a PrefetcherKind name, e.g. baseline, snake (default snake)\n  \
+         --trace-out FILE       write a Chrome trace-event JSON (open in Perfetto)\n  \
+         --timeline             print an ASCII timeline of the windowed metrics\n  \
+         --window N             sample windowed metrics every N cycles (default {} with --timeline)\n  \
+         --overhead-guard FILE  time the no-sink path against the baseline in FILE\n                         (records FILE when absent; fails if >{:.0}% slower)",
+        benches.join(" "),
+        DEFAULT_WINDOW,
+        (GUARD_TOLERANCE - 1.0) * 100.0
     )
 }
 
@@ -21,14 +50,59 @@ fn main() {
 }
 
 fn run() -> Result<(), CliError> {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() > 3 {
+    let mut trace_out: Option<String> = None;
+    let mut timeline = false;
+    let mut window: Option<u64> = None;
+    let mut guard: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out =
+                    Some(args.next().ok_or_else(|| {
+                        CliError::Usage("--trace-out needs a file operand".into())
+                    })?);
+            }
+            "--timeline" => timeline = true,
+            "--window" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--window needs a cycle count".into()))?;
+                let n: u64 = raw.parse().map_err(|_| CliError::BadArg {
+                    what: "window",
+                    why: format!("not a cycle count: {raw:?}"),
+                })?;
+                if n == 0 {
+                    return Err(CliError::BadArg {
+                        what: "window",
+                        why: "window must be at least one cycle".into(),
+                    });
+                }
+                window = Some(n);
+            }
+            "--overhead-guard" => {
+                guard = Some(args.next().ok_or_else(|| {
+                    CliError::Usage("--overhead-guard needs a baseline file operand".into())
+                })?);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag: {other}")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() > 2 {
         return Err(CliError::Usage(format!(
-            "expected at most 2 arguments, got {}",
-            args.len() - 1
+            "expected at most 2 positional arguments, got {}",
+            positional.len()
         )));
     }
-    let bench: Benchmark = match args.get(1) {
+    let bench: Benchmark = match positional.first() {
         Some(s) => {
             s.parse().map_err(
                 |e: <Benchmark as std::str::FromStr>::Err| CliError::BadArg {
@@ -39,7 +113,7 @@ fn run() -> Result<(), CliError> {
         }
         None => Benchmark::Lps,
     };
-    let kind: PrefetcherKind = match args.get(2) {
+    let kind: PrefetcherKind = match positional.get(1) {
         Some(s) => {
             s.parse().map_err(
                 |e: <PrefetcherKind as std::str::FromStr>::Err| CliError::BadArg {
@@ -50,10 +124,24 @@ fn run() -> Result<(), CliError> {
         }
         None => PrefetcherKind::Snake,
     };
-    let h = Harness::standard();
+
+    if let Some(path) = guard {
+        return overhead_guard(&path, bench, kind);
+    }
+
+    let mut h = Harness::standard();
+    if timeline && window.is_none() {
+        window = Some(DEFAULT_WINDOW);
+    }
+    h.cfg.metrics_window = window;
     let kernel = bench.build(&h.size);
     let warps = h.cfg.max_warps_per_sm;
     let mut gpu = Gpu::new(h.cfg.clone(), kernel, |_| kind.build(warps))?;
+    let sink = trace_out.as_ref().map(|_| {
+        let s = SharedVecSink::new();
+        gpu.attach_sink(Box::new(s.clone()));
+        s
+    });
     let out = gpu.run();
     let s = &out.stats;
     let p = &s.prefetch;
@@ -87,5 +175,72 @@ fn run() -> Result<(), CliError> {
         s.l1.hit_rate(),
         s.noc_utilization(u64::from(h.cfg.noc_bytes_per_cycle))
     );
+    println!(
+        "lifecycle issue->fill {} | fill->first-use {} | unused lifetime {}",
+        out.lifecycle.issue_to_fill, out.lifecycle.fill_to_first_use, out.lifecycle.lifetime_unused
+    );
+    if let Some(path) = trace_out {
+        let events = sink.expect("sink attached with trace_out").snapshot();
+        let json = chrome_trace(&events);
+        let mut f = std::fs::File::create(&path).map_err(|e| CliError::io(&path, e))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| CliError::io(&path, e))?;
+        eprintln!("wrote {} events to {path}", events.len());
+    }
+    if timeline {
+        match &out.series {
+            Some(series) => print!("{}", series.ascii_timeline()),
+            None => eprintln!("no metrics series collected"),
+        }
+    }
     Ok(())
+}
+
+/// Times the no-sink path and compares against (or records) the
+/// wall-clock baseline in `path`.
+///
+/// The baseline file holds a single integer: the best-of-N run time in
+/// nanoseconds, recorded on this machine by a previous invocation. A
+/// missing file records the current measurement and succeeds, so CI
+/// can bootstrap the baseline on first run.
+fn overhead_guard(path: &str, bench: Benchmark, kind: PrefetcherKind) -> Result<(), CliError> {
+    let h = Harness::standard();
+    let kernel = bench.build(&h.size);
+    let warps = h.cfg.max_warps_per_sm;
+    let mut best_ns = u128::MAX;
+    for _ in 0..GUARD_REPS {
+        let mut gpu = Gpu::new(h.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
+        let start = Instant::now();
+        let out = gpu.run();
+        let elapsed = start.elapsed().as_nanos();
+        assert!(out.stats.cycles > 0, "guard run did no work");
+        best_ns = best_ns.min(elapsed);
+    }
+    match std::fs::read_to_string(path) {
+        Ok(raw) => {
+            let baseline_ns: u128 = raw.trim().parse().map_err(|_| CliError::BadArg {
+                what: "baseline",
+                why: format!("{path}: not a nanosecond count: {:?}", raw.trim()),
+            })?;
+            let ratio = best_ns as f64 / baseline_ns.max(1) as f64;
+            println!(
+                "overhead-guard: best {best_ns} ns vs baseline {baseline_ns} ns (x{ratio:.4})"
+            );
+            if ratio > GUARD_TOLERANCE {
+                eprintln!(
+                    "pfdebug: no-sink trace path regressed {:.1}% (limit {:.0}%)",
+                    (ratio - 1.0) * 100.0,
+                    (GUARD_TOLERANCE - 1.0) * 100.0
+                );
+                std::process::exit(1);
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::write(path, format!("{best_ns}\n")).map_err(|e| CliError::io(path, e))?;
+            println!("overhead-guard: recorded baseline {best_ns} ns in {path}");
+            Ok(())
+        }
+        Err(e) => Err(CliError::io(path, e)),
+    }
 }

@@ -15,6 +15,11 @@ use snake_bench::figures::{self, EvalMatrix};
 use snake_bench::report::Table;
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
+use snake_sim::Gpu;
+use snake_workloads::Benchmark;
+
+/// Window width (cycles) for the `--metrics-csv` time series.
+const METRICS_WINDOW: u64 = 500;
 
 const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "table3", "fig03", "fig04", "fig05", "fig06", "fig09", "fig10", "fig11",
@@ -24,7 +29,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--markdown] [--out FILE] (--list | --all | <experiment>...)\nexperiments: {}",
+        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nexperiments: {}",
         EXPERIMENTS.join(" ")
     )
 }
@@ -42,6 +47,7 @@ fn run() -> Result<(), CliError> {
     let mut all = false;
     let mut list = false;
     let mut out_file: Option<String> = None;
+    let mut metrics_csv: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +61,12 @@ fn run() -> Result<(), CliError> {
                     args.next()
                         .ok_or_else(|| CliError::Usage("--out needs a file operand".into()))?,
                 );
+            }
+            "--metrics-csv" => {
+                metrics_csv =
+                    Some(args.next().ok_or_else(|| {
+                        CliError::Usage("--metrics-csv needs a file operand".into())
+                    })?);
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -72,9 +84,9 @@ fn run() -> Result<(), CliError> {
         }
         return Ok(());
     }
-    if !all && wanted.is_empty() {
+    if !all && wanted.is_empty() && metrics_csv.is_none() {
         return Err(CliError::Usage(
-            "nothing to do: pass --all, --list, or experiment ids".into(),
+            "nothing to do: pass --all, --list, --metrics-csv, or experiment ids".into(),
         ));
     }
     for w in &wanted {
@@ -91,6 +103,12 @@ fn run() -> Result<(), CliError> {
     } else {
         Harness::standard()
     };
+    if let Some(path) = &metrics_csv {
+        write_metrics_csv(&h, path)?;
+    }
+    if !all && wanted.is_empty() {
+        return Ok(());
+    }
     let tables = if all {
         figures::all(&h)
     } else {
@@ -116,6 +134,26 @@ fn run() -> Result<(), CliError> {
         }
         None => print!("{rendered}"),
     }
+    Ok(())
+}
+
+/// Runs LPS under Snake with windowed metrics enabled and writes the
+/// resulting time series as CSV — the machine-readable companion to
+/// `pfdebug --timeline`.
+fn write_metrics_csv(h: &Harness, path: &str) -> Result<(), CliError> {
+    let mut cfg = h.cfg.clone();
+    cfg.metrics_window = Some(METRICS_WINDOW);
+    let kernel = Benchmark::Lps.build(&h.size);
+    let warps = cfg.max_warps_per_sm;
+    let mut gpu = Gpu::new(cfg, kernel, |_| PrefetcherKind::Snake.build(warps))?;
+    let out = gpu.run();
+    let series = out
+        .series
+        .ok_or_else(|| CliError::Internal("metrics window set but no series returned".into()))?;
+    let mut f = std::fs::File::create(path).map_err(|e| CliError::io(path, e))?;
+    f.write_all(series.to_csv().as_bytes())
+        .map_err(|e| CliError::io(path, e))?;
+    eprintln!("wrote {} metric windows to {path}", series.samples.len());
     Ok(())
 }
 

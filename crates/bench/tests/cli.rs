@@ -1,0 +1,77 @@
+//! Integration tests for the bench binaries' observability flags:
+//! `repro --metrics-csv` and `pfdebug --trace-out` / `--timeline`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("snake-bench-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn repro_metrics_csv_writes_the_time_series() {
+    let out = tmp("metrics.csv");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--metrics-csv"])
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro exited with {status}");
+    let csv = std::fs::read_to_string(&out).expect("csv written");
+    std::fs::remove_file(&out).ok();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "cycle,ipc,l1_hit_rate,mshr_occupancy,miss_queue_occupancy,\
+             noc_utilization,active_warps,throttled_sms,chain_depth"
+        )
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert!(!rows.is_empty(), "no metric windows in: {csv}");
+    for row in rows {
+        assert_eq!(row.split(',').count(), 9, "malformed row: {row}");
+    }
+}
+
+#[test]
+fn pfdebug_trace_out_writes_chrome_json() {
+    let out = tmp("trace.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_pfdebug"))
+        .args(["--trace-out"])
+        .arg(&out)
+        .args(["--timeline", "--window", "500", "lps", "snake"])
+        .output()
+        .expect("spawn pfdebug");
+    assert!(
+        output.status.success(),
+        "pfdebug exited with {}",
+        output.status
+    );
+    let json = std::fs::read_to_string(&out).expect("trace written");
+    std::fs::remove_file(&out).ok();
+    assert!(json.starts_with("{\"traceEvents\":["), "not a chrome trace");
+    assert!(json.contains("\"name\":\"Terminal\""), "no terminal event");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("timeline:"),
+        "no ASCII timeline in: {stdout}"
+    );
+    assert!(
+        stdout.contains("lifecycle"),
+        "no lifecycle line in: {stdout}"
+    );
+}
+
+#[test]
+fn pfdebug_rejects_a_zero_window() {
+    let output = Command::new(env!("CARGO_BIN_EXE_pfdebug"))
+        .args(["--window", "0"])
+        .output()
+        .expect("spawn pfdebug");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("window"), "unhelpful error: {stderr}");
+}

@@ -110,6 +110,7 @@ pub fn bound_with(kernel: &KernelTrace, p: &mut dyn Prefetcher) -> CoverageBound
         free_lines: u32::MAX,
         total_lines: u32::MAX,
         prefetch_overrun: false,
+        telemetry: false,
     };
     let mut predicted: HashSet<LineAddr> = HashSet::new();
     let mut out = Vec::new();

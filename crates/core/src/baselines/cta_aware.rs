@@ -155,6 +155,7 @@ mod tests {
             free_lines: 8,
             total_lines: 16,
             prefetch_overrun: false,
+            telemetry: false,
         }
     }
 

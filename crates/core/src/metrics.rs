@@ -33,6 +33,14 @@ pub struct MechanismReport {
     pub energy_j: f64,
     /// Total cycles.
     pub cycles: u64,
+    /// Median fill→first-use latency in cycles — the timeliness of the
+    /// prefetches that did get used (0 when none were).
+    pub timeliness_p50: u64,
+    /// 90th-percentile fill→first-use latency: the tail of "fetched
+    /// far too early" lines still occupying SRAM.
+    pub timeliness_p90: u64,
+    /// Prefetched lines that were evicted without ever being used.
+    pub evicted_unused: u64,
 }
 
 impl MechanismReport {
@@ -59,6 +67,9 @@ impl MechanismReport {
             memory_stall_fraction: s.memory_stall_fraction(),
             energy_j: energy.evaluate(s, cfg, has_prefetcher).total_j(),
             cycles: s.cycles,
+            timeliness_p50: outcome.lifecycle.fill_to_first_use.p50(),
+            timeliness_p90: outcome.lifecycle.fill_to_first_use.p90(),
+            evicted_unused: s.prefetch.evicted_unused,
         }
     }
 
@@ -117,6 +128,8 @@ mod tests {
                 ..Default::default()
             },
             stop: StopReason::Completed,
+            lifecycle: Default::default(),
+            series: None,
         }
     }
 

@@ -8,7 +8,7 @@ pub mod throttle;
 
 use snake_sim::{
     AccessEvent, Address, KernelTrace, PrefetchContext, PrefetchPlacement, PrefetchRequest,
-    Prefetcher,
+    Prefetcher, PrefetcherEvent, WalkStop,
 };
 
 use head_table::{HeadLayout, HeadTable};
@@ -118,6 +118,9 @@ pub struct Snake {
     tail: TailTable,
     throttle: Throttle,
     name: &'static str,
+    /// Chain-walk telemetry recorded only when
+    /// [`PrefetchContext::telemetry`] is set, drained by the SM.
+    events: Vec<PrefetcherEvent>,
 }
 
 impl Snake {
@@ -138,6 +141,7 @@ impl Snake {
             throttle,
             cfg,
             name,
+            events: Vec::new(),
         }
     }
 
@@ -165,6 +169,7 @@ impl Prefetcher for Snake {
         self.head.reset();
         self.tail.reset();
         self.throttle.reset();
+        self.events.clear();
     }
 
     fn on_demand_access(
@@ -179,12 +184,24 @@ impl Prefetcher for Snake {
         }
 
         self.throttle.update(ctx);
+        if ctx.telemetry {
+            self.events.push(PrefetcherEvent::ChainWalkStart {
+                warp: event.warp,
+                pc: event.pc,
+            });
+        }
         if self.throttle.is_throttled(ctx.cycle) {
+            if ctx.telemetry {
+                self.events.push(PrefetcherEvent::ChainWalkStop {
+                    steps: 0,
+                    reason: WalkStop::Throttled,
+                });
+            }
             return;
         }
 
         let mut targets: Vec<Address> = Vec::new();
-        self.tail.generate(
+        let summary = self.tail.generate(
             event.warp,
             event.pc,
             event.addr,
@@ -193,6 +210,22 @@ impl Prefetcher for Snake {
             self.cfg.use_fixed_strides,
             &mut targets,
         );
+        if ctx.telemetry {
+            for (i, t) in targets.iter().take(summary.chain_targets).enumerate() {
+                self.events.push(PrefetcherEvent::ChainWalkStep {
+                    depth: i as u32 + 1,
+                    addr: *t,
+                });
+            }
+            self.events.push(PrefetcherEvent::ChainWalkStop {
+                steps: summary.steps,
+                reason: if summary.exhausted {
+                    WalkStop::DepthLimit
+                } else {
+                    WalkStop::NoEntry
+                },
+            });
+        }
         out.extend(targets.into_iter().map(PrefetchRequest::new));
     }
 
@@ -202,6 +235,14 @@ impl Prefetcher for Snake {
 
     fn trained(&self) -> bool {
         self.tail.any_trained()
+    }
+
+    fn chain_depth(&self) -> u32 {
+        self.throttle.depth() as u32
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -229,6 +270,7 @@ mod tests {
             free_lines: 64,
             total_lines: 128,
             prefetch_overrun: false,
+            telemetry: false,
         }
     }
 
@@ -282,12 +324,11 @@ mod tests {
         train_pair(&mut s, 10, 20, 400);
         let full = PrefetchContext {
             cycle: Cycle(100),
-            bw_utilization: 0.0,
             free_lines: 0,
-            total_lines: 128,
             // The L1 reports that unconsumed prefetched data started
             // dying: the space trigger fires.
             prefetch_overrun: true,
+            ..ctx(100)
         };
         let mut out = Vec::new();
         s.on_demand_access(&ev(7, 10, 1_000_000, 100), &full, &mut out);
@@ -337,6 +378,62 @@ mod tests {
             Snake::new(SnakeConfig::isolated(32)).name(),
             "isolated-snake"
         );
+    }
+
+    #[test]
+    fn telemetry_reports_chain_walks() {
+        let mut s = Snake::new(SnakeConfig::snake());
+        train_pair(&mut s, 10, 20, 400);
+        let telem = PrefetchContext {
+            telemetry: true,
+            ..ctx(10)
+        };
+        let mut out = Vec::new();
+        s.on_demand_access(&ev(7, 10, 1_000_000, 10), &telem, &mut out);
+        let mut events = Vec::new();
+        s.drain_events(&mut events);
+        assert!(matches!(
+            events.first(),
+            Some(PrefetcherEvent::ChainWalkStart { .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PrefetcherEvent::ChainWalkStep { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(PrefetcherEvent::ChainWalkStop { .. })
+        ));
+        // A second drain is empty, and without telemetry nothing is
+        // recorded at all.
+        let mut events = Vec::new();
+        s.drain_events(&mut events);
+        assert!(events.is_empty());
+        s.on_demand_access(&ev(8, 10, 2_000_000, 11), &ctx(11), &mut out);
+        s.drain_events(&mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn telemetry_reports_throttled_walks() {
+        let mut s = Snake::new(SnakeConfig::snake());
+        train_pair(&mut s, 10, 20, 400);
+        let full = PrefetchContext {
+            free_lines: 0,
+            prefetch_overrun: true,
+            telemetry: true,
+            ..ctx(100)
+        };
+        let mut out = Vec::new();
+        s.on_demand_access(&ev(7, 10, 1_000_000, 100), &full, &mut out);
+        let mut events = Vec::new();
+        s.drain_events(&mut events);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            PrefetcherEvent::ChainWalkStop {
+                reason: WalkStop::Throttled,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -404,7 +404,8 @@ impl TailTable {
     /// targets (s-Snake passes `false`). Targets are appended to `out`
     /// in priority order (inter-thread first — "Snake accords priority
     /// to the inter-thread stride", §3.4 — then intra-warp, then
-    /// inter-warp).
+    /// inter-warp). Returns a [`WalkSummary`] describing how the chain
+    /// walk ended, for telemetry.
     #[allow(clippy::too_many_arguments)]
     pub fn generate(
         &mut self,
@@ -415,19 +416,22 @@ impl TailTable {
         iw_degree: u32,
         use_fixed: bool,
         out: &mut Vec<Address>,
-    ) {
+    ) -> WalkSummary {
         let seq = self.tick();
 
         // Inter-thread chain walk.
+        let chain_start = out.len();
         let mut cur_pc = pc;
         let mut cum = 0i64;
         let mut visited = 0usize;
+        let mut exhausted = true;
         while visited < chain_depth {
             let Some(idx) = self.entries.iter().position(|e| {
                 e.pc1 == cur_pc
                     && e.t1.can_prefetch()
                     && (e.has_warp(warp) || e.t1 == TrainState::Promoted)
             }) else {
+                exhausted = false;
                 break;
             };
             let (stride, pc2) = {
@@ -449,10 +453,15 @@ impl TailTable {
             // multiple iterations ahead ("delving deeper", §3.2/Fig 13);
             // `chain_depth` (throttling) bounds the walk.
         }
+        let summary = WalkSummary {
+            steps: visited as u32,
+            exhausted,
+            chain_targets: out.len() - chain_start,
+        };
 
         // Intra-warp and inter-warp strides of this PC.
         if !use_fixed {
-            return;
+            return summary;
         }
         if let Some(e) = self.entries.iter_mut().find(|e| e.pc1 == pc) {
             e.last_use = seq;
@@ -467,7 +476,22 @@ impl TailTable {
                 }
             }
         }
+        summary
     }
+}
+
+/// Aggregate result of one [`TailTable::generate`] chain walk, used
+/// for chain-walk telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkSummary {
+    /// Inter-thread chain hops taken.
+    pub steps: u32,
+    /// Whether the walk stopped at the depth bound, rather than
+    /// running out of trained links.
+    pub exhausted: bool,
+    /// Chain-walk targets appended to `out` (fixed-stride targets
+    /// appended afterwards are not counted).
+    pub chain_targets: usize,
 }
 
 #[cfg(test)]
@@ -638,6 +662,33 @@ mod tests {
         let mut out = Vec::new();
         t.generate(WarpId(7), Pc(10), Address(9000), 4, 0, true, &mut out);
         assert_eq!(out, vec![Address(9400)]);
+    }
+
+    #[test]
+    fn generate_reports_walk_summary() {
+        let mut t = table();
+        for w in 0..3u32 {
+            let b = 10_000 * u64::from(w);
+            t.observe(&tr(w, 10, b, 20, b + 400));
+            t.observe(&tr(w, 20, b + 400, 30, b + 1000));
+        }
+        let mut out = Vec::new();
+        // Depth 2 on a two-link chain: the depth bound is what stops it.
+        let s = t.generate(WarpId(0), Pc(10), Address(50_000), 2, 0, true, &mut out);
+        assert_eq!(s.steps, 2);
+        assert!(s.exhausted);
+        assert_eq!(s.chain_targets, 2);
+        // Depth 4: the chain runs out of links after two hops.
+        let mut out = Vec::new();
+        let s = t.generate(WarpId(0), Pc(10), Address(50_000), 4, 0, true, &mut out);
+        assert_eq!(s.steps, 2);
+        assert!(!s.exhausted);
+        // Untrained PC: the walk never starts.
+        let mut out = Vec::new();
+        let s = t.generate(WarpId(0), Pc(77), Address(0), 4, 0, true, &mut out);
+        assert_eq!(s.steps, 0);
+        assert!(!s.exhausted);
+        assert_eq!(s.chain_targets, 0);
     }
 
     #[test]

@@ -157,6 +157,7 @@ mod tests {
             // The simulator raises the overrun flag when the cache is
             // saturated and unused prefetches start dying.
             prefetch_overrun: free == 0,
+            telemetry: false,
         }
     }
 

@@ -137,6 +137,7 @@ proptest! {
                 free_lines: free,
                 total_lines: 64,
                 prefetch_overrun: free == 0,
+                telemetry: false,
             };
             out.clear();
             snake.on_demand_access(

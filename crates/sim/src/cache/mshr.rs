@@ -7,7 +7,8 @@
 
 use std::collections::HashMap;
 
-use crate::types::{Cycle, LineAddr, WarpId};
+use crate::obs::{SimEvent, TraceEvent};
+use crate::types::{Cycle, LineAddr, SmId, WarpId};
 
 /// The origin of an outstanding miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,10 @@ pub struct MshrFile {
     entries: HashMap<LineAddr, MshrEntry>,
     capacity: usize,
     merge_capacity: usize,
+    /// Allocation events buffered while tracing is enabled; the owning
+    /// L1 drains them each cycle. `None` (the default) keeps the hot
+    /// path to a single branch.
+    trace: Option<(SmId, Vec<TraceEvent>)>,
 }
 
 impl MshrFile {
@@ -78,6 +83,20 @@ impl MshrFile {
             entries: HashMap::with_capacity(entries as usize),
             capacity: entries as usize,
             merge_capacity: merge as usize,
+            trace: None,
+        }
+    }
+
+    /// Starts buffering [`SimEvent::MshrAllocate`] events on behalf of
+    /// the SM that owns this file.
+    pub fn enable_trace(&mut self, sm: SmId) {
+        self.trace = Some((sm, Vec::new()));
+    }
+
+    /// Moves buffered trace events into `out` (in allocation order).
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some((_, buf)) = self.trace.as_mut() {
+            out.append(buf);
         }
     }
 
@@ -117,6 +136,16 @@ impl MshrFile {
     ) {
         debug_assert!(self.has_free_entry());
         debug_assert!(!self.entries.contains_key(&line));
+        if let Some((sm, buf)) = self.trace.as_mut() {
+            buf.push(TraceEvent {
+                cycle: now,
+                data: SimEvent::MshrAllocate {
+                    sm: *sm,
+                    line,
+                    prefetch: origin == MissOrigin::Prefetch,
+                },
+            });
+        }
         let waiters = waiter.into_iter().collect();
         self.entries.insert(
             line,

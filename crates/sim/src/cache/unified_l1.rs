@@ -20,8 +20,9 @@ use crate::cache::mshr::{MergeResult, MissOrigin, MshrFile};
 use crate::cache::tag_array::{Side, TagArray};
 use crate::config::GpuConfig;
 use crate::fault::Recovery;
+use crate::obs::{PrefetchDropReason, PrefetchLifecycle, SimEvent, TraceEvent};
 use crate::stats::{AccessOutcome, CacheStats, FaultStats, PrefetchStats, ReservationFailReason};
-use crate::types::{Cycle, LineAddr, WarpId};
+use crate::types::{Cycle, LineAddr, SmId, WarpId};
 
 /// Placement/policy mode of the unified SRAM (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,13 @@ pub struct UnifiedL1 {
     /// Prefetch-effectiveness counters (fills/useful/evicted tracked
     /// here; issued/redundant tracked by the SM front-end).
     pub pf_stats: PrefetchStats,
+    /// Prefetch-lifecycle latency histograms (always collected; a
+    /// `Copy` histogram record is cheaper than gating it).
+    pub lifecycle: PrefetchLifecycle,
+    /// Cycle-stamped events buffered while tracing is enabled, drained
+    /// by the SM each cycle. `None` (the default) keeps every emission
+    /// site to a single branch.
+    trace: Option<(SmId, Vec<TraceEvent>)>,
 }
 
 impl UnifiedL1 {
@@ -131,6 +139,33 @@ impl UnifiedL1 {
             fault_stats: FaultStats::default(),
             stats: CacheStats::default(),
             pf_stats: PrefetchStats::default(),
+            lifecycle: PrefetchLifecycle::default(),
+            trace: None,
+        }
+    }
+
+    /// Starts buffering trace events on behalf of the SM that owns
+    /// this L1 (also enables the MSHR file's allocation events).
+    pub fn enable_trace(&mut self, sm: SmId) {
+        self.trace = Some((sm, Vec::new()));
+        self.mshr.enable_trace(sm);
+    }
+
+    /// Moves buffered trace events (L1 first, then MSHR allocations)
+    /// into `out`.
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some((_, buf)) = self.trace.as_mut() {
+            out.append(buf);
+        }
+        self.mshr.drain_trace(out);
+    }
+
+    fn emit(&mut self, cycle: Cycle, make: impl FnOnce(SmId) -> SimEvent) {
+        if let Some((sm, buf)) = self.trace.as_mut() {
+            buf.push(TraceEvent {
+                cycle,
+                data: make(*sm),
+            });
         }
     }
 
@@ -179,6 +214,17 @@ impl UnifiedL1 {
 
     /// A demand load access.
     pub fn access_demand(&mut self, line: LineAddr, warp: WarpId, now: Cycle) -> AccessOutcome {
+        let outcome = self.access_demand_inner(line, warp, now);
+        self.emit(now, |sm| SimEvent::L1Access {
+            sm,
+            warp,
+            line,
+            outcome,
+        });
+        outcome
+    }
+
+    fn access_demand_inner(&mut self, line: LineAddr, warp: WarpId, now: Cycle) -> AccessOutcome {
         // Isolated prefetch buffer is checked in parallel with the L1.
         if let Some(iso) = &mut self.isolated {
             if let Some(way) = iso.probe(line) {
@@ -199,6 +245,7 @@ impl UnifiedL1 {
                             } else {
                                 self.stats.hits_reserved += 1;
                             }
+                            self.emit(now, |sm| SimEvent::MshrMerge { sm, line, warp });
                             AccessOutcome::HitReserved
                         }
                         MergeResult::Full => {
@@ -209,6 +256,7 @@ impl UnifiedL1 {
                 }
                 if iso.line(way).state == LineState::Valid {
                     let first_use = !iso.line(way).used;
+                    let filled = iso.line(way).fill_cycle;
                     iso.touch(way, now);
                     if iso.line(way).side == Side::Prefetch {
                         // Serve from the buffer; flag it used.
@@ -218,6 +266,9 @@ impl UnifiedL1 {
                     if first_use {
                         self.pf_stats.useful += 1;
                         self.transfer_numer += 1;
+                        let latency = now.since(filled);
+                        self.lifecycle.fill_to_first_use.record(latency);
+                        self.emit(now, |sm| SimEvent::PrefetchFirstUse { sm, line, latency });
                     }
                     self.stats.hits_on_prefetch += 1;
                     return AccessOutcome::HitPrefetch;
@@ -235,6 +286,9 @@ impl UnifiedL1 {
                         self.transfer_numer += 1;
                         self.pf_stats.useful += 1;
                         self.stats.hits_on_prefetch += 1;
+                        let latency = now.since(l.fill_cycle);
+                        self.lifecycle.fill_to_first_use.record(latency);
+                        self.emit(now, |sm| SimEvent::PrefetchFirstUse { sm, line, latency });
                         AccessOutcome::HitPrefetch
                     } else if l.origin_prefetch {
                         // Re-touch of data a prefetch brought in: the
@@ -262,11 +316,11 @@ impl UnifiedL1 {
                             if first_demand {
                                 self.pf_stats.late += 1;
                             }
-                            AccessOutcome::HitReserved
                         } else {
                             self.stats.hits_reserved += 1;
-                            AccessOutcome::HitReserved
                         }
+                        self.emit(now, |sm| SimEvent::MshrMerge { sm, line, warp });
+                        AccessOutcome::HitReserved
                     }
                     MergeResult::Full => {
                         self.stats.record_fail(ReservationFailReason::MshrFull);
@@ -380,6 +434,14 @@ impl UnifiedL1 {
                 if now.since(l.fill_cycle) < OVERRUN_AGE_CYCLES {
                     self.overrun = true;
                 }
+                let lifetime = now.since(l.fill_cycle);
+                self.lifecycle.lifetime_unused.record(lifetime);
+                let dead = l.tag;
+                self.emit(now, |sm| SimEvent::PrefetchEvictedUnused {
+                    sm,
+                    line: dead,
+                    lifetime,
+                });
             }
         }
     }
@@ -397,12 +459,43 @@ impl UnifiedL1 {
                 if now.since(l.fill_cycle) < OVERRUN_AGE_CYCLES {
                     self.overrun = true;
                 }
+                let lifetime = now.since(l.fill_cycle);
+                self.lifecycle.lifetime_unused.record(lifetime);
+                self.emit(now, |sm| SimEvent::PrefetchEvictedUnused {
+                    sm,
+                    line: l.tag,
+                    lifetime,
+                });
             }
         }
     }
 
     /// Asks the L1 to issue a prefetch for `line`.
     pub fn request_prefetch(&mut self, line: LineAddr, now: Cycle) -> PrefetchIssue {
+        let res = self.request_prefetch_inner(line, now);
+        match res {
+            PrefetchIssue::Issued => {
+                self.emit(now, |sm| SimEvent::PrefetchIssued { sm, line });
+            }
+            PrefetchIssue::Redundant => {
+                self.emit(now, |sm| SimEvent::PrefetchDropped {
+                    sm,
+                    line,
+                    reason: PrefetchDropReason::Redundant,
+                });
+            }
+            PrefetchIssue::Rejected => {
+                self.emit(now, |sm| SimEvent::PrefetchDropped {
+                    sm,
+                    line,
+                    reason: PrefetchDropReason::Rejected,
+                });
+            }
+        }
+        res
+    }
+
+    fn request_prefetch_inner(&mut self, line: LineAddr, now: Cycle) -> PrefetchIssue {
         // Present or in-flight anywhere -> redundant.
         if self.tags.probe(line).is_some() {
             return PrefetchIssue::Redundant;
@@ -416,6 +509,7 @@ impl UnifiedL1 {
             return PrefetchIssue::Rejected;
         }
         // Reserve space at the destination.
+        let mut iso_dead: Option<(LineAddr, u64)> = None;
         let reserved = if let Some(iso) = &mut self.isolated {
             match iso.find_victim(line, |_| true) {
                 Some(w) => {
@@ -424,6 +518,7 @@ impl UnifiedL1 {
                         let l = iso.evict(w);
                         if l.side == Side::Prefetch && !l.used {
                             self.pf_stats.evicted_unused += 1;
+                            iso_dead = Some((l.tag, now.since(l.fill_cycle)));
                         }
                     }
                     iso.reserve(w, line, Side::Prefetch, now);
@@ -447,6 +542,14 @@ impl UnifiedL1 {
                 None => false,
             }
         };
+        if let Some((dead, lifetime)) = iso_dead {
+            self.lifecycle.lifetime_unused.record(lifetime);
+            self.emit(now, |sm| SimEvent::PrefetchEvictedUnused {
+                sm,
+                line: dead,
+                lifetime,
+            });
+        }
         if !reserved {
             return PrefetchIssue::Rejected;
         }
@@ -500,10 +603,15 @@ impl UnifiedL1 {
             self.fault_stats.spurious_fills += 1;
             return Vec::new();
         };
+        let waiters = entry.waiters.len() as u32;
+        self.emit(now, |sm| SimEvent::MshrFill { sm, line, waiters });
         let pure_prefetch = entry.origin == MissOrigin::Prefetch && !entry.demand_merged;
         if pure_prefetch {
             self.pf_stats.fills += 1;
             self.transfer_denom += 1;
+            let latency = now.since(entry.alloc_cycle);
+            self.lifecycle.issue_to_fill.record(latency);
+            self.emit(now, |sm| SimEvent::PrefetchFilled { sm, line, latency });
         }
         if let Some(iso) = &mut self.isolated {
             if let Some(way) = iso.probe(line) {
@@ -534,6 +642,11 @@ impl UnifiedL1 {
     /// Requests queued for the interconnect (diagnostics).
     pub fn miss_queue_len(&self) -> usize {
         self.miss_queue.len()
+    }
+
+    /// Configured miss-queue depth (diagnostics/metrics).
+    pub fn miss_queue_capacity(&self) -> usize {
+        self.miss_queue_depth
     }
 
     /// Tag-array lines reserved for in-flight misses, including the

@@ -148,6 +148,11 @@ pub struct GpuConfig {
     /// crate with the `audit` feature turns it on by default in both
     /// constructors.
     pub audit_window: Option<u64>,
+    /// Sample windowed time-series metrics (IPC, hit rate, occupancy,
+    /// NoC utilization, throttle state, chain depth) every this many
+    /// cycles into [`SimOutcome::series`](crate::SimOutcome). `None`
+    /// (the default) disables collection.
+    pub metrics_window: Option<u64>,
 }
 
 impl GpuConfig {
@@ -193,6 +198,7 @@ impl GpuConfig {
             } else {
                 None
             },
+            metrics_window: None,
         }
     }
 
@@ -246,6 +252,7 @@ impl GpuConfig {
             } else {
                 None
             },
+            metrics_window: None,
         }
     }
 
@@ -293,6 +300,9 @@ impl GpuConfig {
         }
         if self.audit_window == Some(0) {
             return Err(ConfigError::ZeroParameter("audit_window"));
+        }
+        if self.metrics_window == Some(0) {
+            return Err(ConfigError::ZeroParameter("metrics_window"));
         }
         self.fault
             .validate()
@@ -465,6 +475,12 @@ mod tests {
         assert!(matches!(
             c.validate(),
             Err(ConfigError::ZeroParameter("audit_window"))
+        ));
+        let mut c = GpuConfig::scaled(1);
+        c.metrics_window = Some(0);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ZeroParameter("metrics_window"))
         ));
     }
 }

@@ -8,6 +8,10 @@ use crate::config::{ConfigError, GpuConfig};
 use crate::kernel::KernelTrace;
 use crate::mem::interconnect::{Interconnect, UpPacket, READ_REQUEST_BYTES};
 use crate::mem::partition::MemoryPartition;
+use crate::obs::{
+    MetricsSeries, PrefetchLifecycle, SimEvent, TerminalKind, TraceEvent, TraceSink, WindowTotals,
+    WindowedMetrics,
+};
 use crate::prefetch::Prefetcher;
 use crate::sm::{PendingCta, Sm};
 use crate::stats::SimStats;
@@ -57,6 +61,20 @@ pub struct Gpu {
     auditor: Option<Auditor>,
     deadlock: Option<Box<DeadlockReport>>,
     brownout_cycles: u64,
+    /// Destination for trace events; `None` (default) leaves every
+    /// component's emission path branch-only.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Reusable buffer events are drained into before forwarding.
+    trace_scratch: Vec<TraceEvent>,
+    /// Device-level events (brownout transitions, terminal events)
+    /// that have no owning component.
+    device_events: Vec<TraceEvent>,
+    /// Windowed time-series collector, present when
+    /// [`GpuConfig::metrics_window`] is set.
+    metrics: Option<WindowedMetrics>,
+    /// Brownout state at the last step (edge detection for
+    /// [`SimEvent::Brownout`]).
+    prev_brownout: bool,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -76,6 +94,12 @@ pub struct SimOutcome {
     pub stats: SimStats,
     /// How the run ended.
     pub stop: StopReason,
+    /// Prefetch-lifecycle latency attribution, merged across SMs
+    /// (always collected; empty histograms when nothing prefetched).
+    pub lifecycle: PrefetchLifecycle,
+    /// Windowed time series, present when
+    /// [`GpuConfig::metrics_window`] is set.
+    pub series: Option<MetricsSeries>,
 }
 
 impl Gpu {
@@ -124,6 +148,7 @@ impl Gpu {
         let partition = MemoryPartition::new(&cfg);
         let watchdog = cfg.watchdog_cycles.map(Watchdog::new);
         let auditor = cfg.audit_window.map(|_| Auditor::new());
+        let metrics = cfg.metrics_window.map(WindowedMetrics::new);
         Ok(Gpu {
             cfg,
             kernel,
@@ -135,7 +160,46 @@ impl Gpu {
             auditor,
             deadlock: None,
             brownout_cycles: 0,
+            sink: None,
+            trace_scratch: Vec::new(),
+            device_events: Vec::new(),
+            metrics,
+            prev_brownout: false,
         })
+    }
+
+    /// Attaches a trace sink and enables event collection in every
+    /// component. Buffered events are forwarded to the sink once per
+    /// cycle in a fixed order — SMs by id (pipeline, then L1, then
+    /// MSHR), then interconnect, then partition, then device-level —
+    /// so a given configuration and kernel produce a byte-identical
+    /// event stream on every run.
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        for sm in &mut self.sms {
+            sm.enable_trace();
+        }
+        self.noc.enable_trace();
+        self.partition.enable_trace();
+        self.sink = Some(sink);
+    }
+
+    /// Forwards this cycle's buffered events to the sink, in the fixed
+    /// component order documented on [`Gpu::attach_sink`].
+    fn flush_trace(&mut self) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        self.trace_scratch.clear();
+        for sm in &mut self.sms {
+            sm.drain_trace(&mut self.trace_scratch);
+        }
+        self.noc.drain_trace(&mut self.trace_scratch);
+        self.partition.drain_trace(&mut self.trace_scratch);
+        self.trace_scratch.append(&mut self.device_events);
+        for ev in &self.trace_scratch {
+            sink.record(ev);
+        }
+        self.trace_scratch.clear();
     }
 
     /// The configuration the device was built with.
@@ -163,8 +227,18 @@ impl Gpu {
         // windows before this cycle's credit refill.
         let scale = self.cfg.fault.bandwidth_scale(now);
         self.noc.set_bandwidth_scale(scale);
-        if scale < 1.0 {
+        let brownout = scale < 1.0;
+        if brownout {
             self.brownout_cycles += 1;
+        }
+        if brownout != self.prev_brownout {
+            self.prev_brownout = brownout;
+            if self.sink.is_some() {
+                self.device_events.push(TraceEvent {
+                    cycle: now,
+                    data: SimEvent::Brownout { active: brownout },
+                });
+            }
         }
 
         // Progress baselines for the watchdog.
@@ -248,26 +322,68 @@ impl Gpu {
             }
         }
 
+        if let Some(mut metrics) = self.metrics.take() {
+            if self.cycle.0.is_multiple_of(metrics.window()) {
+                metrics.record(self.cycle, &self.window_totals());
+            }
+            self.metrics = Some(metrics);
+        }
+
         let done =
             self.sms.iter().all(Sm::is_done) && self.partition.is_idle() && self.noc.is_idle();
         let limit_hit = self.cfg.max_cycles.is_some_and(|limit| self.cycle >= limit);
-        if done || limit_hit {
-            return false;
-        }
+        let mut advance = !(done || limit_hit);
 
-        if let Some(watchdog) = &mut self.watchdog {
-            let instr_after: u64 = self.sms.iter().map(Sm::instructions_issued).sum();
-            let progressed = instr_after > instr_before
-                || noc_moved
-                || self.partition.events() > partition_events_before
-                || self.sms.iter().any(|sm| sm.has_busy_warp(now));
-            if watchdog.observe(progressed, self.cycle) {
-                let stalled_for = watchdog.stalled_for(self.cycle);
-                self.deadlock = Some(self.deadlock_report(stalled_for));
-                return false;
+        if advance {
+            if let Some(watchdog) = &mut self.watchdog {
+                let instr_after: u64 = self.sms.iter().map(Sm::instructions_issued).sum();
+                let progressed = instr_after > instr_before
+                    || noc_moved
+                    || self.partition.events() > partition_events_before
+                    || self.sms.iter().any(|sm| sm.has_busy_warp(now));
+                if watchdog.observe(progressed, self.cycle) {
+                    let stalled_for = watchdog.stalled_for(self.cycle);
+                    self.deadlock = Some(self.deadlock_report(stalled_for));
+                    advance = false;
+                }
             }
         }
-        true
+        self.flush_trace();
+        advance
+    }
+
+    /// Gathers the cumulative/instantaneous counters a windowed-metrics
+    /// sample is built from.
+    fn window_totals(&self) -> WindowTotals {
+        let mut t = WindowTotals {
+            noc_utilization: self.noc.utilization(),
+            ..WindowTotals::default()
+        };
+        for sm in &self.sms {
+            let l1 = sm.l1();
+            let c = &l1.stats;
+            t.instructions += sm.instructions_issued();
+            t.l1_hits += c.hits + c.hits_on_prefetch;
+            t.l1_accesses +=
+                c.hits + c.hits_on_prefetch + c.hits_reserved + c.merges_with_prefetch + c.misses;
+            t.mshr_occupancy += l1.outstanding_misses();
+            t.mshr_capacity += l1.mshr_capacity();
+            t.miss_queue_occupancy += l1.miss_queue_len();
+            t.miss_queue_capacity += l1.miss_queue_capacity();
+            t.active_warps += sm.active_warps();
+            t.throttled_sms += usize::from(sm.is_throttled());
+            t.max_chain_depth = t.max_chain_depth.max(sm.chain_depth());
+        }
+        t
+    }
+
+    /// Merged prefetch-lifecycle histograms across all SMs.
+    pub fn prefetch_lifecycle(&self) -> PrefetchLifecycle {
+        let mut total = PrefetchLifecycle::default();
+        for sm in &self.sms {
+            total.merge(&sm.l1().lifecycle);
+        }
+        total
     }
 
     /// Snapshot of everything the watchdog can see, for
@@ -318,12 +434,25 @@ impl Gpu {
             ));
         }
         self.auditor = Some(auditor);
-        assert!(
-            violations.is_empty(),
-            "invariant audit failed at cycle {}:\n  {}",
-            self.cycle.0,
-            violations.join("\n  ")
-        );
+        if !violations.is_empty() {
+            // Flush the failure into the trace before panicking so an
+            // attached sink observes the terminal event.
+            if self.sink.is_some() {
+                self.device_events.push(TraceEvent {
+                    cycle: self.cycle,
+                    data: SimEvent::Terminal {
+                        kind: TerminalKind::AuditFail,
+                        detail: violations.join("\n  "),
+                    },
+                });
+                self.flush_trace();
+            }
+            panic!(
+                "invariant audit failed at cycle {}:\n  {}",
+                self.cycle.0,
+                violations.join("\n  ")
+            );
+        }
     }
 
     /// Runs to completion (or the cycle limit, or a watchdog trip) and
@@ -340,9 +469,31 @@ impl Gpu {
         if self.auditor.is_some() && stop == StopReason::Completed {
             self.run_audit(true);
         }
+        if self.sink.is_some() {
+            let (kind, detail) = match &stop {
+                StopReason::Completed => (TerminalKind::Completed, String::new()),
+                StopReason::CycleLimit => (TerminalKind::CycleLimit, String::new()),
+                StopReason::Deadlock(report) => (TerminalKind::Deadlock, report.to_string()),
+            };
+            self.device_events.push(TraceEvent {
+                cycle: self.cycle,
+                data: SimEvent::Terminal { kind, detail },
+            });
+            self.flush_trace();
+        }
+        // Close a partial final window so short runs still get a
+        // closing sample.
+        if let Some(mut metrics) = self.metrics.take() {
+            if !self.cycle.0.is_multiple_of(metrics.window()) {
+                metrics.record(self.cycle, &self.window_totals());
+            }
+            self.metrics = Some(metrics);
+        }
         SimOutcome {
             stats: self.collect_stats(),
             stop,
+            lifecycle: self.prefetch_lifecycle(),
+            series: self.metrics.take().map(WindowedMetrics::finish),
         }
     }
 

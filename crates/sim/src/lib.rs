@@ -42,6 +42,7 @@ pub mod fault;
 mod gpu;
 mod kernel;
 pub mod mem;
+pub mod obs;
 mod prefetch;
 mod scheduler;
 mod sm;
@@ -57,8 +58,13 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use fault::{Brownout, FaultPlan, Recovery};
 pub use gpu::{run_kernel, Gpu, SimOutcome, StopReason};
 pub use kernel::{AddrList, Instr, KernelTrace, WarpTrace};
+pub use obs::{
+    LatencyHistogram, MetricsSample, MetricsSeries, PrefetchLifecycle, SimEvent, TraceEvent,
+    TraceSink, VecSink, WalkStop,
+};
 pub use prefetch::{
     AccessEvent, NullPrefetcher, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
+    PrefetcherEvent,
 };
 pub use sm::Sm;
 pub use stats::{

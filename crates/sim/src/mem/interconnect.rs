@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::obs::{NocDir, SimEvent, TraceEvent};
 use crate::types::{Cycle, LineAddr, SmId};
 
 /// A request travelling L1→L2.
@@ -103,6 +104,10 @@ pub struct Interconnect {
     /// must see to back off.
     window_capacity: u64,
     cycles: u64,
+    /// Enqueue/dequeue events buffered while tracing is enabled; the
+    /// GPU drains them each cycle. `None` (default) keeps the send/pop
+    /// hot paths to a single branch.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl Interconnect {
@@ -123,6 +128,20 @@ impl Interconnect {
             last_window_utilization: 0.0,
             window_capacity: 0,
             cycles: 0,
+            trace: None,
+        }
+    }
+
+    /// Starts buffering [`SimEvent::NocEnqueue`]/[`SimEvent::NocDequeue`]
+    /// events.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Moves buffered trace events into `out`.
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some(buf) = self.trace.as_mut() {
+            out.append(buf);
         }
     }
 
@@ -163,23 +182,77 @@ impl Interconnect {
     /// Attempts to inject a request; `false` when this cycle's uplink
     /// budget is exhausted.
     pub fn try_send_up(&mut self, pkt: UpPacket, bytes: u64, now: Cycle) -> bool {
-        self.up.try_send(pkt, bytes, now)
+        let sent = self.up.try_send(pkt, bytes, now);
+        if sent {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent {
+                    cycle: now,
+                    data: SimEvent::NocEnqueue {
+                        dir: NocDir::Up,
+                        sm: pkt.sm,
+                        line: pkt.line,
+                        bytes,
+                    },
+                });
+            }
+        }
+        sent
     }
 
     /// Attempts to inject a response; `false` when this cycle's
     /// downlink budget is exhausted.
     pub fn try_send_down(&mut self, pkt: DownPacket, bytes: u64, now: Cycle) -> bool {
-        self.down.try_send(pkt, bytes, now)
+        let sent = self.down.try_send(pkt, bytes, now);
+        if sent {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent {
+                    cycle: now,
+                    data: SimEvent::NocEnqueue {
+                        dir: NocDir::Down,
+                        sm: pkt.sm,
+                        line: pkt.line,
+                        bytes,
+                    },
+                });
+            }
+        }
+        sent
     }
 
     /// Pops the next request that has completed transit.
     pub fn pop_up(&mut self, now: Cycle) -> Option<UpPacket> {
-        self.up.pop_arrived(now)
+        let pkt = self.up.pop_arrived(now);
+        if let Some(p) = pkt {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent {
+                    cycle: now,
+                    data: SimEvent::NocDequeue {
+                        dir: NocDir::Up,
+                        sm: p.sm,
+                        line: p.line,
+                    },
+                });
+            }
+        }
+        pkt
     }
 
     /// Pops the next response that has completed transit.
     pub fn pop_down(&mut self, now: Cycle) -> Option<DownPacket> {
-        self.down.pop_arrived(now)
+        let pkt = self.down.pop_arrived(now);
+        if let Some(p) = pkt {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.push(TraceEvent {
+                    cycle: now,
+                    data: SimEvent::NocDequeue {
+                        dir: NocDir::Down,
+                        sm: p.sm,
+                        line: p.line,
+                    },
+                });
+            }
+        }
+        pkt
     }
 
     /// Total bytes ever sent L1→L2.

@@ -12,6 +12,7 @@ use crate::cache::tag_array::{LineState, Side, TagArray};
 use crate::config::GpuConfig;
 use crate::fault::{FaultInjector, ResponseFault};
 use crate::mem::interconnect::DownPacket;
+use crate::obs::{FaultKind, SimEvent, TraceEvent};
 use crate::stats::FaultStats;
 use crate::types::{Cycle, LineAddr, SmId};
 
@@ -67,6 +68,10 @@ pub struct MemoryPartition {
     /// forward-progress watchdog (a partition quietly working through
     /// its DRAM pipe is progress even when nothing crosses the NoC).
     events: u64,
+    /// Fault-injection events buffered while tracing is enabled; the
+    /// GPU drains them each cycle. `None` (default) keeps `emit` to a
+    /// single extra branch.
+    trace: Option<Vec<TraceEvent>>,
     /// Counters.
     pub stats: PartitionStats,
 }
@@ -97,7 +102,33 @@ impl MemoryPartition {
             delayed: VecDeque::new(),
             injector: FaultInjector::new(cfg.fault),
             events: 0,
+            trace: None,
             stats: PartitionStats::default(),
+        }
+    }
+
+    /// Starts buffering [`SimEvent::FaultInjected`] events.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Moves buffered trace events into `out`.
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some(buf) = self.trace.as_mut() {
+            out.append(buf);
+        }
+    }
+
+    fn trace_fault(&mut self, kind: FaultKind, pkt: DownPacket, now: Cycle) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(TraceEvent {
+                cycle: now,
+                data: SimEvent::FaultInjected {
+                    kind,
+                    sm: pkt.sm,
+                    line: pkt.line,
+                },
+            });
         }
     }
 
@@ -105,12 +136,19 @@ impl MemoryPartition {
     fn emit(&mut self, pkt: DownPacket, now: Cycle) {
         match self.injector.on_response() {
             ResponseFault::Deliver => self.outbox.push_back(pkt),
-            ResponseFault::Drop => {} // stats counted by the injector
+            ResponseFault::Drop => {
+                // stats counted by the injector
+                self.trace_fault(FaultKind::Drop, pkt, now);
+            }
             ResponseFault::Duplicate => {
+                self.trace_fault(FaultKind::Duplicate, pkt, now);
                 self.outbox.push_back(pkt);
                 self.outbox.push_back(pkt);
             }
-            ResponseFault::Delay(extra) => self.delayed.push_back((now.plus(extra), pkt)),
+            ResponseFault::Delay(extra) => {
+                self.trace_fault(FaultKind::Delay, pkt, now);
+                self.delayed.push_back((now.plus(extra), pkt));
+            }
         }
     }
 

@@ -1,0 +1,208 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Renders a [`TraceEvent`] stream as the Trace Event Format's JSON
+//! object form (`{"traceEvents":[...]}`), loadable in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`. Every simulator
+//! event becomes an instant event (`"ph":"i"`) whose timestamp is the
+//! raw cycle number and whose thread id is the owning SM; device-wide
+//! events (brownouts, the terminal event) land on a dedicated track.
+//!
+//! The output is deliberately hand-rendered — no JSON library — with
+//! one event per line, fields in a fixed order, and floats printed
+//! with six decimal places, so the same run always produces the same
+//! bytes (the golden-file test in `tests/observability.rs` depends on
+//! this).
+
+use super::{SimEvent, TraceEvent};
+
+/// Thread id used for events not attributable to a single SM.
+pub const DEVICE_TID: u64 = 1_000_000;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_json(data: &SimEvent) -> String {
+    match data {
+        SimEvent::WarpIssue { warp, .. }
+        | SimEvent::WarpStall { warp, .. }
+        | SimEvent::WarpUnstall { warp, .. } => format!("{{\"warp\":{}}}", warp.0),
+        SimEvent::L1Access {
+            warp,
+            line,
+            outcome,
+            ..
+        } => format!(
+            "{{\"warp\":{},\"line\":{},\"outcome\":\"{}\"}}",
+            warp.0,
+            line.0,
+            json_escape(&format!("{outcome:?}"))
+        ),
+        SimEvent::MshrAllocate { line, prefetch, .. } => {
+            format!("{{\"line\":{},\"prefetch\":{}}}", line.0, prefetch)
+        }
+        SimEvent::MshrMerge { line, warp, .. } => {
+            format!("{{\"line\":{},\"warp\":{}}}", line.0, warp.0)
+        }
+        SimEvent::MshrFill { line, waiters, .. } => {
+            format!("{{\"line\":{},\"waiters\":{}}}", line.0, waiters)
+        }
+        SimEvent::NocEnqueue {
+            dir, line, bytes, ..
+        } => format!(
+            "{{\"dir\":\"{}\",\"line\":{},\"bytes\":{}}}",
+            dir.label(),
+            line.0,
+            bytes
+        ),
+        SimEvent::NocDequeue { dir, line, .. } => {
+            format!("{{\"dir\":\"{}\",\"line\":{}}}", dir.label(), line.0)
+        }
+        SimEvent::ThrottleHalt { bw_utilization, .. }
+        | SimEvent::ThrottleResume { bw_utilization, .. } => {
+            format!("{{\"bw_utilization\":{bw_utilization:.6}}}")
+        }
+        SimEvent::PrefetchIssued { line, .. } => format!("{{\"line\":{}}}", line.0),
+        SimEvent::PrefetchDropped { line, reason, .. } => {
+            format!("{{\"line\":{},\"reason\":\"{}\"}}", line.0, reason.label())
+        }
+        SimEvent::PrefetchFilled { line, latency, .. }
+        | SimEvent::PrefetchFirstUse { line, latency, .. } => {
+            format!("{{\"line\":{},\"latency\":{}}}", line.0, latency)
+        }
+        SimEvent::PrefetchEvictedUnused { line, lifetime, .. } => {
+            format!("{{\"line\":{},\"lifetime\":{}}}", line.0, lifetime)
+        }
+        SimEvent::ChainWalkStart { warp, pc, .. } => {
+            format!("{{\"warp\":{},\"pc\":{}}}", warp.0, pc.0)
+        }
+        SimEvent::ChainWalkStep { depth, addr, .. } => {
+            format!("{{\"depth\":{},\"addr\":{}}}", depth, addr.0)
+        }
+        SimEvent::ChainWalkStop { steps, reason, .. } => {
+            format!("{{\"steps\":{},\"reason\":\"{}\"}}", steps, reason.label())
+        }
+        SimEvent::FaultInjected { kind, line, .. } => {
+            format!("{{\"kind\":\"{}\",\"line\":{}}}", kind.label(), line.0)
+        }
+        SimEvent::Brownout { active } => format!("{{\"active\":{active}}}"),
+        SimEvent::Terminal { kind, detail } => format!(
+            "{{\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            kind.label(),
+            json_escape(detail)
+        ),
+    }
+}
+
+/// Renders the event stream as Chrome trace-event JSON.
+///
+/// # Examples
+///
+/// ```
+/// use snake_sim::obs::{chrome_trace, SimEvent, TraceEvent};
+/// use snake_sim::Cycle;
+/// let json = chrome_trace(&[TraceEvent {
+///     cycle: Cycle(7),
+///     data: SimEvent::Brownout { active: true },
+/// }]);
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"ts\":7"));
+/// ```
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let tid = e.data.sm().map_or(DEVICE_TID, |s| u64::from(s.0));
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+            e.data.name(),
+            e.cycle.0,
+            tid,
+            args_json(&e.data)
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{NocDir, TerminalKind};
+    use crate::types::{Cycle, LineAddr, SmId};
+
+    #[test]
+    fn escape_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn trace_shape_and_tids() {
+        let events = vec![
+            TraceEvent {
+                cycle: Cycle(5),
+                data: SimEvent::NocEnqueue {
+                    dir: NocDir::Up,
+                    sm: SmId(3),
+                    line: LineAddr(9),
+                    bytes: 32,
+                },
+            },
+            TraceEvent {
+                cycle: Cycle(6),
+                data: SimEvent::Terminal {
+                    kind: TerminalKind::Completed,
+                    detail: "line1\nline2".into(),
+                },
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.ends_with("\n]}\n"));
+        assert!(json.contains("\"name\":\"NocEnqueue\""));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains(&format!("\"tid\":{DEVICE_TID}")));
+        assert!(json.contains("\"dir\":\"up\""));
+        assert!(json.contains("line1\\nline2"));
+        // Exactly one comma separator for two events.
+        assert_eq!(json.matches("},\n{").count(), 1);
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let json = chrome_trace(&[]);
+        assert_eq!(json, "{\"traceEvents\":[\n\n]}\n");
+    }
+
+    #[test]
+    fn same_input_same_bytes() {
+        let events = vec![TraceEvent {
+            cycle: Cycle(1),
+            data: SimEvent::ThrottleHalt {
+                sm: SmId(0),
+                bw_utilization: 0.75,
+            },
+        }];
+        assert_eq!(chrome_trace(&events), chrome_trace(&events));
+        assert!(chrome_trace(&events).contains("\"bw_utilization\":0.750000"));
+    }
+}

@@ -9,6 +9,7 @@
 //! [`NullPrefetcher`].
 
 use crate::kernel::KernelTrace;
+use crate::obs::WalkStop;
 use crate::stats::AccessOutcome;
 use crate::types::{Address, CtaId, Cycle, Pc, SmId, WarpId};
 
@@ -63,6 +64,11 @@ pub struct PrefetchContext {
     /// prefetched line. This is the space-throttle trigger — pausing
     /// gives the resident prefetched data time to be consumed (§3.3).
     pub prefetch_overrun: bool,
+    /// Whether the simulator has a trace sink attached and wants
+    /// [`PrefetcherEvent`]s recorded. Mechanisms must skip all event
+    /// bookkeeping when this is `false` so the no-sink path stays
+    /// zero-cost.
+    pub telemetry: bool,
 }
 
 impl PrefetchContext {
@@ -71,6 +77,35 @@ impl PrefetchContext {
     pub fn cache_full(&self) -> bool {
         self.free_lines == 0
     }
+}
+
+/// A telemetry event recorded by a mechanism during
+/// [`Prefetcher::on_demand_access`] and collected by the simulator via
+/// [`Prefetcher::drain_events`]. Only recorded when
+/// [`PrefetchContext::telemetry`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetcherEvent {
+    /// A chain walk started from a trigger access.
+    ChainWalkStart {
+        /// Triggering warp.
+        warp: WarpId,
+        /// Load PC indexing the head table.
+        pc: Pc,
+    },
+    /// One chain-walk step emitted a target.
+    ChainWalkStep {
+        /// 1-based step depth.
+        depth: u32,
+        /// Target address of the step.
+        addr: Address,
+    },
+    /// The chain walk stopped.
+    ChainWalkStop {
+        /// Steps completed before stopping.
+        steps: u32,
+        /// Why it stopped.
+        reason: WalkStop,
+    },
 }
 
 /// Where prefetched lines are stored.
@@ -135,6 +170,20 @@ pub trait Prefetcher {
     fn trained(&self) -> bool {
         true
     }
+
+    /// Current chain-walk depth limit, for mechanisms with a
+    /// throttle-controlled walk (Snake). Non-chaining mechanisms
+    /// report 0.
+    fn chain_depth(&self) -> u32 {
+        0
+    }
+
+    /// Moves any telemetry events recorded since the last drain into
+    /// `out`. Only called when a trace sink is attached; the default
+    /// is a no-op for mechanisms without telemetry.
+    fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
+        let _ = out;
+    }
 }
 
 /// A prefetcher that never prefetches (the baseline GPU).
@@ -184,6 +233,7 @@ mod tests {
             free_lines: 10,
             total_lines: 10,
             prefetch_overrun: false,
+            telemetry: false,
         };
         let mut out = Vec::new();
         p.on_demand_access(&ev, &ctx, &mut out);
@@ -191,6 +241,10 @@ mod tests {
         assert!(!p.throttled(Cycle(0)));
         assert!(p.trained());
         assert_eq!(p.placement(), PrefetchPlacement::PlainL1);
+        assert_eq!(p.chain_depth(), 0);
+        let mut events = Vec::new();
+        p.drain_events(&mut events);
+        assert!(events.is_empty());
     }
 
     #[test]
@@ -201,6 +255,7 @@ mod tests {
             free_lines: 0,
             total_lines: 4,
             prefetch_overrun: false,
+            telemetry: false,
         };
         assert!(ctx.cache_full());
         ctx.free_lines = 1;

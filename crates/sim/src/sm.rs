@@ -6,8 +6,9 @@ use std::collections::VecDeque;
 use crate::cache::unified_l1::{L1Mode, OutgoingRequest, PrefetchIssue, UnifiedL1};
 use crate::config::GpuConfig;
 use crate::kernel::{Instr, KernelTrace};
+use crate::obs::{SimEvent, TraceEvent};
 use crate::prefetch::{
-    AccessEvent, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
+    AccessEvent, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher, PrefetcherEvent,
 };
 use crate::scheduler::Scheduler;
 use crate::stats::{AccessOutcome, SimStats};
@@ -41,6 +42,15 @@ pub struct Sm {
     max_prefetches_per_event: usize,
     /// Stall-on-use: loads a warp may have in flight before blocking.
     max_outstanding_loads: u32,
+    /// Pipeline events buffered while tracing is enabled; the GPU
+    /// drains them each cycle. `None` (default) keeps the issue path
+    /// branch-only.
+    trace: Option<Vec<TraceEvent>>,
+    /// Scratch buffer for prefetcher-reported chain-walk events.
+    pf_events: Vec<PrefetcherEvent>,
+    /// Throttle state at the last tick (edge detection for
+    /// [`SimEvent::ThrottleHalt`]/[`SimEvent::ThrottleResume`]).
+    prev_throttled: bool,
 }
 
 impl std::fmt::Debug for Sm {
@@ -79,12 +89,53 @@ impl Sm {
             scratch: Vec::new(),
             max_prefetches_per_event: 16,
             max_outstanding_loads: cfg.max_outstanding_loads,
+            trace: None,
+            pf_events: Vec::new(),
+            prev_throttled: false,
         }
     }
 
     /// SM identifier.
     pub fn id(&self) -> SmId {
         self.id
+    }
+
+    /// Starts buffering trace events for this SM, its L1/MSHR, and the
+    /// prefetcher (chain-walk telemetry).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+        self.l1.enable_trace(self.id);
+    }
+
+    /// Moves buffered trace events into `out`: the SM's own pipeline
+    /// events first, then the L1's (which include the MSHR's).
+    pub fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        if let Some(buf) = self.trace.as_mut() {
+            out.append(buf);
+        }
+        self.l1.drain_trace(out);
+    }
+
+    fn emit(&mut self, cycle: Cycle, data: SimEvent) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(TraceEvent { cycle, data });
+        }
+    }
+
+    /// Number of resident warps (windowed-metrics input).
+    pub fn active_warps(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether the prefetcher reported throttling at the last tick.
+    pub fn is_throttled(&self) -> bool {
+        self.prev_throttled
+    }
+
+    /// The prefetcher's current chain-walk depth budget (0 for
+    /// mechanisms without chains).
+    pub fn chain_depth(&self) -> u32 {
+        self.prefetcher.chain_depth()
     }
 
     /// Queues a CTA for execution on this SM.
@@ -175,7 +226,23 @@ impl Sm {
 
         // Prefetcher/L1 policy sync.
         self.l1.set_trained(self.prefetcher.trained());
-        if self.prefetcher.throttled(now) {
+        let throttled = self.prefetcher.throttled(now);
+        if throttled != self.prev_throttled {
+            self.prev_throttled = throttled;
+            let data = if throttled {
+                SimEvent::ThrottleHalt {
+                    sm: self.id,
+                    bw_utilization: noc_utilization,
+                }
+            } else {
+                SimEvent::ThrottleResume {
+                    sm: self.id,
+                    bw_utilization: noc_utilization,
+                }
+            };
+            self.emit(now, data);
+        }
+        if throttled {
             self.l1.confine_until(now.plus(1));
             self.stats.prefetch.throttled_cycles += 1;
         }
@@ -215,6 +282,13 @@ impl Sm {
                 slot.next += 1;
                 slot.state = WarpState::Busy(now.plus(u64::from(*cycles).max(1)));
                 self.stats.instructions += 1;
+                self.emit(
+                    now,
+                    SimEvent::WarpIssue {
+                        sm: self.id,
+                        warp: WarpId(slot_idx as u32),
+                    },
+                );
             }
             Some(Instr::Load { pc, addrs }) => {
                 slot.next += 1;
@@ -223,6 +297,13 @@ impl Sm {
                 slot.cur_coalesced = addrs.len() == 1;
                 slot.pending = addrs.iter().collect();
                 self.stats.instructions += 1;
+                self.emit(
+                    now,
+                    SimEvent::WarpIssue {
+                        sm: self.id,
+                        warp: WarpId(slot_idx as u32),
+                    },
+                );
                 let next_is_load = matches!(trace.instrs.get(slot.next), Some(Instr::Load { .. }));
                 self.process_txns(&mut slot, slot_idx, now, noc_utilization, next_is_load);
             }
@@ -233,6 +314,13 @@ impl Sm {
                 slot.cur_coalesced = addrs.len() == 1;
                 slot.pending = addrs.iter().collect();
                 self.stats.instructions += 1;
+                self.emit(
+                    now,
+                    SimEvent::WarpIssue {
+                        sm: self.id,
+                        warp: WarpId(slot_idx as u32),
+                    },
+                );
                 self.process_txns(&mut slot, slot_idx, now, noc_utilization, false);
             }
         }
@@ -290,6 +378,15 @@ impl Sm {
                     slot.state = WarpState::Ready;
                 } else {
                     slot.settle_mem_instr(now, self.hit_latency);
+                    if slot.state == WarpState::Waiting {
+                        self.emit(
+                            now,
+                            SimEvent::WarpStall {
+                                sm: self.id,
+                                warp: WarpId(slot_idx as u32),
+                            },
+                        );
+                    }
                 }
             } else {
                 slot.state = WarpState::Busy(now.plus(1));
@@ -305,10 +402,35 @@ impl Sm {
             free_lines: self.l1.free_lines(),
             total_lines: self.l1.total_lines(),
             prefetch_overrun: self.l1.take_overrun(),
+            telemetry: self.trace.is_some(),
         };
         self.scratch.clear();
         self.prefetcher
             .on_demand_access(event, &ctx, &mut self.scratch);
+        if self.trace.is_some() {
+            self.pf_events.clear();
+            self.prefetcher.drain_events(&mut self.pf_events);
+            for i in 0..self.pf_events.len() {
+                let data = match self.pf_events[i] {
+                    PrefetcherEvent::ChainWalkStart { warp, pc } => SimEvent::ChainWalkStart {
+                        sm: self.id,
+                        warp,
+                        pc,
+                    },
+                    PrefetcherEvent::ChainWalkStep { depth, addr } => SimEvent::ChainWalkStep {
+                        sm: self.id,
+                        depth,
+                        addr,
+                    },
+                    PrefetcherEvent::ChainWalkStop { steps, reason } => SimEvent::ChainWalkStop {
+                        sm: self.id,
+                        steps,
+                        reason,
+                    },
+                };
+                self.emit(now, data);
+            }
+        }
         self.scratch.truncate(self.max_prefetches_per_event);
         self.stats.prefetch.requested += self.scratch.len() as u64;
         for i in 0..self.scratch.len() {
@@ -337,8 +459,19 @@ impl Sm {
     pub fn deliver_fill(&mut self, line: crate::types::LineAddr, now: Cycle) {
         let waiters = self.l1.fill(line, now);
         for wid in waiters {
-            if let Some(slot) = self.slots.get_mut(wid.index()).and_then(|s| s.as_mut()) {
-                slot.complete_response();
+            let unstalled = self
+                .slots
+                .get_mut(wid.index())
+                .and_then(|s| s.as_mut())
+                .is_some_and(WarpSlot::complete_response);
+            if unstalled {
+                self.emit(
+                    now,
+                    SimEvent::WarpUnstall {
+                        sm: self.id,
+                        warp: wid,
+                    },
+                );
             }
         }
     }

@@ -221,7 +221,12 @@ impl SimStats {
     /// Interconnect utilization against a peak of `peak_bytes_per_cycle`
     /// per direction (Fig 4).
     pub fn noc_utilization(&self, peak_bytes_per_cycle: u64) -> f64 {
-        let capacity = 2 * peak_bytes_per_cycle * self.cycles;
+        // Saturating: a pathological peak (u64::MAX from a fuzzer or a
+        // misparsed config) times a long run must clamp, not wrap into
+        // a tiny denominator. `ratio` already guards the zero case.
+        let capacity = 2u64
+            .saturating_mul(peak_bytes_per_cycle)
+            .saturating_mul(self.cycles);
         ratio(self.noc_bytes_up + self.noc_bytes_down, capacity)
     }
 
@@ -392,5 +397,19 @@ mod tests {
         };
         // peak 10 B/cy/direction -> capacity = 2*10*100 = 2000
         assert!((s.noc_utilization(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noc_utilization_saturates_instead_of_wrapping() {
+        let s = SimStats {
+            cycles: u64::MAX,
+            noc_bytes_up: 1,
+            ..Default::default()
+        };
+        // 2 * MAX * MAX would wrap to a tiny denominator and report an
+        // absurd utilization; saturation keeps it sane.
+        let u = s.noc_utilization(u64::MAX);
+        assert!(u.is_finite());
+        assert!(u <= 1e-9, "got {u}");
     }
 }

@@ -19,7 +19,15 @@ cargo test -p snake-sim --features audit -q
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
+
+echo "==> trace-overhead guard (no-sink path vs recorded baseline)"
+# First run on a machine records the baseline; later runs fail if the
+# sink-disabled tracing path got >2% slower. Delete the file to re-baseline.
+./target/release/pfdebug --overhead-guard target/trace-overhead-baseline.txt lps snake
 
 echo "CI gate passed."

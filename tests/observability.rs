@@ -1,0 +1,248 @@
+//! End-to-end observability tests: the cycle-stamped trace stream, the
+//! golden Chrome trace export, windowed metrics under throttling, and
+//! prefetch-lifecycle attribution.
+
+use std::collections::BTreeSet;
+
+use snake_repro::prelude::*;
+use snake_repro::sim::obs::{
+    chrome_trace, FaultKind, SharedVecSink, SimEvent, TerminalKind, TraceEvent,
+};
+use snake_repro::sim::{Brownout, CacheGeometry, FaultPlan, Recovery, StopReason};
+
+/// Every [`SimEvent`] variant, by its stable exporter name. The golden
+/// run must produce at least one of each.
+const ALL_EVENTS: &[&str] = &[
+    "WarpIssue",
+    "WarpStall",
+    "WarpUnstall",
+    "L1Access",
+    "MshrAllocate",
+    "MshrMerge",
+    "MshrFill",
+    "NocEnqueue",
+    "NocDequeue",
+    "ThrottleHalt",
+    "ThrottleResume",
+    "PrefetchIssued",
+    "PrefetchDropped",
+    "PrefetchFilled",
+    "PrefetchFirstUse",
+    "PrefetchEvictedUnused",
+    "ChainWalkStart",
+    "ChainWalkStep",
+    "ChainWalkStop",
+    "FaultInjected",
+    "Brownout",
+    "Terminal",
+];
+
+/// The golden configuration: a 1-SM GPU with a starved interconnect
+/// (so the bandwidth throttle engages and releases), a tiny L1 (so
+/// some prefetches die unused), every fault kind injected at a low
+/// recoverable rate, and periodic brownouts — the one deterministic
+/// run that exercises every event variant.
+fn golden_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.noc_bytes_per_cycle = 16;
+    cfg.l1 = CacheGeometry::new(4 * 1024, 128, 8);
+    cfg.fault = FaultPlan {
+        seed: 5,
+        drop_response: 0.02,
+        duplicate_response: 0.02,
+        delay_response: 0.05,
+        delay_cycles: 16,
+        brownout: Some(Brownout {
+            period: 300,
+            active: 60,
+            scale: 0.5,
+        }),
+        recovery: Some(Recovery {
+            timeout: 600,
+            max_retries: 8,
+        }),
+    };
+    cfg
+}
+
+fn traced_run(
+    cfg: GpuConfig,
+    kernel: KernelTrace,
+    kind: PrefetcherKind,
+) -> (SimOutcome, Vec<TraceEvent>) {
+    let warps = cfg.max_warps_per_sm;
+    let mut gpu = Gpu::new(cfg, kernel, |_| kind.build(warps)).expect("valid config");
+    let sink = SharedVecSink::new();
+    gpu.attach_sink(Box::new(sink.clone()));
+    let out = gpu.run();
+    (out, sink.snapshot())
+}
+
+#[test]
+fn golden_chrome_trace_is_byte_stable_and_complete() {
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let (out, events) = traced_run(golden_cfg(), kernel.clone(), PrefetcherKind::Snake);
+    assert_eq!(out.stop, StopReason::Completed);
+
+    // One event of every variant.
+    let seen: BTreeSet<&str> = events.iter().map(|e| e.data.name()).collect();
+    let missing: Vec<&&str> = ALL_EVENTS.iter().filter(|n| !seen.contains(**n)).collect();
+    assert!(missing.is_empty(), "missing event kinds: {missing:?}");
+
+    // The terminal event is last and says the run completed.
+    match &events.last().expect("nonempty trace").data {
+        SimEvent::Terminal { kind, .. } => assert_eq!(*kind, TerminalKind::Completed),
+        other => panic!("last event must be Terminal, got {other:?}"),
+    }
+
+    // Byte-stable across two identical runs.
+    let json = chrome_trace(&events);
+    let (_, again) = traced_run(golden_cfg(), kernel, PrefetcherKind::Snake);
+    assert!(
+        json == chrome_trace(&again),
+        "two identical runs produced different traces"
+    );
+
+    // ... and against the checked-in golden file.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file missing; re-record with UPDATE_GOLDEN=1");
+    assert!(
+        json == golden,
+        "chrome trace diverged from {path} ({} vs {} bytes); \
+         re-record with UPDATE_GOLDEN=1 if the change is intended",
+        json.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn windowed_metrics_capture_throttle_transitions() {
+    // A roomy L1 (no space-trigger overruns) but a lean interconnect:
+    // prefetch + demand traffic pushes utilization past the 70% halt
+    // threshold, and with prefetching halted demand alone falls below
+    // the 50% release threshold — the bandwidth hysteresis oscillates.
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.noc_bytes_per_cycle = 16;
+    cfg.metrics_window = Some(200);
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let (out, events) = traced_run(cfg, kernel, PrefetcherKind::Snake);
+
+    // The trace carries the hysteresis thresholds: some halt fired at
+    // ≥70% utilization and some resume at ≤50% (space-triggered halts
+    // may transition at other utilizations, so existence, not
+    // universality).
+    let halt_bw: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e.data {
+            SimEvent::ThrottleHalt { bw_utilization, .. } => Some(bw_utilization),
+            _ => None,
+        })
+        .collect();
+    let resume_bw: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e.data {
+            SimEvent::ThrottleResume { bw_utilization, .. } => Some(bw_utilization),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        halt_bw.iter().any(|&bw| bw >= 0.70),
+        "no bandwidth-triggered halt at the 70% threshold: {halt_bw:?}"
+    );
+    assert!(
+        resume_bw.iter().any(|&bw| bw <= 0.50),
+        "no resume at the 50% threshold: {resume_bw:?}"
+    );
+
+    // The windowed series shows both throttled and free-running
+    // windows, and NoC utilization stays a valid fraction throughout.
+    let series = out.series.expect("metrics window was configured");
+    assert!(!series.samples.is_empty());
+    assert!(series.samples.iter().any(|s| s.throttled_sms > 0));
+    assert!(series.samples.iter().any(|s| s.throttled_sms == 0));
+    for s in &series.samples {
+        assert!(
+            (0.0..=1.0).contains(&s.noc_utilization),
+            "window at cycle {} has utilization {}",
+            s.cycle,
+            s.noc_utilization
+        );
+    }
+    // The CSV export covers every window.
+    let csv = series.to_csv();
+    assert_eq!(csv.lines().count(), series.samples.len() + 1);
+}
+
+#[test]
+fn deadlock_is_reported_as_terminal_trace_event() {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.fault = FaultPlan {
+        seed: 7,
+        drop_response: 1.0,
+        ..FaultPlan::default()
+    };
+    cfg.watchdog_cycles = Some(1_000);
+    let kernel = Benchmark::Srad.build(&WorkloadSize::tiny());
+    let (out, events) = traced_run(cfg, kernel, PrefetcherKind::Baseline);
+    assert!(matches!(out.stop, StopReason::Deadlock(_)));
+
+    // Every dropped fill is in the stream as a cycle-stamped fault.
+    let drops = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.data,
+                SimEvent::FaultInjected {
+                    kind: FaultKind::Drop,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(drops, out.stats.fault.dropped_responses);
+
+    // The watchdog's census rides in the terminal event.
+    match &events.last().expect("nonempty trace").data {
+        SimEvent::Terminal { kind, detail } => {
+            assert_eq!(*kind, TerminalKind::Deadlock);
+            assert!(detail.contains("deadlock at cycle"), "detail: {detail}");
+        }
+        other => panic!("last event must be Terminal, got {other:?}"),
+    }
+}
+
+#[test]
+fn lifecycle_histograms_match_the_event_stream() {
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let (out, events) = traced_run(GpuConfig::scaled(1), kernel, PrefetcherKind::Snake);
+    assert_eq!(out.stop, StopReason::Completed);
+
+    let count = |name: &str| events.iter().filter(|e| e.data.name() == name).count() as u64;
+    let lc = &out.lifecycle;
+    assert!(lc.issue_to_fill.count() > 0, "no prefetch fills attributed");
+    assert_eq!(lc.issue_to_fill.count(), count("PrefetchFilled"));
+    assert_eq!(lc.fill_to_first_use.count(), count("PrefetchFirstUse"));
+    assert_eq!(lc.lifetime_unused.count(), count("PrefetchEvictedUnused"));
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let cfg = golden_cfg();
+    let warps = cfg.max_warps_per_sm;
+    let mut silent = Gpu::new(cfg.clone(), kernel.clone(), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .expect("valid config");
+    let quiet = silent.run();
+    let (traced, _) = traced_run(cfg, kernel, PrefetcherKind::Snake);
+    assert_eq!(quiet.stats, traced.stats, "observer effect detected");
+    assert_eq!(quiet.lifecycle, traced.lifecycle);
+}
