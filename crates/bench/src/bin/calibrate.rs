@@ -29,9 +29,21 @@ fn main() {
     let mut energies = Vec::new();
     let (mut rf, mut noc, mut ms, mut cov, mut acc) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    if let Err(e) = h.validate() {
+        eprintln!("calibrate: {e}");
+        std::process::exit(2);
+    }
     for &b in Benchmark::all() {
-        let base = h.run(b, PrefetcherKind::Baseline);
-        let snake = h.run(b, PrefetcherKind::Snake);
+        let (base, snake) = match (
+            h.run(b, PrefetcherKind::Baseline),
+            h.run(b, PrefetcherKind::Snake),
+        ) {
+            (Ok(base), Ok(snake)) => (base, snake),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("calibrate: {b}: {e}");
+                std::process::exit(2);
+            }
+        };
         speedups.push(snake.speedup_over(&base));
         energies.push(snake.energy_vs(&base));
         rf.push(base.reservation_fail_rate);

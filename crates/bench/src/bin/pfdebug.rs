@@ -36,6 +36,7 @@ fn usage() -> String {
          --trace-out FILE       write a Chrome trace-event JSON (open in Perfetto)\n  \
          --timeline             print an ASCII timeline of the windowed metrics\n  \
          --window N             sample windowed metrics every N cycles (default {} with --timeline)\n  \
+         --budget N             stop the run after N cycles (StopReason::BudgetExceeded)\n  \
          --overhead-guard FILE  time the no-sink path against the baseline in FILE\n                         (records FILE when absent; fails if >{:.0}% slower)",
         benches.join(" "),
         DEFAULT_WINDOW,
@@ -53,6 +54,7 @@ fn run() -> Result<(), CliError> {
     let mut trace_out: Option<String> = None;
     let mut timeline = false;
     let mut window: Option<u64> = None;
+    let mut budget: Option<u64> = None;
     let mut guard: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -80,6 +82,22 @@ fn run() -> Result<(), CliError> {
                     });
                 }
                 window = Some(n);
+            }
+            "--budget" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--budget needs a cycle count".into()))?;
+                let n: u64 = raw.parse().map_err(|_| CliError::BadArg {
+                    what: "budget",
+                    why: format!("not a cycle count: {raw:?}"),
+                })?;
+                if n == 0 {
+                    return Err(CliError::BadArg {
+                        what: "budget",
+                        why: "budget must be at least one cycle".into(),
+                    });
+                }
+                budget = Some(n);
             }
             "--overhead-guard" => {
                 guard = Some(args.next().ok_or_else(|| {
@@ -134,6 +152,7 @@ fn run() -> Result<(), CliError> {
         window = Some(DEFAULT_WINDOW);
     }
     h.cfg.metrics_window = window;
+    h.cfg.cycle_budget = budget.map(snake_sim::Cycle);
     let kernel = bench.build(&h.size);
     let warps = h.cfg.max_warps_per_sm;
     let mut gpu = Gpu::new(h.cfg.clone(), kernel, |_| kind.build(warps))?;

@@ -6,16 +6,25 @@
 //! repro --all               run everything (paper order)
 //! repro --all --markdown    emit EXPERIMENTS.md-ready markdown
 //! repro --quick ...         use the fast test harness
+//! repro --sweep --manifest sweep.jsonl     supervised, checkpointed sweep
+//! repro --resume sweep.jsonl               finish an interrupted sweep
 //! ```
+//!
+//! Sweep exit codes: 0 all jobs completed, 3 at least one job
+//! quarantined (healthy rows still rendered), 4 interrupted with jobs
+//! pending (resume from the manifest).
 
 use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
 
 use snake_bench::cli::{self, CliError};
 use snake_bench::figures::{self, EvalMatrix};
 use snake_bench::report::Table;
+use snake_bench::supervise::{self, SweepConfig, SweepError};
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
-use snake_sim::Gpu;
+use snake_sim::{Brownout, Cycle, FaultPlan, Gpu, Recovery};
 use snake_workloads::Benchmark;
 
 /// Window width (cycles) for the `--metrics-csv` time series.
@@ -29,25 +38,35 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nexperiments: {}",
+        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\nexperiments: {}",
         EXPERIMENTS.join(" ")
     )
 }
 
 fn main() {
     match run() {
-        Ok(()) => {}
+        Ok(code) => std::process::exit(code),
         Err(e) => cli::fail("repro", &e, &usage()),
     }
 }
 
-fn run() -> Result<(), CliError> {
+fn run() -> Result<i32, CliError> {
     let mut quick = false;
     let mut markdown = false;
     let mut all = false;
     let mut list = false;
     let mut out_file: Option<String> = None;
     let mut metrics_csv: Option<String> = None;
+    let mut sweep = false;
+    let mut manifest: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut budget: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut stop_after: Option<usize> = None;
+    let mut chaos = false;
+    let mut benches: Option<Vec<Benchmark>> = None;
+    let mut kinds: Option<Vec<PrefetcherKind>> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -56,6 +75,8 @@ fn run() -> Result<(), CliError> {
             "--markdown" => markdown = true,
             "--all" => all = true,
             "--list" => list = true,
+            "--sweep" => sweep = true,
+            "--chaos" => chaos = true,
             "--out" => {
                 out_file = Some(
                     args.next()
@@ -68,9 +89,41 @@ fn run() -> Result<(), CliError> {
                         CliError::Usage("--metrics-csv needs a file operand".into())
                     })?);
             }
+            "--manifest" => {
+                manifest =
+                    Some(args.next().ok_or_else(|| {
+                        CliError::Usage("--manifest needs a file operand".into())
+                    })?);
+            }
+            "--resume" => {
+                resume = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::Usage("--resume needs a file operand".into()))?,
+                );
+            }
+            "--budget" => budget = Some(parse_num(&mut args, "budget", "a cycle count")?),
+            "--retries" => retries = Some(parse_num(&mut args, "retries", "an attempt count")?),
+            "--deadline-ms" => {
+                deadline_ms = Some(parse_num(&mut args, "deadline-ms", "a millisecond count")?);
+            }
+            "--stop-after" => {
+                stop_after = Some(parse_num(&mut args, "stop-after", "a job count")?);
+            }
+            "--benchmarks" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--benchmarks needs a comma list".into()))?;
+                benches = Some(parse_list(&raw, "benchmark")?);
+            }
+            "--mechanisms" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--mechanisms needs a comma list".into()))?;
+                kinds = Some(parse_list(&raw, "mechanism")?);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
-                return Ok(());
+                return Ok(0);
             }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag: {other}")));
@@ -82,11 +135,38 @@ fn run() -> Result<(), CliError> {
         for e in EXPERIMENTS {
             println!("{e}");
         }
-        return Ok(());
+        return Ok(0);
+    }
+    if sweep || resume.is_some() {
+        if manifest.is_some() && resume.is_some() {
+            return Err(CliError::Usage(
+                "--manifest starts a fresh sweep and --resume continues one; pass only one".into(),
+            ));
+        }
+        if !wanted.is_empty() || all {
+            return Err(CliError::Usage(
+                "--sweep/--resume runs jobs, not experiment ids; drop the extra operands".into(),
+            ));
+        }
+        let opts = SweepOpts {
+            quick,
+            markdown,
+            out_file,
+            manifest,
+            resume,
+            budget,
+            retries,
+            deadline_ms,
+            stop_after,
+            chaos,
+            benches,
+            kinds,
+        };
+        return run_sweep(opts);
     }
     if !all && wanted.is_empty() && metrics_csv.is_none() {
         return Err(CliError::Usage(
-            "nothing to do: pass --all, --list, --metrics-csv, or experiment ids".into(),
+            "nothing to do: pass --all, --list, --sweep, --metrics-csv, or experiment ids".into(),
         ));
     }
     for w in &wanted {
@@ -107,10 +187,10 @@ fn run() -> Result<(), CliError> {
         write_metrics_csv(&h, path)?;
     }
     if !all && wanted.is_empty() {
-        return Ok(());
+        return Ok(0);
     }
     let tables = if all {
-        figures::all(&h)
+        figures::all(&h)?
     } else {
         run_selected(&h, &wanted)?
     };
@@ -134,7 +214,149 @@ fn run() -> Result<(), CliError> {
         }
         None => print!("{rendered}"),
     }
-    Ok(())
+    Ok(0)
+}
+
+/// Options for the supervised sweep path.
+struct SweepOpts {
+    quick: bool,
+    markdown: bool,
+    out_file: Option<String>,
+    manifest: Option<String>,
+    resume: Option<String>,
+    budget: Option<u64>,
+    retries: Option<u32>,
+    deadline_ms: Option<u64>,
+    stop_after: Option<usize>,
+    chaos: bool,
+    benches: Option<Vec<Benchmark>>,
+    kinds: Option<Vec<PrefetcherKind>>,
+}
+
+/// The canned `--chaos` fault plan: dropped/duplicated/delayed fill
+/// responses, periodic interconnect brownouts, and timeout/reissue
+/// recovery so most faults heal instead of deadlocking. Deterministic
+/// (seeded), so chaos sweeps checkpoint and resume byte-identically.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xC4A05,
+        drop_response: 0.002,
+        duplicate_response: 0.005,
+        delay_response: 0.05,
+        delay_cycles: 200,
+        brownout: Some(Brownout {
+            period: 2000,
+            active: 250,
+            scale: 0.5,
+        }),
+        recovery: Some(Recovery {
+            timeout: 500,
+            max_retries: 4,
+        }),
+    }
+}
+
+fn run_sweep(opts: SweepOpts) -> Result<i32, CliError> {
+    let mut h = if opts.quick {
+        Harness::quick()
+    } else {
+        Harness::standard()
+    };
+    h.cfg.cycle_budget = opts.budget.map(Cycle);
+    if opts.chaos {
+        h.cfg.fault = chaos_plan();
+    }
+    let benches = opts.benches.unwrap_or_else(|| Benchmark::all().to_vec());
+    let kinds = opts.kinds.unwrap_or_else(|| PrefetcherKind::all().to_vec());
+    let jobs = supervise::campaign(&benches, &kinds);
+    let mut cfg = SweepConfig::default();
+    if let Some(n) = opts.retries {
+        cfg.max_attempts = n.max(1);
+    }
+    cfg.wall_deadline = opts.deadline_ms.map(Duration::from_millis);
+    cfg.stop_after = opts.stop_after;
+    let (manifest_path, resume) = match (&opts.manifest, &opts.resume) {
+        (_, Some(path)) => (Some(Path::new(path)), true),
+        (Some(path), None) => (Some(Path::new(path)), false),
+        (None, None) => (None, false),
+    };
+    let result = supervise::run_campaign(&h, &jobs, &cfg, manifest_path, resume)
+        .map_err(sweep_error_to_cli)?;
+    let rendered = result.render(opts.markdown);
+    match &opts.out_file {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).map_err(|e| CliError::io(path, e))?;
+            f.write_all(rendered.as_bytes())
+                .map_err(|e| CliError::io(path, e))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    for e in &result.manifest_errors {
+        eprintln!("repro: warning: checkpoint failed for {e}");
+    }
+    let (completed, quarantined, skipped) = result.counts();
+    eprintln!("repro: sweep {completed} completed, {quarantined} quarantined, {skipped} skipped");
+    if result.exit_code() == supervise::EXIT_INTERRUPTED {
+        if let Some(path) = manifest_path {
+            eprintln!(
+                "repro: sweep interrupted; finish with: repro --resume {}",
+                path.display()
+            );
+        }
+    }
+    Ok(result.exit_code())
+}
+
+fn sweep_error_to_cli(e: SweepError) -> CliError {
+    match e {
+        SweepError::Sim(e) => CliError::from(e),
+        SweepError::Manifest(supervise::manifest::ManifestError::Io { path, source }) => {
+            CliError::Io { path, source }
+        }
+        other => CliError::BadArg {
+            what: "manifest",
+            why: other.to_string(),
+        },
+    }
+}
+
+/// Parses the next operand of `flag` as an integer.
+fn parse_num<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &'static str,
+    what: &str,
+) -> Result<T, CliError> {
+    let raw = args
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("--{flag} needs {what}")))?;
+    raw.parse().map_err(|_| CliError::BadArg {
+        what: flag,
+        why: format!("not {what}: {raw:?}"),
+    })
+}
+
+/// Parses a comma-separated operand list (benchmarks or mechanisms).
+fn parse_list<T>(raw: &str, what: &'static str) -> Result<Vec<T>, CliError>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let items: Result<Vec<T>, CliError> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim().parse().map_err(|e: T::Err| CliError::BadArg {
+                what,
+                why: e.to_string(),
+            })
+        })
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(CliError::Usage(format!("--{what}s list is empty")));
+    }
+    Ok(items)
 }
 
 /// Runs LPS under Snake with windowed metrics enabled and writes the
@@ -165,11 +387,13 @@ fn run_selected(h: &Harness, wanted: &[String]) -> Result<Vec<Table>, CliError> 
             "fig03" | "fig04" | "fig05" | "fig16" | "fig17" | "fig18" | "fig19" | "fig25"
         )
     });
-    let matrix = needs_matrix.then(|| {
+    let matrix = if needs_matrix {
         let mut kinds = figures::figure_mechanisms();
         kinds.push(PrefetcherKind::IsolatedSnake);
-        EvalMatrix::collect(h, &kinds)
-    });
+        Some(EvalMatrix::collect(h, &kinds)?)
+    } else {
+        None
+    };
     // `needs_matrix` lists exactly the figures that take the matrix, so
     // a miss here is a bug in this binary, not in the invocation.
     let need = |id: &str| -> Result<&EvalMatrix, CliError> {
@@ -197,15 +421,15 @@ fn run_selected(h: &Harness, wanted: &[String]) -> Result<Vec<Table>, CliError> 
                 "fig17" => figures::fig17_accuracy(need("fig17")?),
                 "fig18" => figures::fig18_performance(need("fig18")?),
                 "fig19" => figures::fig19_energy(need("fig19")?),
-                "fig20" => figures::fig20_tail_entries(h),
+                "fig20" => figures::fig20_tail_entries(h)?,
                 "fig21" => figures::fig21_hw_cost(),
-                "fig22" => figures::fig22_eviction_policy(h),
-                "fig23" => figures::fig23_throttling(h),
-                "fig24" => figures::fig24_tiling(h),
+                "fig22" => figures::fig22_eviction_policy(h)?,
+                "fig23" => figures::fig23_throttling(h)?,
+                "fig24" => figures::fig24_tiling(h)?,
                 "fig25" => figures::fig25_hit_rate(need("fig25")?),
-                "xhead" => figures::extra_head_layout(h),
-                "xsched" => figures::extra_scheduler(h),
-                "xmulti" => figures::extra_multi_app(h),
+                "xhead" => figures::extra_head_layout(h)?,
+                "xsched" => figures::extra_scheduler(h)?,
+                "xmulti" => figures::extra_multi_app(h)?,
                 _ => unreachable!("validated above"),
             })
         })

@@ -70,6 +70,17 @@ impl From<snake_sim::ConfigError> for CliError {
     }
 }
 
+impl From<snake_sim::SimError> for CliError {
+    fn from(e: snake_sim::SimError) -> Self {
+        match e {
+            snake_sim::SimError::Config(c) => CliError::Config(c),
+            // `SimError` is non_exhaustive; future variants still
+            // deserve a diagnostic rather than a panic.
+            other => CliError::Internal(other.to_string()),
+        }
+    }
+}
+
 /// Prints `err` and the binary's usage string to stderr, then exits
 /// with status 2 (the conventional usage-error code).
 pub fn fail(program: &str, err: &CliError, usage: &str) -> ! {

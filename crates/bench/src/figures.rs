@@ -13,6 +13,7 @@ use snake_core::metrics::{geometric_mean, mean, MechanismReport};
 use snake_core::snake::tail_table::{EvictionPolicy, TailTableConfig};
 use snake_core::snake::{Snake, SnakeConfig};
 use snake_core::PrefetcherKind;
+use snake_sim::SimError;
 use snake_workloads::{tiled, Benchmark};
 
 use crate::report::{pct, ratio, Table};
@@ -29,14 +30,26 @@ impl EvalMatrix {
     /// Runs every `(application, mechanism)` pair, in parallel across
     /// OS threads.
     ///
+    /// The harness configuration is validated once up front, so the
+    /// per-pair workers cannot hit a configuration error mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
+    ///
     /// # Panics
     ///
     /// Panics after *all* workers have drained if any pair's
     /// evaluation panicked, naming every failed `benchmark/mechanism`
     /// pair — one bad benchmark no longer aborts the whole matrix with
     /// an anonymous `Any` payload.
-    pub fn collect(h: &Harness, kinds: &[PrefetcherKind]) -> Self {
-        Self::collect_with(kinds, |b, k| h.run(b, k))
+    pub fn collect(h: &Harness, kinds: &[PrefetcherKind]) -> Result<Self, SimError> {
+        h.validate()?;
+        Ok(Self::collect_with(kinds, |b, k| {
+            // Unreachable after validate(); a failure here panics and
+            // is caught + named by the worker drain below.
+            h.run(b, k).expect("configuration validated above")
+        }))
     }
 
     fn collect_with(
@@ -126,7 +139,7 @@ impl EvalMatrix {
 }
 
 /// Best-effort text of a worker's panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
         .downcast_ref::<&'static str>()
         .copied()
@@ -571,7 +584,12 @@ fn snake_with_tail(h: &Harness, entries: usize, eviction: EvictionPolicy) -> Sna
     }
 }
 
-fn entry_sweep_table(h: &Harness, title: &str, eviction: EvictionPolicy, note: &str) -> Table {
+fn entry_sweep_table(
+    h: &Harness,
+    title: &str,
+    eviction: EvictionPolicy,
+    note: &str,
+) -> Result<Table, SimError> {
     let mut headers = vec!["app".to_string()];
     headers.extend(ENTRY_SWEEP.iter().map(|e| {
         if *e >= 1024 {
@@ -587,7 +605,7 @@ fn entry_sweep_table(h: &Harness, title: &str, eviction: EvictionPolicy, note: &
         let mut row = vec![b.abbr().to_string()];
         for (i, &entries) in ENTRY_SWEEP.iter().enumerate() {
             let cfg = snake_with_tail(h, entries, eviction);
-            let r = h.run_custom(&kernel, "snake-sweep", |_| Box::new(Snake::new(cfg)));
+            let r = h.run_custom(&kernel, "snake-sweep", |_| Box::new(Snake::new(cfg)))?;
             cols[i].push(r.coverage);
             row.push(pct(r.coverage));
         }
@@ -599,11 +617,15 @@ fn entry_sweep_table(h: &Harness, title: &str, eviction: EvictionPolicy, note: &
     }
     t.push_row(mean_row);
     t.note(note);
-    t
+    Ok(t)
 }
 
 /// Fig 20 — Tail-table entry-count sweep (main eviction policy).
-pub fn fig20_tail_entries(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn fig20_tail_entries(h: &Harness) -> Result<Table, SimError> {
     entry_sweep_table(
         h,
         "Fig 20 — Coverage vs Tail-table entries (LRU+popcount eviction)",
@@ -633,7 +655,11 @@ pub fn fig21_hw_cost() -> Table {
 }
 
 /// Fig 22 — eviction-policy ablation (popcount-only).
-pub fn fig22_eviction_policy(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn fig22_eviction_policy(h: &Harness) -> Result<Table, SimError> {
     entry_sweep_table(
         h,
         "Fig 22 — Coverage vs Tail-table entries (popcount-only eviction)",
@@ -646,7 +672,11 @@ pub fn fig22_eviction_policy(h: &Harness) -> Table {
 pub const THROTTLE_SWEEP: [u64; 6] = [0, 10, 25, 50, 100, 200];
 
 /// Fig 23 — accuracy/coverage trade-off across throttle intervals.
-pub fn fig23_throttling(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn fig23_throttling(h: &Harness) -> Result<Table, SimError> {
     let mut t = Table::new(
         "Fig 23 — Throttle-interval sweep (mean over all apps)",
         vec![
@@ -666,7 +696,7 @@ pub fn fig23_throttling(h: &Harness) -> Table {
             };
             cfg.throttle.pause_cycles = pause;
             cfg.throttle.enabled = pause > 0;
-            let r = h.run_custom(&kernel, "snake-throttle", |_| Box::new(Snake::new(cfg)));
+            let r = h.run_custom(&kernel, "snake-throttle", |_| Box::new(Snake::new(cfg)))?;
             cov.push(r.coverage);
             acc.push(r.accuracy);
             prec.push(r.precision);
@@ -679,7 +709,7 @@ pub fn fig23_throttling(h: &Harness) -> Table {
         ]);
     }
     t.note("paper: 50 cycles gives ~75% accuracy at only ~2% coverage loss; longer pauses trade coverage for accuracy");
-    t
+    Ok(t)
 }
 
 /// The tile sizes swept in Fig 24, as a percent of the unified cache.
@@ -687,7 +717,11 @@ pub const TILE_SWEEP: [u32; 4] = [25, 50, 75, 100];
 
 /// Fig 24 — tiling with and without Snake (IPC and energy vs the
 /// untiled, unprefetched baseline).
-pub fn fig24_tiling(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn fig24_tiling(h: &Harness) -> Result<Table, SimError> {
     let mut t = Table::new(
         "Fig 24 — Tiled convolution: IPC and energy vs untiled baseline",
         vec![
@@ -699,13 +733,13 @@ pub fn fig24_tiling(h: &Harness) -> Table {
         ],
     );
     let untiled = tiled::trace(&h.size, 0);
-    let base = h.run_kernel(&untiled, PrefetcherKind::Baseline);
+    let base = h.run_kernel(&untiled, PrefetcherKind::Baseline)?;
     for &frac in &TILE_SWEEP {
         let tile_bytes = u64::from(h.cfg.l1_usable_bytes()) * u64::from(frac) / 100;
         let tile_bytes = (tile_bytes / 128).max(1) * 128;
         let kernel = tiled::trace(&h.size, tile_bytes);
-        let tiled_r = h.run_kernel(&kernel, PrefetcherKind::Baseline);
-        let snake_r = h.run_kernel(&kernel, PrefetcherKind::Snake);
+        let tiled_r = h.run_kernel(&kernel, PrefetcherKind::Baseline)?;
+        let snake_r = h.run_kernel(&kernel, PrefetcherKind::Snake)?;
         t.push_row(vec![
             format!("{frac}%"),
             ratio(tiled_r.speedup_over(&base)),
@@ -715,7 +749,7 @@ pub fn fig24_tiling(h: &Harness) -> Table {
         ]);
     }
     t.note("paper: best at 75% tile size; Snake+Tiled beats Tiled except at 100% where Snake stays throttled");
-    t
+    Ok(t)
 }
 
 // ─────────────────── extension experiments ───────────────────
@@ -726,7 +760,11 @@ pub fn fig24_tiling(h: &Harness) -> Table {
 
 /// Extra A — Head-table layout sensitivity (§5.5's "doubling the warp
 /// ID and base address columns" under a greedy scheduler).
-pub fn extra_head_layout(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn extra_head_layout(h: &Harness) -> Result<Table, SimError> {
     use snake_core::snake::head_table::HeadLayout;
     let mut t = Table::new(
         "Extra A — Snake coverage vs Head-table layout (GTO scheduler)",
@@ -752,7 +790,7 @@ pub fn extra_head_layout(h: &Harness) -> Table {
                 head_layout: layout,
                 ..SnakeConfig::snake()
             };
-            let r = h.run_custom(&kernel, "snake-layout", |_| Box::new(Snake::new(cfg)));
+            let r = h.run_custom(&kernel, "snake-layout", |_| Box::new(Snake::new(cfg)))?;
             cols[i].push(r.coverage);
             row.push(pct(r.coverage));
         }
@@ -764,12 +802,16 @@ pub fn extra_head_layout(h: &Harness) -> Table {
     }
     t.push_row(mean_row);
     t.note("paper claim (§5.5): doubled columns keep the paired layout near the ideal; a single column loses history under GTO");
-    t
+    Ok(t)
 }
 
 /// Extra B — scheduler sensitivity: Snake under GTO vs loose
 /// round-robin.
-pub fn extra_scheduler(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn extra_scheduler(h: &Harness) -> Result<Table, SimError> {
     use snake_sim::SchedulerPolicy;
     let mut t = Table::new(
         "Extra B — Snake speedup under GTO vs loose round-robin",
@@ -783,8 +825,8 @@ pub fn extra_scheduler(h: &Harness) -> Table {
         ] {
             let mut harness = h.clone();
             harness.cfg.scheduler = policy;
-            let base = harness.run(b, PrefetcherKind::Baseline);
-            let snake = harness.run(b, PrefetcherKind::Snake);
+            let base = harness.run(b, PrefetcherKind::Baseline)?;
+            let snake = harness.run(b, PrefetcherKind::Snake)?;
             row.push(ratio(snake.speedup_over(&base)));
         }
         t.push_row(row);
@@ -792,12 +834,16 @@ pub fn extra_scheduler(h: &Harness) -> Table {
     t.note(
         "the paper's baseline is GTO (Table 1); Snake's tables are scheduler-agnostic by design",
     );
-    t
+    Ok(t)
 }
 
 /// Extra C — the §1 multi-application extension: co-located kernels
 /// with per-application chain detection vs an untagged shared table.
-pub fn extra_multi_app(h: &Harness) -> Table {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn extra_multi_app(h: &Harness) -> Result<Table, SimError> {
     use snake_workloads::multi::{colocate, PcSpace};
     let mut t = Table::new(
         "Extra C — Multi-application co-location (Snake coverage)",
@@ -815,8 +861,8 @@ pub fn extra_multi_app(h: &Harness) -> Table {
     for (a, b) in pairs {
         let ka = a.build(&h.size);
         let kb = b.build(&h.size);
-        let tagged = h.run_kernel(&colocate(&ka, &kb, PcSpace::PerApp), PrefetcherKind::Snake);
-        let shared = h.run_kernel(&colocate(&ka, &kb, PcSpace::Shared), PrefetcherKind::Snake);
+        let tagged = h.run_kernel(&colocate(&ka, &kb, PcSpace::PerApp), PrefetcherKind::Snake)?;
+        let shared = h.run_kernel(&colocate(&ka, &kb, PcSpace::Shared), PrefetcherKind::Snake)?;
         t.push_row(vec![
             format!("{}+{}", a.abbr(), b.abbr()),
             pct(tagged.coverage),
@@ -824,15 +870,19 @@ pub fn extra_multi_app(h: &Harness) -> Table {
         ]);
     }
     t.note("paper §1: chains must be \"detected within each application\"; aliasing two apps' load PCs onto one table degrades the chains");
-    t
+    Ok(t)
 }
 
 /// Runs every table and figure, in paper order.
-pub fn all(h: &Harness) -> Vec<Table> {
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the harness configuration is invalid.
+pub fn all(h: &Harness) -> Result<Vec<Table>, SimError> {
     let mut kinds = figure_mechanisms();
     kinds.push(PrefetcherKind::IsolatedSnake);
-    let m = EvalMatrix::collect(h, &kinds);
-    vec![
+    let m = EvalMatrix::collect(h, &kinds)?;
+    Ok(vec![
         table1_config(h),
         table2_benchmarks(),
         table3_cost(),
@@ -847,16 +897,16 @@ pub fn all(h: &Harness) -> Vec<Table> {
         fig17_accuracy(&m),
         fig18_performance(&m),
         fig19_energy(&m),
-        fig20_tail_entries(h),
+        fig20_tail_entries(h)?,
         fig21_hw_cost(),
-        fig22_eviction_policy(h),
-        fig23_throttling(h),
-        fig24_tiling(h),
+        fig22_eviction_policy(h)?,
+        fig23_throttling(h)?,
+        fig24_tiling(h)?,
         fig25_hit_rate(&m),
-        extra_head_layout(h),
-        extra_scheduler(h),
-        extra_multi_app(h),
-    ]
+        extra_head_layout(h)?,
+        extra_scheduler(h)?,
+        extra_multi_app(h)?,
+    ])
 }
 
 #[cfg(test)]
@@ -871,7 +921,7 @@ mod tests {
     fn matrix_collects_all_pairs() {
         let h = quick();
         let kinds = [PrefetcherKind::Baseline, PrefetcherKind::Snake];
-        let m = EvalMatrix::collect(&h, &kinds);
+        let m = EvalMatrix::collect(&h, &kinds).unwrap();
         for &b in Benchmark::all() {
             assert!(m.get(b, PrefetcherKind::Baseline).ipc > 0.0);
             assert!(m.get(b, PrefetcherKind::Snake).ipc > 0.0);
@@ -913,7 +963,7 @@ mod tests {
                 if b == Benchmark::Mum {
                     panic!("synthetic failure");
                 }
-                let r = h.run(b, k);
+                let r = h.run(b, k).unwrap();
                 ran.lock().unwrap().push(b);
                 r
             })
@@ -930,10 +980,17 @@ mod tests {
     }
 
     #[test]
+    fn invalid_harness_is_rejected_before_dispatch() {
+        let mut h = quick();
+        h.cfg.mshr_entries = 0;
+        assert!(EvalMatrix::collect(&h, &[PrefetcherKind::Baseline]).is_err());
+    }
+
+    #[test]
     fn baseline_figures_render() {
         let h = quick();
         let kinds = [PrefetcherKind::Baseline];
-        let m = EvalMatrix::collect(&h, &kinds);
+        let m = EvalMatrix::collect(&h, &kinds).unwrap();
         let t = fig03_reservation_fails(&m);
         assert_eq!(t.rows.len(), Benchmark::all().len() + 1);
         assert!(t.to_string().contains("MEAN"));

@@ -8,10 +8,13 @@
 //! ```no_run
 //! use snake_bench::{figures, Harness};
 //! use snake_core::PrefetcherKind;
+//! # fn main() -> Result<(), snake_sim::SimError> {
 //! let h = Harness::quick();
-//! let matrix = figures::EvalMatrix::collect(&h, PrefetcherKind::all());
+//! let matrix = figures::EvalMatrix::collect(&h, PrefetcherKind::all())?;
 //! let table = figures::fig16_coverage(&matrix);
 //! println!("{table}");
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -20,5 +23,6 @@ pub mod cli;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod supervise;
 
 pub use runner::Harness;

@@ -1,7 +1,9 @@
 //! Shared run harness: configuration, simulation, and report rows.
 
 use snake_core::{MechanismReport, PrefetcherKind};
-use snake_sim::{EnergyModel, Gpu, GpuConfig, KernelTrace, Prefetcher, SimOutcome, SmId};
+use snake_sim::{
+    EnergyModel, Gpu, GpuConfig, KernelTrace, Prefetcher, SimError, SimOutcome, SmId, StopReason,
+};
 use snake_workloads::{Benchmark, WorkloadSize};
 
 /// The experiment harness: one GPU configuration, one workload size,
@@ -14,6 +16,17 @@ pub struct Harness {
     pub size: WorkloadSize,
     /// Energy model.
     pub energy: EnergyModel,
+}
+
+/// A finished supervised run: the report row plus why the simulation
+/// stopped, so the sweep supervisor can distinguish clean completion
+/// from budget truncation or deadlock without re-deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// The metrics row for the run.
+    pub report: MechanismReport,
+    /// Why the simulation stopped.
+    pub stop: StopReason,
 }
 
 impl Harness {
@@ -41,46 +54,109 @@ impl Harness {
         }
     }
 
+    /// Checks the harness configuration without running anything, so
+    /// campaign drivers can fail fast once instead of per job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SimError`] when the GPU configuration
+    /// is invalid.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.cfg.validate().map_err(SimError::from)
+    }
+
     /// Runs one benchmark under one mechanism and reports.
-    pub fn run(&self, bench: Benchmark, kind: PrefetcherKind) -> MechanismReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
+    pub fn run(&self, bench: Benchmark, kind: PrefetcherKind) -> Result<MechanismReport, SimError> {
         let kernel = bench.build(&self.size);
         self.run_kernel(&kernel, kind)
     }
 
-    /// Runs an arbitrary kernel under one registry mechanism.
-    pub fn run_kernel(&self, kernel: &KernelTrace, kind: PrefetcherKind) -> MechanismReport {
+    /// Runs one benchmark under one mechanism, keeping the stop reason
+    /// alongside the report (the sweep supervisor's entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
+    pub fn run_job(&self, bench: Benchmark, kind: PrefetcherKind) -> Result<RunOutput, SimError> {
+        let kernel = bench.build(&self.size);
         let warps = self.cfg.max_warps_per_sm;
-        let outcome = self.simulate(kernel, |_| kind.build(warps));
-        MechanismReport::from_outcome(
+        let outcome = self.simulate(&kernel, |_| kind.build(warps))?;
+        let report = MechanismReport::from_outcome(
             kind.name(),
             kernel.name(),
             &outcome,
             &self.cfg,
             &self.energy,
             kind.has_hardware(),
-        )
+        );
+        Ok(RunOutput {
+            report,
+            stop: outcome.stop,
+        })
+    }
+
+    /// Runs an arbitrary kernel under one registry mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
+    pub fn run_kernel(
+        &self,
+        kernel: &KernelTrace,
+        kind: PrefetcherKind,
+    ) -> Result<MechanismReport, SimError> {
+        let warps = self.cfg.max_warps_per_sm;
+        let outcome = self.simulate(kernel, |_| kind.build(warps))?;
+        Ok(MechanismReport::from_outcome(
+            kind.name(),
+            kernel.name(),
+            &outcome,
+            &self.cfg,
+            &self.energy,
+            kind.has_hardware(),
+        ))
     }
 
     /// Runs an arbitrary kernel with a custom prefetcher factory
     /// (parameter sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
     pub fn run_custom(
         &self,
         kernel: &KernelTrace,
         name: &str,
         mk: impl FnMut(SmId) -> Box<dyn Prefetcher>,
-    ) -> MechanismReport {
-        let outcome = self.simulate(kernel, mk);
-        MechanismReport::from_outcome(name, kernel.name(), &outcome, &self.cfg, &self.energy, true)
+    ) -> Result<MechanismReport, SimError> {
+        let outcome = self.simulate(kernel, mk)?;
+        Ok(MechanismReport::from_outcome(
+            name,
+            kernel.name(),
+            &outcome,
+            &self.cfg,
+            &self.energy,
+            true,
+        ))
     }
 
-    fn simulate(
+    /// Builds and runs the GPU, surfacing configuration problems as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
+    pub fn simulate(
         &self,
         kernel: &KernelTrace,
         mk: impl FnMut(SmId) -> Box<dyn Prefetcher>,
-    ) -> SimOutcome {
-        let mut gpu =
-            Gpu::new(self.cfg.clone(), kernel.clone(), mk).expect("harness configuration is valid");
-        gpu.run()
+    ) -> Result<SimOutcome, SimError> {
+        let mut gpu = Gpu::new(self.cfg.clone(), kernel.clone(), mk)?;
+        Ok(gpu.run())
     }
 }
 
@@ -98,7 +174,7 @@ mod tests {
     fn quick_harness_runs_every_benchmark_baseline() {
         let h = Harness::quick();
         for &b in Benchmark::all() {
-            let r = h.run(b, PrefetcherKind::Baseline);
+            let r = h.run(b, PrefetcherKind::Baseline).unwrap();
             assert!(r.ipc > 0.0, "{b}: ipc {}", r.ipc);
             assert!(r.cycles > 0, "{b}");
         }
@@ -107,8 +183,8 @@ mod tests {
     #[test]
     fn snake_beats_baseline_on_lps() {
         let h = Harness::quick();
-        let base = h.run(Benchmark::Lps, PrefetcherKind::Baseline);
-        let snake = h.run(Benchmark::Lps, PrefetcherKind::Snake);
+        let base = h.run(Benchmark::Lps, PrefetcherKind::Baseline).unwrap();
+        let snake = h.run(Benchmark::Lps, PrefetcherKind::Snake).unwrap();
         assert!(
             snake.speedup_over(&base) > 1.02,
             "snake {} vs baseline {} IPC (speedup {:.3})",
@@ -123,10 +199,34 @@ mod tests {
     fn custom_factory_is_usable() {
         let h = Harness::quick();
         let kernel = Benchmark::Lib.build(&h.size);
-        let r = h.run_custom(&kernel, "null-custom", |_| {
-            Box::new(snake_sim::NullPrefetcher)
-        });
+        let r = h
+            .run_custom(&kernel, "null-custom", |_| {
+                Box::new(snake_sim::NullPrefetcher)
+            })
+            .unwrap();
         assert_eq!(r.mechanism, "null-custom");
         assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_surfaces_as_sim_error() {
+        let mut h = Harness::quick();
+        h.cfg.mshr_entries = 0;
+        assert!(h.validate().is_err());
+        let err = h.run(Benchmark::Lps, PrefetcherKind::Baseline).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+        assert!(h.run_job(Benchmark::Lps, PrefetcherKind::Baseline).is_err());
+    }
+
+    #[test]
+    fn run_job_reports_stop_reason() {
+        let mut h = Harness::quick();
+        let full = h.run_job(Benchmark::Lps, PrefetcherKind::Baseline).unwrap();
+        assert_eq!(full.stop, StopReason::Completed);
+
+        h.cfg.cycle_budget = Some(snake_sim::Cycle(50));
+        let cut = h.run_job(Benchmark::Lps, PrefetcherKind::Baseline).unwrap();
+        assert_eq!(cut.stop, StopReason::BudgetExceeded { budget: 50 });
+        assert!(cut.report.cycles <= 50);
     }
 }

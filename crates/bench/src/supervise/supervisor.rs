@@ -1,0 +1,391 @@
+//! The worker pool: claims jobs, isolates panics, retries with
+//! backoff, checkpoints records, and assembles the final result.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use snake_core::MechanismReport;
+use snake_sim::{SimError, StopReason};
+
+use super::manifest::{JobRecord, ManifestWriter};
+use super::{JobSpec, SweepConfig, EXIT_INTERRUPTED, EXIT_QUARANTINE};
+use crate::figures::panic_message;
+use crate::report::{pct, ratio, Table};
+use crate::runner::RunOutput;
+
+/// The final state of one job in a finished sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job produced a report (cleanly, or truncated by a cycle
+    /// budget / cycle limit).
+    Completed {
+        /// The report row.
+        report: MechanismReport,
+        /// Stop-reason label (`"completed"`, `"budget_exceeded"`, …).
+        stop: String,
+        /// Attempts it took (1 = first try).
+        attempts: u32,
+    },
+    /// Every attempt panicked, deadlocked, or errored; the job is
+    /// quarantined and its siblings were unaffected.
+    Crashed {
+        /// The last failure, human-readable.
+        message: String,
+        /// Attempts made before quarantine.
+        attempts: u32,
+    },
+    /// The job was never started: the sweep hit its wall deadline or
+    /// `stop_after` first. Resume from the manifest to run it.
+    Skipped {
+        /// Why it was not started.
+        reason: String,
+    },
+}
+
+/// Everything a finished (or interrupted) sweep produced.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// One outcome per job, in campaign order.
+    pub outcomes: Vec<(JobSpec, JobOutcome)>,
+    /// True when jobs were skipped (deadline / `stop_after`).
+    pub interrupted: bool,
+    /// Checkpointing failures (the sweep itself kept going; resume
+    /// from this manifest may re-run the affected jobs).
+    pub manifest_errors: Vec<String>,
+}
+
+impl SweepResult {
+    /// Completed / quarantined / skipped counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for (_, o) in &self.outcomes {
+            match o {
+                JobOutcome::Completed { .. } => c.0 += 1,
+                JobOutcome::Crashed { .. } => c.1 += 1,
+                JobOutcome::Skipped { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The process exit code this result calls for: interrupted sweeps
+    /// exit [`EXIT_INTERRUPTED`] (work remains; resume to finish),
+    /// quarantines exit [`EXIT_QUARANTINE`], clean sweeps exit 0.
+    pub fn exit_code(&self) -> i32 {
+        let (_, quarantined, skipped) = self.counts();
+        if self.interrupted || skipped > 0 {
+            EXIT_INTERRUPTED
+        } else if quarantined > 0 {
+            EXIT_QUARANTINE
+        } else {
+            0
+        }
+    }
+
+    /// The healthy rows, in campaign order.
+    pub fn results_table(&self) -> Table {
+        let mut t = Table::new(
+            "Sweep — per-job results",
+            [
+                "app",
+                "mechanism",
+                "ipc",
+                "coverage",
+                "accuracy",
+                "cycles",
+                "stop",
+                "attempts",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        for (job, outcome) in &self.outcomes {
+            if let JobOutcome::Completed {
+                report,
+                stop,
+                attempts,
+            } = outcome
+            {
+                t.push_row(vec![
+                    job.bench.abbr().into(),
+                    job.kind.name().into(),
+                    ratio(report.ipc),
+                    pct(report.coverage),
+                    pct(report.accuracy),
+                    report.cycles.to_string(),
+                    stop.clone(),
+                    attempts.to_string(),
+                ]);
+            }
+        }
+        let (completed, quarantined, skipped) = self.counts();
+        t.note(format!(
+            "{completed} completed, {quarantined} quarantined, {skipped} skipped \
+             of {} jobs",
+            self.outcomes.len()
+        ));
+        t
+    }
+
+    /// The quarantine section, if any job crashed out.
+    pub fn quarantine_table(&self) -> Option<Table> {
+        let crashed: Vec<_> = self
+            .outcomes
+            .iter()
+            .filter_map(|(job, o)| match o {
+                JobOutcome::Crashed { message, attempts } => Some((job, message, *attempts)),
+                _ => None,
+            })
+            .collect();
+        if crashed.is_empty() {
+            return None;
+        }
+        let mut t = Table::new(
+            "Sweep — quarantined jobs",
+            ["job", "attempts", "last failure"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        for (job, message, attempts) in crashed {
+            // Keep the table single-line per job.
+            let first_line = message.lines().next().unwrap_or("").to_string();
+            t.push_row(vec![job.id(), attempts.to_string(), first_line]);
+        }
+        t.note("quarantined jobs exhausted their retry budget; healthy rows above are unaffected");
+        Some(t)
+    }
+
+    /// Renders the result tables (results, then quarantine, then a
+    /// resume hint when interrupted) as text or markdown.
+    pub fn render(&self, markdown: bool) -> String {
+        let mut tables = vec![self.results_table()];
+        tables.extend(self.quarantine_table());
+        let mut out = String::new();
+        for t in &tables {
+            if markdown {
+                out.push_str(&t.to_markdown());
+            } else {
+                out.push_str(&t.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// How far [`run_supervised`] backs off before retry `attempt + 1`:
+/// `min(cap, base << (attempt - 1))` milliseconds.
+pub(super) fn backoff_ms(cfg: &SweepConfig, attempt: u32) -> u64 {
+    cfg.backoff_base_ms
+        .checked_shl(attempt.saturating_sub(1))
+        .unwrap_or(u64::MAX)
+        .min(cfg.backoff_cap_ms)
+}
+
+struct Queue<'a> {
+    pending: VecDeque<(usize, &'a JobSpec)>,
+    started: usize,
+}
+
+/// Runs `jobs` through `runner` under the supervision policy.
+///
+/// * Jobs present in `checkpointed` are replayed from their records —
+///   their simulations never run again.
+/// * Each remaining job runs on a worker behind `catch_unwind`; a
+///   panic or deadlock triggers retries (with backoff and a fresh
+///   `attempt` number for the runner's seed schedule) up to
+///   `cfg.max_attempts`, then quarantine. A typed [`SimError`] is
+///   deterministic, so it quarantines immediately without retries.
+/// * Every finished job is appended to `writer` (when given) before
+///   it counts as done.
+pub fn run_supervised<F>(
+    jobs: &[JobSpec],
+    cfg: &SweepConfig,
+    checkpointed: &HashMap<String, JobRecord>,
+    writer: Option<ManifestWriter>,
+    runner: F,
+) -> SweepResult
+where
+    F: Fn(&JobSpec, u32) -> Result<RunOutput, SimError> + Sync,
+{
+    let started_at = Instant::now();
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    let mut pending: VecDeque<(usize, &JobSpec)> = VecDeque::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match checkpointed.get(&job.id()) {
+            Some(JobRecord::Completed {
+                attempts,
+                stop,
+                report,
+                ..
+            }) => {
+                outcomes[i] = Some(JobOutcome::Completed {
+                    report: report.clone(),
+                    stop: stop.clone(),
+                    attempts: *attempts,
+                });
+            }
+            Some(JobRecord::Quarantined {
+                attempts, error, ..
+            }) => {
+                outcomes[i] = Some(JobOutcome::Crashed {
+                    message: error.clone(),
+                    attempts: *attempts,
+                });
+            }
+            None => pending.push_back((i, job)),
+        }
+    }
+
+    let queue = Mutex::new(Queue {
+        pending,
+        started: 0,
+    });
+    let done = Mutex::new(&mut outcomes);
+    let writer = writer.map(Mutex::new);
+    let manifest_errors = Mutex::new(Vec::new());
+    let interrupted = Mutex::new(false);
+
+    let claim = || -> Option<(usize, &JobSpec)> {
+        let mut q = queue.lock().unwrap();
+        if q.pending.is_empty() {
+            return None;
+        }
+        let over_deadline = cfg.wall_deadline.is_some_and(|d| started_at.elapsed() >= d);
+        let over_count = cfg.stop_after.is_some_and(|k| q.started >= k);
+        if over_deadline || over_count {
+            let reason = if over_deadline {
+                "sweep wall-clock deadline exceeded before this job started"
+            } else {
+                "sweep stopped by --stop-after before this job started"
+            };
+            let mut d = done.lock().unwrap();
+            while let Some((i, _)) = q.pending.pop_front() {
+                d[i] = Some(JobOutcome::Skipped {
+                    reason: reason.into(),
+                });
+            }
+            *interrupted.lock().unwrap() = true;
+            return None;
+        }
+        q.started += 1;
+        q.pending.pop_front()
+    };
+
+    let n_workers = cfg.workers.clamp(1, jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| {
+                while let Some((i, job)) = claim() {
+                    let outcome = supervise_one(job, cfg, &runner);
+                    if let Some(w) = &writer {
+                        let record = match &outcome {
+                            JobOutcome::Completed {
+                                report,
+                                stop,
+                                attempts,
+                            } => Some(JobRecord::Completed {
+                                job: job.id(),
+                                attempts: *attempts,
+                                stop: stop.clone(),
+                                report: report.clone(),
+                            }),
+                            JobOutcome::Crashed { message, attempts } => {
+                                Some(JobRecord::Quarantined {
+                                    job: job.id(),
+                                    attempts: *attempts,
+                                    error: message.clone(),
+                                })
+                            }
+                            JobOutcome::Skipped { .. } => None,
+                        };
+                        if let Some(record) = record {
+                            if let Err(e) = w.lock().unwrap().append(&record) {
+                                manifest_errors
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("{}: {e}", job.id()));
+                            }
+                        }
+                    }
+                    done.lock().unwrap()[i] = Some(outcome);
+                }
+            });
+        }
+    });
+
+    let interrupted = *interrupted.lock().unwrap();
+    SweepResult {
+        outcomes: jobs
+            .iter()
+            .zip(outcomes)
+            .map(|(job, o)| (*job, o.expect("every job is checkpointed, run, or skipped")))
+            .collect(),
+        interrupted,
+        manifest_errors: manifest_errors.into_inner().unwrap(),
+    }
+}
+
+/// Runs one job's attempt loop: panic isolation, retry classification,
+/// capped exponential backoff, quarantine.
+fn supervise_one<F>(job: &JobSpec, cfg: &SweepConfig, runner: &F) -> JobOutcome
+where
+    F: Fn(&JobSpec, u32) -> Result<RunOutput, SimError> + Sync,
+{
+    let max_attempts = cfg.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        let failure = match catch_unwind(AssertUnwindSafe(|| runner(job, attempt))) {
+            Ok(Ok(output)) => match output.stop {
+                StopReason::Deadlock(report) => format!("deadlock: {report}"),
+                _ => {
+                    return JobOutcome::Completed {
+                        stop: output.stop.label().to_string(),
+                        report: output.report,
+                        attempts: attempt,
+                    };
+                }
+            },
+            // A typed simulator error is deterministic (bad
+            // configuration); retrying cannot change it.
+            Ok(Err(err)) => {
+                return JobOutcome::Crashed {
+                    message: err.to_string(),
+                    attempts: attempt,
+                };
+            }
+            Err(payload) => format!("panic: {}", panic_message(payload.as_ref())),
+        };
+        if attempt >= max_attempts {
+            return JobOutcome::Crashed {
+                message: failure,
+                attempts: attempt,
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(backoff_ms(cfg, attempt)));
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = SweepConfig {
+            backoff_base_ms: 10,
+            backoff_cap_ms: 50,
+            ..SweepConfig::default()
+        };
+        assert_eq!(backoff_ms(&cfg, 1), 10);
+        assert_eq!(backoff_ms(&cfg, 2), 20);
+        assert_eq!(backoff_ms(&cfg, 3), 40);
+        assert_eq!(backoff_ms(&cfg, 4), 50, "capped");
+        assert_eq!(backoff_ms(&cfg, 200), 50, "shift overflow saturates");
+    }
+}

@@ -16,6 +16,8 @@
 //!   per-mechanism predictability bounds (Figs 6, 9, 10, 11).
 //! * [`metrics`] — coverage/accuracy/report rows (§4 definitions).
 //! * [`cost`] — the Table 3 / Fig 21 hardware cost model.
+//! * [`json`] — dependency-free JSON used by the sweep supervisor's
+//!   checkpoint manifests (lossless `u64`/`f64` round-trips).
 //!
 //! ## Quick start
 //!
@@ -52,6 +54,7 @@ pub mod analysis;
 pub mod api;
 pub mod baselines;
 pub mod cost;
+pub mod json;
 pub mod metrics;
 pub mod snake;
 

@@ -1,6 +1,7 @@
 //! Evaluation metrics (§4 "Comparison Metrics") and the per-run report
 //! row used by the figure harness.
 
+use crate::json::{self, Value};
 use snake_sim::{EnergyModel, GpuConfig, SimOutcome, SimStats};
 
 /// One mechanism's results on one application — the columns of
@@ -71,6 +72,92 @@ impl MechanismReport {
             timeliness_p90: outcome.lifecycle.fill_to_first_use.p90(),
             evicted_unused: s.prefetch.evicted_unused,
         }
+    }
+
+    /// Serializes this row as a compact JSON object. Floats use
+    /// shortest round-trip formatting, so
+    /// `from_json(&to_json().to_string())` reproduces the row
+    /// bit-exactly — the property the sweep manifest's byte-identical
+    /// resume guarantee relies on.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("mechanism".into(), Value::str(&self.mechanism)),
+            ("app".into(), Value::str(&self.app)),
+            ("ipc".into(), Value::f64(self.ipc)),
+            ("coverage".into(), Value::f64(self.coverage)),
+            ("accuracy".into(), Value::f64(self.accuracy)),
+            ("precision".into(), Value::f64(self.precision)),
+            ("l1_hit_rate".into(), Value::f64(self.l1_hit_rate)),
+            (
+                "reservation_fail_rate".into(),
+                Value::f64(self.reservation_fail_rate),
+            ),
+            ("noc_utilization".into(), Value::f64(self.noc_utilization)),
+            (
+                "memory_stall_fraction".into(),
+                Value::f64(self.memory_stall_fraction),
+            ),
+            ("energy_j".into(), Value::f64(self.energy_j)),
+            ("cycles".into(), Value::u64(self.cycles)),
+            ("timeliness_p50".into(), Value::u64(self.timeliness_p50)),
+            ("timeliness_p90".into(), Value::u64(self.timeliness_p90)),
+            ("evicted_unused".into(), Value::u64(self.evicted_unused)),
+        ])
+    }
+
+    /// Rebuilds a row from the object produced by [`to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    ///
+    /// [`to_json`]: MechanismReport::to_json
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        fn str_field(v: &Value, key: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field {key:?}"))
+        }
+        fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        }
+        fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        }
+        Ok(MechanismReport {
+            mechanism: str_field(v, "mechanism")?,
+            app: str_field(v, "app")?,
+            ipc: f64_field(v, "ipc")?,
+            coverage: f64_field(v, "coverage")?,
+            accuracy: f64_field(v, "accuracy")?,
+            precision: f64_field(v, "precision")?,
+            l1_hit_rate: f64_field(v, "l1_hit_rate")?,
+            reservation_fail_rate: f64_field(v, "reservation_fail_rate")?,
+            noc_utilization: f64_field(v, "noc_utilization")?,
+            memory_stall_fraction: f64_field(v, "memory_stall_fraction")?,
+            energy_j: f64_field(v, "energy_j")?,
+            cycles: u64_field(v, "cycles")?,
+            timeliness_p50: u64_field(v, "timeliness_p50")?,
+            timeliness_p90: u64_field(v, "timeliness_p90")?,
+            evicted_unused: u64_field(v, "evicted_unused")?,
+        })
+    }
+
+    /// Parses a row straight from JSON text (see [`from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse or field error as a string.
+    ///
+    /// [`from_json`]: MechanismReport::from_json
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
     }
 
     /// Speedup of this run over a baseline run (Fig 18's y-axis).
@@ -157,6 +244,29 @@ mod tests {
         assert_eq!(geometric_mean(&[]), 1.0);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trip_is_bit_exact() {
+        let cfg = GpuConfig::scaled(1);
+        let em = EnergyModel::volta_like();
+        let mut row =
+            MechanismReport::from_outcome("snake", "lps", &outcome(12345, 6789), &cfg, &em, true);
+        row.ipc = 1.0 / 3.0; // force a non-terminating decimal
+        row.cycles = u64::MAX - 7; // beyond f64 precision
+        let text = row.to_json().to_string();
+        let back = MechanismReport::from_json_str(&text).unwrap();
+        assert_eq!(back, row);
+        // Byte-identical re-serialization, the manifest invariant.
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn report_json_rejects_missing_fields() {
+        let err = MechanismReport::from_json_str(r#"{"mechanism":"m","app":"a"}"#).unwrap_err();
+        assert!(err.contains("ipc"), "{err}");
+        assert!(MechanismReport::from_json_str("[1,2]").is_err());
+        assert!(MechanismReport::from_json_str("not json").is_err());
     }
 
     #[test]

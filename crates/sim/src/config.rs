@@ -132,6 +132,18 @@ pub struct GpuConfig {
     /// (safety net; `None` = run to completion).
     pub max_cycles: Option<Cycle>,
 
+    /// Externally imposed cycle budget, distinct from [`max_cycles`]
+    /// (`max_cycles` is the "something is wrong" safety net; the budget
+    /// is a *planned* truncation set by a sweep supervisor). Exceeding
+    /// it ends the run with
+    /// [`StopReason::BudgetExceeded`](crate::StopReason::BudgetExceeded)
+    /// so truncated-but-reported runs stay distinguishable from both
+    /// converged runs and runaway ones. `None` (the default) imposes no
+    /// budget.
+    ///
+    /// [`max_cycles`]: GpuConfig::max_cycles
+    pub cycle_budget: Option<Cycle>,
+
     /// Forward-progress watchdog: after this many consecutive cycles
     /// with no retired instruction, no delivered fill, and no movement
     /// anywhere in the memory system, the run stops with
@@ -191,6 +203,7 @@ impl GpuConfig {
             noc_latency: 20,
             bw_window: 256,
             max_cycles: Some(Cycle(50_000_000)),
+            cycle_budget: None,
             watchdog_cycles: Some(10_000),
             fault: FaultPlan::default(),
             audit_window: if cfg!(feature = "audit") {
@@ -245,6 +258,7 @@ impl GpuConfig {
             noc_latency: 20,
             bw_window: 256,
             max_cycles: Some(Cycle(20_000_000)),
+            cycle_budget: None,
             watchdog_cycles: Some(10_000),
             fault: FaultPlan::default(),
             audit_window: if cfg!(feature = "audit") {
@@ -294,6 +308,9 @@ impl GpuConfig {
                 l1: self.l1.line_bytes,
                 l2: self.l2.line_bytes,
             });
+        }
+        if self.cycle_budget == Some(Cycle(0)) {
+            return Err(ConfigError::ZeroParameter("cycle_budget"));
         }
         if self.watchdog_cycles == Some(0) {
             return Err(ConfigError::ZeroParameter("watchdog_cycles"));
@@ -481,6 +498,12 @@ mod tests {
         assert!(matches!(
             c.validate(),
             Err(ConfigError::ZeroParameter("metrics_window"))
+        ));
+        let mut c = GpuConfig::scaled(1);
+        c.cycle_budget = Some(Cycle(0));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ZeroParameter("cycle_budget"))
         ));
     }
 }

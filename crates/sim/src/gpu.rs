@@ -19,17 +19,46 @@ use crate::types::{Cycle, SmId};
 use crate::watchdog::{DeadlockReport, NocCensus, Watchdog};
 
 /// Why a simulation ended.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub enum StopReason {
     /// All warps retired and the memory system drained.
     Completed,
     /// The configured cycle limit was reached first.
     CycleLimit,
+    /// The externally imposed [`GpuConfig::cycle_budget`] ran out: the
+    /// run was deliberately truncated (e.g. by a sweep supervisor) and
+    /// its statistics cover only the budgeted prefix.
+    BudgetExceeded {
+        /// The budget that was exhausted, in cycles.
+        budget: u64,
+    },
     /// The forward-progress watchdog found the device wedged: for
     /// [`GpuConfig::watchdog_cycles`] consecutive cycles nothing
     /// issued, filled, or moved. The boxed report says who was blocked
     /// on what.
     Deadlock(Box<DeadlockReport>),
+}
+
+impl StopReason {
+    /// Stable lower-case label, matching
+    /// [`TerminalKind::label`](crate::obs::TerminalKind::label) for the
+    /// corresponding terminal trace event. Used by manifests and
+    /// exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::CycleLimit => "cycle_limit",
+            StopReason::BudgetExceeded { .. } => "budget_exceeded",
+            StopReason::Deadlock(_) => "deadlock",
+        }
+    }
+
+    /// Whether the run retired every warp (statistics describe the
+    /// whole kernel, not a truncated prefix).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, StopReason::Completed)
+    }
 }
 
 /// The simulated GPU.
@@ -88,6 +117,7 @@ impl std::fmt::Debug for Gpu {
 }
 
 /// Result of running a kernel to completion.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Device-wide merged statistics.
@@ -331,8 +361,12 @@ impl Gpu {
 
         let done =
             self.sms.iter().all(Sm::is_done) && self.partition.is_idle() && self.noc.is_idle();
+        let budget_hit = self
+            .cfg
+            .cycle_budget
+            .is_some_and(|budget| self.cycle >= budget);
         let limit_hit = self.cfg.max_cycles.is_some_and(|limit| self.cycle >= limit);
-        let mut advance = !(done || limit_hit);
+        let mut advance = !(done || budget_hit || limit_hit);
 
         if advance {
             if let Some(watchdog) = &mut self.watchdog {
@@ -463,6 +497,8 @@ impl Gpu {
             StopReason::Deadlock(report)
         } else if self.sms.iter().all(Sm::is_done) {
             StopReason::Completed
+        } else if let Some(budget) = self.cfg.cycle_budget.filter(|budget| self.cycle >= *budget) {
+            StopReason::BudgetExceeded { budget: budget.0 }
         } else {
             StopReason::CycleLimit
         };
@@ -473,6 +509,10 @@ impl Gpu {
             let (kind, detail) = match &stop {
                 StopReason::Completed => (TerminalKind::Completed, String::new()),
                 StopReason::CycleLimit => (TerminalKind::CycleLimit, String::new()),
+                StopReason::BudgetExceeded { budget } => (
+                    TerminalKind::BudgetExceeded,
+                    format!("cycle budget {budget} exhausted"),
+                ),
                 StopReason::Deadlock(report) => (TerminalKind::Deadlock, report.to_string()),
             };
             self.device_events.push(TraceEvent {
@@ -482,10 +522,14 @@ impl Gpu {
             self.flush_trace();
         }
         // Close a partial final window so short runs still get a
-        // closing sample.
+        // closing sample, and mark truncated series so observability
+        // output distinguishes them from converged runs.
         if let Some(mut metrics) = self.metrics.take() {
             if !self.cycle.0.is_multiple_of(metrics.window()) {
                 metrics.record(self.cycle, &self.window_totals());
+            }
+            if !stop.is_complete() {
+                metrics.mark_stop(stop.label());
             }
             self.metrics = Some(metrics);
         }
@@ -527,6 +571,40 @@ impl Gpu {
     /// Lifetime interconnect utilization (Fig 4).
     pub fn noc_lifetime_utilization(&self) -> f64 {
         self.noc.lifetime_utilization()
+    }
+}
+
+/// A typed error from building or running a simulation.
+///
+/// Today the only way a run can fail to start is a rejected
+/// configuration; the enum is `non_exhaustive` so harnesses that
+/// propagate it keep compiling as failure modes are added.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration failed [`GpuConfig::validate`].
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
     }
 }
 
@@ -667,6 +745,42 @@ mod tests {
         let out = run_kernel(cfg, simple_kernel(8, 100), |_| Box::new(NullPrefetcher)).unwrap();
         assert_eq!(out.stop, StopReason::CycleLimit);
         assert_eq!(out.stats.cycles, 100);
+    }
+
+    #[test]
+    fn cycle_budget_truncates_with_its_own_stop_reason() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.cycle_budget = Some(Cycle(100));
+        let out = run_kernel(cfg, simple_kernel(8, 100), |_| Box::new(NullPrefetcher)).unwrap();
+        assert_eq!(out.stop, StopReason::BudgetExceeded { budget: 100 });
+        assert_eq!(out.stop.label(), "budget_exceeded");
+        assert!(!out.stop.is_complete());
+        assert_eq!(out.stats.cycles, 100);
+    }
+
+    #[test]
+    fn budget_beneath_max_cycles_wins_and_completion_beats_both() {
+        // Budget below the safety net: the budget is reported.
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.cycle_budget = Some(Cycle(100));
+        cfg.max_cycles = Some(Cycle(10_000));
+        let out = run_kernel(cfg, simple_kernel(8, 100), |_| Box::new(NullPrefetcher)).unwrap();
+        assert_eq!(out.stop, StopReason::BudgetExceeded { budget: 100 });
+        // A run that finishes inside the budget stays Completed.
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.cycle_budget = Some(Cycle(1_000_000));
+        let out = run_kernel(cfg, simple_kernel(1, 2), |_| Box::new(NullPrefetcher)).unwrap();
+        assert_eq!(out.stop, StopReason::Completed);
+        assert!(out.stop.is_complete());
+    }
+
+    #[test]
+    fn sim_error_wraps_and_displays_config_errors() {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.miss_queue_depth = 0;
+        let err = SimError::from(cfg.validate().unwrap_err());
+        assert!(err.to_string().contains("miss_queue_depth"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use audit::Auditor;
 pub use config::{CacheGeometry, ConfigError, GpuConfig, SchedulerPolicy};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use fault::{Brownout, FaultPlan, Recovery};
-pub use gpu::{run_kernel, Gpu, SimOutcome, StopReason};
+pub use gpu::{run_kernel, Gpu, SimError, SimOutcome, StopReason};
 pub use kernel::{AddrList, Instr, KernelTrace, WarpTrace};
 pub use obs::{
     LatencyHistogram, MetricsSample, MetricsSeries, PrefetchLifecycle, SimEvent, TraceEvent,

@@ -125,8 +125,11 @@ impl FaultKind {
 pub enum TerminalKind {
     /// All CTAs retired and the memory system drained.
     Completed,
-    /// The configured `max_cycles` budget ran out.
+    /// The configured `max_cycles` safety net ran out.
     CycleLimit,
+    /// The supervisor-imposed `cycle_budget` ran out: a planned
+    /// truncation, not a runaway; the detail names the budget.
+    BudgetExceeded,
     /// The watchdog tripped; the detail carries the deadlock census.
     Deadlock,
     /// The invariant auditor found violations; the detail lists them.
@@ -139,6 +142,7 @@ impl TerminalKind {
         match self {
             TerminalKind::Completed => "completed",
             TerminalKind::CycleLimit => "cycle_limit",
+            TerminalKind::BudgetExceeded => "budget_exceeded",
             TerminalKind::Deadlock => "deadlock",
             TerminalKind::AuditFail => "audit_fail",
         }

@@ -72,6 +72,11 @@ pub struct MetricsSeries {
     pub window: u64,
     /// One sample per elapsed window, in time order.
     pub samples: Vec<MetricsSample>,
+    /// Label of a non-`Completed` stop reason (`"budget_exceeded"`,
+    /// `"cycle_limit"`, `"deadlock"`), set when the run was truncated —
+    /// so a series that simply ends can be told apart from one whose
+    /// run was cut short. `None` for converged runs.
+    pub stop: Option<String>,
 }
 
 fn fraction(num: usize, den: usize) -> f64 {
@@ -103,6 +108,9 @@ impl MetricsSeries {
                 s.throttled_sms,
                 s.chain_depth
             ));
+        }
+        if let Some(stop) = &self.stop {
+            out.push_str(&format!("# stop={stop}\n"));
         }
         out
     }
@@ -137,10 +145,14 @@ impl MetricsSeries {
         let span = self.samples.last().map_or(0, |s| s.cycle);
         let mut out = String::new();
         out.push_str(&format!(
-            "timeline: {} windows x {} cycles (through cycle {})\n",
+            "timeline: {} windows x {} cycles (through cycle {}){}\n",
             self.samples.len(),
             self.window,
-            span
+            span,
+            match &self.stop {
+                Some(stop) => format!(" — truncated: {stop}"),
+                None => String::new(),
+            }
         ));
         out.push_str(&format!("throttle |{throttle}|\n"));
         out.push_str(&format!("noc util |{noc}|\n"));
@@ -176,6 +188,7 @@ impl WindowedMetrics {
             series: MetricsSeries {
                 window,
                 samples: Vec::new(),
+                stop: None,
             },
             last_cycle: 0,
             last_instructions: 0,
@@ -215,6 +228,12 @@ impl WindowedMetrics {
         self.last_instructions = totals.instructions;
         self.last_l1_hits = totals.l1_hits;
         self.last_l1_accesses = totals.l1_accesses;
+    }
+
+    /// Marks the series as belonging to a truncated run (any
+    /// non-`Completed` stop reason), by its stable label.
+    pub fn mark_stop(&mut self, label: impl Into<String>) {
+        self.series.stop = Some(label.into());
     }
 
     /// Consumes the collector and returns the series.
@@ -308,8 +327,28 @@ mod tests {
         let s = MetricsSeries {
             window: 10,
             samples: Vec::new(),
+            stop: None,
         };
         let art = s.ascii_timeline();
         assert!(art.contains("0 windows"));
+    }
+
+    #[test]
+    fn truncation_marker_reaches_csv_and_timeline() {
+        let mut m = WindowedMetrics::new(10);
+        m.record(Cycle(10), &totals(10, 5, 10));
+        m.mark_stop("budget_exceeded");
+        let series = m.finish();
+        assert_eq!(series.stop.as_deref(), Some("budget_exceeded"));
+        assert!(series.to_csv().ends_with("# stop=budget_exceeded\n"));
+        assert!(series
+            .ascii_timeline()
+            .contains("truncated: budget_exceeded"));
+        // Converged series carry no marker.
+        let mut m = WindowedMetrics::new(10);
+        m.record(Cycle(10), &totals(10, 5, 10));
+        let series = m.finish();
+        assert!(!series.to_csv().contains('#'));
+        assert!(!series.ascii_timeline().contains("truncated"));
     }
 }

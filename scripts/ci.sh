@@ -30,4 +30,31 @@ echo "==> trace-overhead guard (no-sink path vs recorded baseline)"
 # sink-disabled tracing path got >2% slower. Delete the file to re-baseline.
 ./target/release/pfdebug --overhead-guard target/trace-overhead-baseline.txt lps snake
 
+echo "==> chaos-sweep smoke (supervisor: interrupt + resume, byte-identical)"
+# A time-bounded supervised sweep with the canned fault plan injected:
+# run it to completion, then again with a forced mid-sweep stop
+# (deterministic stand-in for a kill), then resume from the manifest.
+# The resumed report must be byte-identical to the uninterrupted one,
+# and the interrupted run must use its distinct exit code (4).
+SWEEP_DIR=$(mktemp -d)
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+SWEEP_FLAGS=(--sweep --quick --chaos --budget 400000
+             --benchmarks LPS,CP --mechanisms baseline,snake)
+./target/release/repro "${SWEEP_FLAGS[@]}" \
+    --manifest "$SWEEP_DIR/full.jsonl" --out "$SWEEP_DIR/full.md"
+rc=0
+./target/release/repro "${SWEEP_FLAGS[@]}" --stop-after 2 \
+    --manifest "$SWEEP_DIR/part.jsonl" --out "$SWEEP_DIR/part.md" || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "chaos-sweep smoke: interrupted sweep must exit 4, got $rc" >&2
+    exit 1
+fi
+./target/release/repro "${SWEEP_FLAGS[@]}" \
+    --resume "$SWEEP_DIR/part.jsonl" --out "$SWEEP_DIR/resumed.md"
+if ! cmp -s "$SWEEP_DIR/full.md" "$SWEEP_DIR/resumed.md"; then
+    echo "chaos-sweep smoke: resumed report differs from the uninterrupted run" >&2
+    diff "$SWEEP_DIR/full.md" "$SWEEP_DIR/resumed.md" >&2 || true
+    exit 1
+fi
+
 echo "CI gate passed."

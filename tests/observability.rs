@@ -8,7 +8,7 @@ use snake_repro::prelude::*;
 use snake_repro::sim::obs::{
     chrome_trace, FaultKind, SharedVecSink, SimEvent, TerminalKind, TraceEvent,
 };
-use snake_repro::sim::{Brownout, CacheGeometry, FaultPlan, Recovery, StopReason};
+use snake_repro::sim::{Brownout, CacheGeometry, Cycle, FaultPlan, Recovery, StopReason};
 
 /// Every [`SimEvent`] variant, by its stable exporter name. The golden
 /// run must produce at least one of each.
@@ -178,6 +178,42 @@ fn windowed_metrics_capture_throttle_transitions() {
     // The CSV export covers every window.
     let csv = series.to_csv();
     assert_eq!(csv.lines().count(), series.samples.len() + 1);
+}
+
+/// Budget truncation is visible at every observability layer: the
+/// structured stop reason, the terminal trace event, and the windowed
+/// metrics exports (CSV trailer + timeline banner).
+#[test]
+fn budget_truncation_is_observable_end_to_end() {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.cycle_budget = Some(Cycle(400));
+    cfg.metrics_window = Some(100);
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let (out, events) = traced_run(cfg, kernel, PrefetcherKind::Snake);
+
+    assert_eq!(out.stop, StopReason::BudgetExceeded { budget: 400 });
+    assert!(out.stats.cycles <= 400);
+
+    match &events.last().expect("nonempty trace").data {
+        SimEvent::Terminal { kind, detail } => {
+            assert_eq!(*kind, TerminalKind::BudgetExceeded);
+            assert!(detail.contains("400"), "detail names the budget: {detail}");
+        }
+        other => panic!("last event must be Terminal, got {other:?}"),
+    }
+
+    let series = out.series.expect("metrics window was configured");
+    assert_eq!(series.stop.as_deref(), Some("budget_exceeded"));
+    assert!(
+        series.to_csv().ends_with("# stop=budget_exceeded\n"),
+        "CSV must carry the truncation marker"
+    );
+    assert!(
+        series
+            .ascii_timeline()
+            .contains("truncated: budget_exceeded"),
+        "timeline banner must flag the truncation"
+    );
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //! catastrophically) as the fault rate rises.
 
 use snake_repro::prelude::*;
-use snake_repro::sim::{Brownout, FaultPlan, Recovery, StopReason};
+use snake_repro::sim::{Brownout, Cycle, FaultPlan, Recovery, StopReason};
 
 fn small() -> WorkloadSize {
     WorkloadSize {
@@ -281,6 +281,42 @@ fn fault_injection_is_deterministic() {
         a.stats.fault.dropped_responses > 0,
         "the plan must actually fire"
     );
+}
+
+/// A planned cycle budget truncates the run with a structured
+/// [`StopReason::BudgetExceeded`] — distinct from the runaway-run
+/// cycle limit — while a budget that is never reached is a no-op.
+#[test]
+fn cycle_budget_truncates_with_structured_stop() {
+    let cfg = GpuConfig::scaled(1);
+    let warps = cfg.max_warps_per_sm;
+    let run = |cfg: GpuConfig| {
+        run_kernel(cfg, Benchmark::Lps.build(&small()), |_| {
+            PrefetcherKind::Baseline.build(warps)
+        })
+        .expect("valid config")
+    };
+
+    let full = run(cfg.clone());
+    assert_eq!(full.stop, StopReason::Completed);
+
+    let mut truncated_cfg = cfg.clone();
+    truncated_cfg.cycle_budget = Some(Cycle(100));
+    let cut = run(truncated_cfg);
+    assert_eq!(cut.stop, StopReason::BudgetExceeded { budget: 100 });
+    assert_eq!(cut.stop.label(), "budget_exceeded");
+    assert!(!cut.stop.is_complete());
+    assert!(cut.stats.cycles <= 100, "ran {} cycles", cut.stats.cycles);
+    assert!(
+        cut.stats.instructions < full.stats.instructions,
+        "truncation must have cut work short"
+    );
+
+    let mut unhit_cfg = cfg;
+    unhit_cfg.cycle_budget = Some(Cycle(full.stats.cycles * 10));
+    let unhit = run(unhit_cfg);
+    assert_eq!(unhit.stop, StopReason::Completed);
+    assert_eq!(unhit.stats, full.stats, "an unhit budget changes nothing");
 }
 
 /// The watchdog never fires on a healthy but *slow* device: a
