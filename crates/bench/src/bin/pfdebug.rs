@@ -1,18 +1,21 @@
 //! Prefetch-funnel diagnostics for one benchmark/mechanism pair.
 //!
 //! Besides the funnel counters, the binary exposes the observability
-//! layer: `--trace-out` writes a Chrome trace-event JSON loadable in
+//! layer: `--trace-out` streams a Chrome trace-event JSON loadable in
 //! Perfetto, `--timeline` renders the windowed time series as an ASCII
-//! chart, and `--overhead-guard` measures the no-sink tracing overhead
-//! against a recorded wall-clock baseline (used by `scripts/ci.sh`).
+//! chart, `--profile` prints the run's per-phase host wall-time table,
+//! and `--overhead-guard` measures the no-sink tracing overhead
+//! against a recorded wall-clock baseline through the perf
+//! observatory's noise-aware comparator (used by `scripts/ci.sh`).
 
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::time::Instant;
 
 use snake_bench::cli::{self, CliError};
+use snake_bench::perfstat::{self, compare, CompareConfig};
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
-use snake_sim::obs::{chrome_trace, SharedVecSink};
+use snake_sim::obs::{chrome_trace_to, SharedVecSink};
 use snake_sim::Gpu;
 use snake_workloads::Benchmark;
 
@@ -20,8 +23,8 @@ use snake_workloads::Benchmark;
 /// explicit `--window`.
 const DEFAULT_WINDOW: u64 = 1000;
 
-/// Timed repetitions for `--overhead-guard` (min-of-N suppresses
-/// scheduler noise; the first run doubles as warm-up).
+/// Timed repetitions for `--overhead-guard` (the median of N runs
+/// feeds the comparator; the first run doubles as warm-up).
 const GUARD_REPS: u32 = 5;
 
 /// Allowed slowdown of the no-sink path over the recorded baseline.
@@ -37,7 +40,8 @@ fn usage() -> String {
          --timeline             print an ASCII timeline of the windowed metrics\n  \
          --window N             sample windowed metrics every N cycles (default {} with --timeline)\n  \
          --budget N             stop the run after N cycles (StopReason::BudgetExceeded)\n  \
-         --overhead-guard FILE  time the no-sink path against the baseline in FILE\n                         (records FILE when absent; fails if >{:.0}% slower)",
+         --profile              print the run's per-phase host wall-time table\n  \
+         --overhead-guard FILE  time the no-sink path against the baseline in FILE\n                         (records FILE when absent; fails if >{:.0}% slower\n                         beyond the measured noise band)",
         benches.join(" "),
         DEFAULT_WINDOW,
         (GUARD_TOLERANCE - 1.0) * 100.0
@@ -55,6 +59,7 @@ fn run() -> Result<(), CliError> {
     let mut timeline = false;
     let mut window: Option<u64> = None;
     let mut budget: Option<u64> = None;
+    let mut profile = false;
     let mut guard: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -99,6 +104,7 @@ fn run() -> Result<(), CliError> {
                 }
                 budget = Some(n);
             }
+            "--profile" => profile = true,
             "--overhead-guard" => {
                 guard = Some(args.next().ok_or_else(|| {
                     CliError::Usage("--overhead-guard needs a baseline file operand".into())
@@ -153,6 +159,7 @@ fn run() -> Result<(), CliError> {
     }
     h.cfg.metrics_window = window;
     h.cfg.cycle_budget = budget.map(snake_sim::Cycle);
+    h.cfg.host_profile = profile;
     let kernel = bench.build(&h.size);
     let warps = h.cfg.max_warps_per_sm;
     let mut gpu = Gpu::new(h.cfg.clone(), kernel, |_| kind.build(warps))?;
@@ -200,11 +207,25 @@ fn run() -> Result<(), CliError> {
     );
     if let Some(path) = trace_out {
         let events = sink.expect("sink attached with trace_out").snapshot();
-        let json = chrome_trace(&events);
-        let mut f = std::fs::File::create(&path).map_err(|e| CliError::io(&path, e))?;
-        f.write_all(json.as_bytes())
-            .map_err(|e| CliError::io(&path, e))?;
+        // Stream the document: peak memory is one event's formatting
+        // buffer, not the whole multi-megabyte JSON string.
+        let f = std::fs::File::create(&path).map_err(|e| CliError::io(&path, e))?;
+        let mut w = BufWriter::new(f);
+        chrome_trace_to(&events, &mut w).map_err(|e| CliError::io(&path, e))?;
+        w.flush().map_err(|e| CliError::io(&path, e))?;
         eprintln!("wrote {} events to {path}", events.len());
+    }
+    if profile {
+        match &out.host {
+            Some(host) => print!(
+                "{}",
+                perfstat::profile_table(
+                    &format!("{}/{}", bench.abbr(), kind.name()),
+                    std::slice::from_ref(host)
+                )
+            ),
+            None => eprintln!("no host profile collected"),
+        }
     }
     if timeline {
         match &out.series {
@@ -218,36 +239,46 @@ fn run() -> Result<(), CliError> {
 /// Times the no-sink path and compares against (or records) the
 /// wall-clock baseline in `path`.
 ///
-/// The baseline file holds a single integer: the best-of-N run time in
-/// nanoseconds, recorded on this machine by a previous invocation. A
-/// missing file records the current measurement and succeeds, so CI
-/// can bootstrap the baseline on first run.
+/// The baseline file holds a single integer: the median-of-N run time
+/// in nanoseconds, recorded on this machine by a previous invocation
+/// (a single-sample, zero-variance baseline in the perf observatory's
+/// terms). A missing file records the current measurement and
+/// succeeds, so CI can bootstrap the baseline on first run. The
+/// verdict comes from `perfstat::compare::is_regression`: the delta
+/// must clear the [`GUARD_TOLERANCE`] relative bar *and* the measured
+/// spread of the current repetitions.
 fn overhead_guard(path: &str, bench: Benchmark, kind: PrefetcherKind) -> Result<(), CliError> {
     let h = Harness::standard();
     let kernel = bench.build(&h.size);
     let warps = h.cfg.max_warps_per_sm;
-    let mut best_ns = u128::MAX;
+    let mut samples: Vec<u64> = Vec::with_capacity(GUARD_REPS as usize);
     for _ in 0..GUARD_REPS {
         let mut gpu = Gpu::new(h.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
         let start = Instant::now();
         let out = gpu.run();
-        let elapsed = start.elapsed().as_nanos();
+        let elapsed = start.elapsed().as_nanos() as u64;
         assert!(out.stats.cycles > 0, "guard run did no work");
-        best_ns = best_ns.min(elapsed);
+        samples.push(elapsed);
     }
+    let (cur_med, cur_iqr) = compare::median_iqr(&samples);
     match std::fs::read_to_string(path) {
         Ok(raw) => {
-            let baseline_ns: u128 = raw.trim().parse().map_err(|_| CliError::BadArg {
+            let baseline_ns: u64 = raw.trim().parse().map_err(|_| CliError::BadArg {
                 what: "baseline",
                 why: format!("{path}: not a nanosecond count: {:?}", raw.trim()),
             })?;
-            let ratio = best_ns as f64 / baseline_ns.max(1) as f64;
+            let ratio = cur_med / baseline_ns.max(1) as f64;
             println!(
-                "overhead-guard: best {best_ns} ns vs baseline {baseline_ns} ns (x{ratio:.4})"
+                "overhead-guard: median {cur_med:.0} ns (IQR {cur_iqr:.0}) \
+                 vs baseline {baseline_ns} ns (x{ratio:.4})"
             );
-            if ratio > GUARD_TOLERANCE {
+            let cfg = CompareConfig {
+                rel_threshold: GUARD_TOLERANCE - 1.0,
+                ..CompareConfig::default()
+            };
+            if compare::is_regression(baseline_ns as f64, 0.0, cur_med, cur_iqr, &cfg) {
                 eprintln!(
-                    "pfdebug: no-sink trace path regressed {:.1}% (limit {:.0}%)",
+                    "pfdebug: no-sink trace path regressed {:.1}% (limit {:.0}% + noise band)",
                     (ratio - 1.0) * 100.0,
                     (GUARD_TOLERANCE - 1.0) * 100.0
                 );
@@ -256,8 +287,8 @@ fn overhead_guard(path: &str, bench: Benchmark, kind: PrefetcherKind) -> Result<
             Ok(())
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            std::fs::write(path, format!("{best_ns}\n")).map_err(|e| CliError::io(path, e))?;
-            println!("overhead-guard: recorded baseline {best_ns} ns in {path}");
+            std::fs::write(path, format!("{cur_med:.0}\n")).map_err(|e| CliError::io(path, e))?;
+            println!("overhead-guard: recorded baseline {cur_med:.0} ns in {path}");
             Ok(())
         }
         Err(e) => Err(CliError::io(path, e)),

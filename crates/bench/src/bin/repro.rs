@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use snake_bench::cli::{self, CliError};
 use snake_bench::figures::{self, EvalMatrix};
+use snake_bench::perfstat::{self, CompareConfig, PerfReport};
 use snake_bench::report::Table;
 use snake_bench::supervise::{self, SweepConfig, SweepError};
 use snake_bench::Harness;
@@ -38,7 +39,8 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\nexperiments: {}",
+        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
+        perfstat::EXIT_PERF_REGRESSION,
         EXPERIMENTS.join(" ")
     )
 }
@@ -67,6 +69,14 @@ fn run() -> Result<i32, CliError> {
     let mut chaos = false;
     let mut benches: Option<Vec<Benchmark>> = None;
     let mut kinds: Option<Vec<PrefetcherKind>> = None;
+    let mut perf = false;
+    let mut profile = false;
+    let mut label: Option<String> = None;
+    let mut runs: Option<u32> = None;
+    let mut perf_out: Option<String> = None;
+    let mut compare_file: Option<String> = None;
+    let mut rel_threshold: Option<f64> = None;
+    let mut inject_ns: Option<u64> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,6 +87,36 @@ fn run() -> Result<i32, CliError> {
             "--list" => list = true,
             "--sweep" => sweep = true,
             "--chaos" => chaos = true,
+            "--perf" => perf = true,
+            "--profile" => profile = true,
+            "--label" => {
+                label = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::Usage("--label needs a name operand".into()))?,
+                );
+            }
+            "--runs" => runs = Some(parse_num(&mut args, "runs", "a repetition count")?),
+            "--perf-out" => {
+                perf_out =
+                    Some(args.next().ok_or_else(|| {
+                        CliError::Usage("--perf-out needs a file operand".into())
+                    })?);
+            }
+            "--compare" => {
+                compare_file = Some(args.next().ok_or_else(|| {
+                    CliError::Usage("--compare needs a baseline file operand".into())
+                })?);
+            }
+            "--rel-threshold" => {
+                rel_threshold = Some(parse_num(&mut args, "rel-threshold", "a fraction")?);
+            }
+            "--perf-inject-ns" => {
+                inject_ns = Some(parse_num(
+                    &mut args,
+                    "perf-inject-ns",
+                    "a nanosecond count",
+                )?);
+            }
             "--out" => {
                 out_file = Some(
                     args.next()
@@ -136,6 +176,32 @@ fn run() -> Result<i32, CliError> {
             println!("{e}");
         }
         return Ok(0);
+    }
+    if perf || profile {
+        if sweep || resume.is_some() {
+            return Err(CliError::Usage(
+                "--perf/--profile and --sweep/--resume are separate modes; pass only one".into(),
+            ));
+        }
+        if !wanted.is_empty() || all {
+            return Err(CliError::Usage(
+                "--perf/--profile runs jobs, not experiment ids; drop the extra operands".into(),
+            ));
+        }
+        let opts = PerfOpts {
+            quick,
+            profile_only: profile && !perf,
+            label: label.unwrap_or_else(|| "local".into()),
+            runs: runs.unwrap_or(5).max(1),
+            perf_out,
+            compare_file,
+            rel_threshold,
+            inject_ns,
+            budget,
+            benches,
+            kinds,
+        };
+        return run_perf(opts);
     }
     if sweep || resume.is_some() {
         if manifest.is_some() && resume.is_some() {
@@ -306,6 +372,90 @@ fn run_sweep(opts: SweepOpts) -> Result<i32, CliError> {
         }
     }
     Ok(result.exit_code())
+}
+
+/// Options for the perf-observatory path (`--perf` / `--profile`).
+struct PerfOpts {
+    quick: bool,
+    /// `--profile` without `--perf`: one pass, tables only, no
+    /// report file and no gate.
+    profile_only: bool,
+    label: String,
+    runs: u32,
+    perf_out: Option<String>,
+    compare_file: Option<String>,
+    rel_threshold: Option<f64>,
+    inject_ns: Option<u64>,
+    budget: Option<u64>,
+    benches: Option<Vec<Benchmark>>,
+    kinds: Option<Vec<PrefetcherKind>>,
+}
+
+fn run_perf(opts: PerfOpts) -> Result<i32, CliError> {
+    let mut h = if opts.quick {
+        Harness::quick()
+    } else {
+        Harness::standard()
+    };
+    h.cfg.cycle_budget = opts.budget.map(Cycle);
+    if let Some(ns) = opts.inject_ns {
+        h.cfg.perf_inject_stall_ns = ns;
+    }
+    let benches = opts.benches.unwrap_or_else(|| Benchmark::all().to_vec());
+    // Default to the two mechanisms the paper's story pivots on; a
+    // full-registry perf pass is `--mechanisms` away.
+    let kinds = opts
+        .kinds
+        .unwrap_or_else(|| vec![PrefetcherKind::Baseline, PrefetcherKind::Snake]);
+    let jobs = supervise::campaign(&benches, &kinds);
+    let runs = if opts.profile_only { 1 } else { opts.runs };
+    let report = perfstat::collect(&h, &jobs, runs, &opts.label).map_err(|e| CliError::BadArg {
+        what: "perf collection",
+        why: e.to_string(),
+    })?;
+
+    if opts.profile_only {
+        for job in &report.jobs {
+            print!("{}", perfstat::profile_table(&job.job, &job.samples));
+        }
+        return Ok(0);
+    }
+
+    let out_path = opts
+        .perf_out
+        .unwrap_or_else(|| format!("BENCH_{}.json", report.label));
+    report
+        .write_to(Path::new(&out_path))
+        .map_err(|e| CliError::io(&out_path, e))?;
+    eprintln!(
+        "repro: wrote {out_path} ({} job(s) x {} run(s))",
+        report.jobs.len(),
+        report.runs
+    );
+
+    let Some(baseline_path) = opts.compare_file else {
+        return Ok(0);
+    };
+    let baseline = PerfReport::load(Path::new(&baseline_path)).map_err(|why| CliError::BadArg {
+        what: "baseline",
+        why,
+    })?;
+    let cfg = CompareConfig {
+        rel_threshold: opts.rel_threshold.unwrap_or(0.10),
+        ..CompareConfig::default()
+    };
+    let result = perfstat::compare::compare(&baseline, &report, &cfg);
+    print!("{}", result.table());
+    if result.passed() {
+        eprintln!("repro: perf gate passed against {baseline_path}");
+        Ok(0)
+    } else {
+        eprintln!(
+            "repro: perf gate FAILED against {baseline_path}: {} metric(s) regressed",
+            result.regressions().count()
+        );
+        Ok(perfstat::EXIT_PERF_REGRESSION)
+    }
 }
 
 fn sweep_error_to_cli(e: SweepError) -> CliError {

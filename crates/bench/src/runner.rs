@@ -2,7 +2,8 @@
 
 use snake_core::{MechanismReport, PrefetcherKind};
 use snake_sim::{
-    EnergyModel, Gpu, GpuConfig, KernelTrace, Prefetcher, SimError, SimOutcome, SmId, StopReason,
+    EnergyModel, Gpu, GpuConfig, HostProfile, KernelTrace, Prefetcher, SimError, SimOutcome, SmId,
+    StopReason,
 };
 use snake_workloads::{Benchmark, WorkloadSize};
 
@@ -27,6 +28,9 @@ pub struct RunOutput {
     pub report: MechanismReport,
     /// Why the simulation stopped.
     pub stop: StopReason,
+    /// Host-side per-phase timing, present when the harness config set
+    /// [`GpuConfig::host_profile`] (the perf observatory's input).
+    pub host: Option<HostProfile>,
 }
 
 impl Harness {
@@ -96,6 +100,7 @@ impl Harness {
         Ok(RunOutput {
             report,
             stop: outcome.stop,
+            host: outcome.host,
         })
     }
 

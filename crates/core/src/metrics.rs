@@ -217,6 +217,7 @@ mod tests {
             stop: StopReason::Completed,
             lifecycle: Default::default(),
             series: None,
+            host: None,
         }
     }
 

@@ -165,6 +165,19 @@ pub struct GpuConfig {
     /// cycles into [`SimOutcome::series`](crate::SimOutcome). `None`
     /// (the default) disables collection.
     pub metrics_window: Option<u64>,
+    /// Collect a host-side performance profile: per-phase wall time of
+    /// the tick loop (see [`perfstat`](crate::perfstat)) delivered as
+    /// [`SimOutcome::host`](crate::SimOutcome::host). `false` (the
+    /// default) keeps every timing site to a single branch — profiling
+    /// never changes simulated behavior either way.
+    pub host_profile: bool,
+    /// Test hook for the perf-regression gate: busy-wait this many
+    /// nanoseconds of *host* time inside the memory-partition phase on
+    /// every tick. Simulated behavior is untouched; only wall time
+    /// inflates. `0` (the default) disables the stall. Used by
+    /// `repro --perf --perf-inject-ns` to prove the comparator flags a
+    /// real slowdown.
+    pub perf_inject_stall_ns: u64,
 }
 
 impl GpuConfig {
@@ -212,6 +225,8 @@ impl GpuConfig {
                 None
             },
             metrics_window: None,
+            host_profile: false,
+            perf_inject_stall_ns: 0,
         }
     }
 
@@ -267,6 +282,8 @@ impl GpuConfig {
                 None
             },
             metrics_window: None,
+            host_profile: false,
+            perf_inject_stall_ns: 0,
         }
     }
 

@@ -12,6 +12,7 @@ use crate::obs::{
     MetricsSeries, PrefetchLifecycle, SimEvent, TerminalKind, TraceEvent, TraceSink, WindowTotals,
     WindowedMetrics,
 };
+use crate::perfstat::{HostProfile, HostProfiler, Phase, Stopwatch};
 use crate::prefetch::Prefetcher;
 use crate::sm::{PendingCta, Sm};
 use crate::stats::SimStats;
@@ -104,6 +105,14 @@ pub struct Gpu {
     /// Brownout state at the last step (edge detection for
     /// [`SimEvent::Brownout`]).
     prev_brownout: bool,
+    /// Device-level host-time accumulator ([`Phase::Observability`]:
+    /// trace flushing and metrics sampling), present when
+    /// [`GpuConfig::host_profile`] is set. Component accumulators are
+    /// merged into the final [`HostProfile`] at the end of `run`.
+    prof: Option<HostProfiler>,
+    /// Trace events forwarded to the sink so far (throughput input for
+    /// the host profile).
+    events_flushed: u64,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -130,6 +139,9 @@ pub struct SimOutcome {
     /// Windowed time series, present when
     /// [`GpuConfig::metrics_window`] is set.
     pub series: Option<MetricsSeries>,
+    /// Host-side performance profile (per-phase wall time of the tick
+    /// loop), present when [`GpuConfig::host_profile`] is set.
+    pub host: Option<HostProfile>,
 }
 
 impl Gpu {
@@ -174,11 +186,21 @@ impl Gpu {
             sm.kernel_launch(&kernel);
         }
 
-        let noc = Interconnect::new(cfg.noc_bytes_per_cycle, cfg.noc_latency, cfg.bw_window);
-        let partition = MemoryPartition::new(&cfg);
+        let mut noc = Interconnect::new(cfg.noc_bytes_per_cycle, cfg.noc_latency, cfg.bw_window);
+        let mut partition = MemoryPartition::new(&cfg);
         let watchdog = cfg.watchdog_cycles.map(Watchdog::new);
         let auditor = cfg.audit_window.map(|_| Auditor::new());
         let metrics = cfg.metrics_window.map(WindowedMetrics::new);
+        let prof = if cfg.host_profile {
+            for sm in &mut sms {
+                sm.enable_profiling();
+            }
+            noc.enable_profiling();
+            partition.enable_profiling();
+            Some(HostProfiler::new())
+        } else {
+            None
+        };
         Ok(Gpu {
             cfg,
             kernel,
@@ -195,6 +217,8 @@ impl Gpu {
             device_events: Vec::new(),
             metrics,
             prev_brownout: false,
+            prof,
+            events_flushed: 0,
         })
     }
 
@@ -219,6 +243,7 @@ impl Gpu {
         let Some(sink) = self.sink.as_mut() else {
             return;
         };
+        let sw = Stopwatch::start(self.prof.is_some());
         self.trace_scratch.clear();
         for sm in &mut self.sms {
             sm.drain_trace(&mut self.trace_scratch);
@@ -229,7 +254,9 @@ impl Gpu {
         for ev in &self.trace_scratch {
             sink.record(ev);
         }
+        self.events_flushed += self.trace_scratch.len() as u64;
         self.trace_scratch.clear();
+        sw.stop(&mut self.prof, Phase::Observability);
     }
 
     /// The configuration the device was built with.
@@ -354,7 +381,9 @@ impl Gpu {
 
         if let Some(mut metrics) = self.metrics.take() {
             if self.cycle.0.is_multiple_of(metrics.window()) {
+                let sw = Stopwatch::start(self.prof.is_some());
                 metrics.record(self.cycle, &self.window_totals());
+                sw.stop(&mut self.prof, Phase::Observability);
             }
             self.metrics = Some(metrics);
         }
@@ -492,6 +521,8 @@ impl Gpu {
     /// Runs to completion (or the cycle limit, or a watchdog trip) and
     /// returns merged device statistics.
     pub fn run(&mut self) -> SimOutcome {
+        // One clock read per run when profiling; none otherwise.
+        let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
         while self.step() {}
         let stop = if let Some(report) = self.deadlock.take() {
             StopReason::Deadlock(report)
@@ -533,12 +564,27 @@ impl Gpu {
             }
             self.metrics = Some(metrics);
         }
+        let host = t0.and_then(|t0| self.collect_host_profile(t0.elapsed().as_nanos() as u64));
         SimOutcome {
             stats: self.collect_stats(),
             stop,
             lifecycle: self.prefetch_lifecycle(),
             series: self.metrics.take().map(WindowedMetrics::finish),
+            host,
         }
+    }
+
+    /// Merges every component's host-time accumulator into one
+    /// [`HostProfile`] (consumes the accumulators; `None` when
+    /// profiling is off).
+    fn collect_host_profile(&mut self, wall_nanos: u64) -> Option<HostProfile> {
+        let mut prof = self.prof.take()?;
+        for sm in &mut self.sms {
+            sm.merge_profile(&mut prof);
+        }
+        self.noc.merge_profile(&mut prof);
+        self.partition.merge_profile(&mut prof);
+        Some(prof.finish(wall_nanos, self.cycle.0, self.events_flushed))
     }
 
     /// Merges per-SM, interconnect, and partition statistics.

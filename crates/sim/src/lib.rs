@@ -43,6 +43,7 @@ mod gpu;
 mod kernel;
 pub mod mem;
 pub mod obs;
+pub mod perfstat;
 mod prefetch;
 mod scheduler;
 mod sm;
@@ -62,6 +63,7 @@ pub use obs::{
     LatencyHistogram, MetricsSample, MetricsSeries, PrefetchLifecycle, SimEvent, TraceEvent,
     TraceSink, VecSink, WalkStop,
 };
+pub use perfstat::{HostProfile, Phase, PhaseStat};
 pub use prefetch::{
     AccessEvent, NullPrefetcher, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
     PrefetcherEvent,

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use crate::obs::{NocDir, SimEvent, TraceEvent};
+use crate::perfstat::{HostProfiler, Phase, Stopwatch};
 use crate::types::{Cycle, LineAddr, SmId};
 
 /// A request travelling L1→L2.
@@ -108,6 +109,9 @@ pub struct Interconnect {
     /// GPU drains them each cycle. `None` (default) keeps the send/pop
     /// hot paths to a single branch.
     trace: Option<Vec<TraceEvent>>,
+    /// Host-time accumulator for [`Phase::Noc`]. `None` (default)
+    /// keeps every timed entry point to a single branch.
+    prof: Option<HostProfiler>,
 }
 
 impl Interconnect {
@@ -129,6 +133,20 @@ impl Interconnect {
             window_capacity: 0,
             cycles: 0,
             trace: None,
+            prof: None,
+        }
+    }
+
+    /// Starts accumulating host-time for the interconnect's phase (see
+    /// [`perfstat`](crate::perfstat)).
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(HostProfiler::new());
+    }
+
+    /// Folds the interconnect's host-time accumulator into `into`.
+    pub fn merge_profile(&mut self, into: &mut HostProfiler) {
+        if let Some(prof) = self.prof.take() {
+            into.merge(&prof);
         }
     }
 
@@ -158,6 +176,7 @@ impl Interconnect {
     /// Starts a new cycle: refreshes per-cycle credits and rolls the
     /// utilization window.
     pub fn begin_cycle(&mut self, now: Cycle) {
+        let sw = Stopwatch::start(self.prof.is_some());
         self.up.begin_cycle();
         self.down.begin_cycle();
         self.cycles += 1;
@@ -171,6 +190,7 @@ impl Interconnect {
             self.window_start = now;
         }
         self.window_capacity += self.up.effective_budget + self.down.effective_budget;
+        sw.stop(&mut self.prof, Phase::Noc);
     }
 
     /// Utilization (both directions) measured over the last completed
@@ -182,6 +202,7 @@ impl Interconnect {
     /// Attempts to inject a request; `false` when this cycle's uplink
     /// budget is exhausted.
     pub fn try_send_up(&mut self, pkt: UpPacket, bytes: u64, now: Cycle) -> bool {
+        let sw = Stopwatch::start(self.prof.is_some());
         let sent = self.up.try_send(pkt, bytes, now);
         if sent {
             if let Some(buf) = self.trace.as_mut() {
@@ -196,12 +217,14 @@ impl Interconnect {
                 });
             }
         }
+        sw.stop(&mut self.prof, Phase::Noc);
         sent
     }
 
     /// Attempts to inject a response; `false` when this cycle's
     /// downlink budget is exhausted.
     pub fn try_send_down(&mut self, pkt: DownPacket, bytes: u64, now: Cycle) -> bool {
+        let sw = Stopwatch::start(self.prof.is_some());
         let sent = self.down.try_send(pkt, bytes, now);
         if sent {
             if let Some(buf) = self.trace.as_mut() {
@@ -216,11 +239,13 @@ impl Interconnect {
                 });
             }
         }
+        sw.stop(&mut self.prof, Phase::Noc);
         sent
     }
 
     /// Pops the next request that has completed transit.
     pub fn pop_up(&mut self, now: Cycle) -> Option<UpPacket> {
+        let sw = Stopwatch::start(self.prof.is_some());
         let pkt = self.up.pop_arrived(now);
         if let Some(p) = pkt {
             if let Some(buf) = self.trace.as_mut() {
@@ -234,11 +259,13 @@ impl Interconnect {
                 });
             }
         }
+        sw.stop(&mut self.prof, Phase::Noc);
         pkt
     }
 
     /// Pops the next response that has completed transit.
     pub fn pop_down(&mut self, now: Cycle) -> Option<DownPacket> {
+        let sw = Stopwatch::start(self.prof.is_some());
         let pkt = self.down.pop_arrived(now);
         if let Some(p) = pkt {
             if let Some(buf) = self.trace.as_mut() {
@@ -252,6 +279,7 @@ impl Interconnect {
                 });
             }
         }
+        sw.stop(&mut self.prof, Phase::Noc);
         pkt
     }
 

@@ -13,6 +13,7 @@ use crate::config::GpuConfig;
 use crate::fault::{FaultInjector, ResponseFault};
 use crate::mem::interconnect::DownPacket;
 use crate::obs::{FaultKind, SimEvent, TraceEvent};
+use crate::perfstat::{HostProfiler, Phase, Stopwatch};
 use crate::stats::FaultStats;
 use crate::types::{Cycle, LineAddr, SmId};
 
@@ -72,6 +73,12 @@ pub struct MemoryPartition {
     /// GPU drains them each cycle. `None` (default) keeps `emit` to a
     /// single extra branch.
     trace: Option<Vec<TraceEvent>>,
+    /// Host-time accumulator for [`Phase::MemPartition`]. `None`
+    /// (default) keeps every timed entry point to a single branch.
+    prof: Option<HostProfiler>,
+    /// Test hook: busy-wait this many host nanoseconds per tick (see
+    /// [`GpuConfig::perf_inject_stall_ns`]); 0 disables.
+    inject_stall_ns: u64,
     /// Counters.
     pub stats: PartitionStats,
 }
@@ -103,7 +110,22 @@ impl MemoryPartition {
             injector: FaultInjector::new(cfg.fault),
             events: 0,
             trace: None,
+            prof: None,
+            inject_stall_ns: cfg.perf_inject_stall_ns,
             stats: PartitionStats::default(),
+        }
+    }
+
+    /// Starts accumulating host-time for the partition's phase (see
+    /// [`perfstat`](crate::perfstat)).
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(HostProfiler::new());
+    }
+
+    /// Folds the partition's host-time accumulator into `into`.
+    pub fn merge_profile(&mut self, into: &mut HostProfiler) {
+        if let Some(prof) = self.prof.take() {
+            into.merge(&prof);
         }
     }
 
@@ -154,12 +176,15 @@ impl MemoryPartition {
 
     /// Accepts a read request from the interconnect.
     pub fn push_read(&mut self, sm: SmId, line: LineAddr) {
+        let sw = Stopwatch::start(self.prof.is_some());
         self.incoming.push_back(PendingRead { sm, line });
+        sw.stop(&mut self.prof, Phase::MemPartition);
     }
 
     /// Accepts a write-through store: updates the L2 if present and
     /// consumes DRAM write bandwidth (no response).
     pub fn push_store(&mut self, line: LineAddr, now: Cycle) {
+        let sw = Stopwatch::start(self.prof.is_some());
         self.stats.stores += 1;
         if let Some(way) = self.l2.probe(line) {
             if self.l2.line(way).state == LineState::Valid {
@@ -168,10 +193,26 @@ impl MemoryPartition {
         }
         // Write data consumes DRAM bandwidth alongside reads.
         self.dram_credit = self.dram_credit.saturating_sub(u64::from(self.line_bytes));
+        sw.stop(&mut self.prof, Phase::MemPartition);
     }
 
     /// Advances the partition by one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        let sw = Stopwatch::start(self.prof.is_some());
+        if self.inject_stall_ns > 0 {
+            // Perf-gate test hook: burn host time without touching any
+            // simulated state. Busy-wait because OS sleep granularity
+            // (~1 ms on some platforms) is far too coarse per tick.
+            let t0 = std::time::Instant::now();
+            while (t0.elapsed().as_nanos() as u64) < self.inject_stall_ns {
+                std::hint::spin_loop();
+            }
+        }
+        self.tick_inner(now);
+        sw.stop(&mut self.prof, Phase::MemPartition);
+    }
+
+    fn tick_inner(&mut self, now: Cycle) {
         // 0. Release fault-delayed responses whose hold expired.
         while let Some((ready, _)) = self.delayed.front() {
             if *ready > now {
@@ -284,7 +325,10 @@ impl MemoryPartition {
 
     /// Pops the next response ready for the interconnect.
     pub fn pop_response(&mut self) -> Option<DownPacket> {
-        self.outbox.pop_front()
+        let sw = Stopwatch::start(self.prof.is_some());
+        let pkt = self.outbox.pop_front();
+        sw.stop(&mut self.prof, Phase::MemPartition);
+        pkt
     }
 
     /// Pushes back a response the interconnect could not take this

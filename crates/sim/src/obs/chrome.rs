@@ -107,7 +107,40 @@ fn args_json(data: &SimEvent) -> String {
     }
 }
 
+/// Streams the event stream as Chrome trace-event JSON into `out`.
+///
+/// This is the allocation-light path for large traces: events are
+/// written one at a time, so peak memory is one event's formatting
+/// buffer instead of the whole multi-megabyte document (`pfdebug
+/// --trace-out` streams through a `BufWriter` directly to the file).
+/// The bytes produced are identical to [`chrome_trace`] — the golden
+/// byte-stability test covers both via the wrapper.
+pub fn chrome_trace_to<W: std::io::Write>(
+    events: &[TraceEvent],
+    out: &mut W,
+) -> std::io::Result<()> {
+    out.write_all(b"{\"traceEvents\":[\n")?;
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",\n")?;
+        }
+        let tid = e.data.sm().map_or(DEVICE_TID, |s| u64::from(s.0));
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+            e.data.name(),
+            e.cycle.0,
+            tid,
+            args_json(&e.data)
+        )?;
+    }
+    out.write_all(b"\n]}\n")
+}
+
 /// Renders the event stream as Chrome trace-event JSON.
+///
+/// Thin wrapper over [`chrome_trace_to`] collecting into a `String`;
+/// prefer the streaming form when writing to a file.
 ///
 /// # Examples
 ///
@@ -122,23 +155,9 @@ fn args_json(data: &SimEvent) -> String {
 /// assert!(json.contains("\"ts\":7"));
 /// ```
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 32);
-    out.push_str("{\"traceEvents\":[\n");
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
-            out.push_str(",\n");
-        }
-        let tid = e.data.sm().map_or(DEVICE_TID, |s| u64::from(s.0));
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
-            e.data.name(),
-            e.cycle.0,
-            tid,
-            args_json(&e.data)
-        ));
-    }
-    out.push_str("\n]}\n");
-    out
+    let mut out = Vec::with_capacity(events.len() * 96 + 32);
+    chrome_trace_to(events, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("trace output is ASCII-escaped UTF-8")
 }
 
 #[cfg(test)]
@@ -185,6 +204,27 @@ mod tests {
         assert!(json.contains("line1\\nline2"));
         // Exactly one comma separator for two events.
         assert_eq!(json.matches("},\n{").count(), 1);
+    }
+
+    #[test]
+    fn streaming_and_string_forms_are_byte_identical() {
+        let events = vec![
+            TraceEvent {
+                cycle: Cycle(2),
+                data: SimEvent::MshrFill {
+                    sm: SmId(1),
+                    line: LineAddr(4),
+                    waiters: 2,
+                },
+            },
+            TraceEvent {
+                cycle: Cycle(3),
+                data: SimEvent::Brownout { active: false },
+            },
+        ];
+        let mut streamed = Vec::new();
+        chrome_trace_to(&events, &mut streamed).unwrap();
+        assert_eq!(streamed, chrome_trace(&events).into_bytes());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod chrome;
 pub mod hist;
 pub mod windowed;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_to};
 pub use hist::{LatencyHistogram, PrefetchLifecycle, HISTOGRAM_BUCKETS};
 pub use windowed::{MetricsSample, MetricsSeries, WindowTotals, WindowedMetrics};
 

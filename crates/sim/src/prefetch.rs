@@ -151,6 +151,14 @@ pub trait Prefetcher {
     ///
     /// `out` is a reusable scratch buffer owned by the simulator; it is
     /// cleared before every call.
+    ///
+    /// Host-time note: when
+    /// [`GpuConfig::host_profile`](crate::GpuConfig::host_profile) is
+    /// set, the wall time spent inside this method (and
+    /// [`drain_events`](Prefetcher::drain_events)) is charged to the
+    /// `prefetch` phase of the run's
+    /// [`HostProfile`](crate::perfstat::HostProfile) — an expensive
+    /// mechanism shows up here, not smeared over the SM front-end.
     fn on_demand_access(
         &mut self,
         event: &AccessEvent,

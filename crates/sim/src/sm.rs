@@ -7,6 +7,7 @@ use crate::cache::unified_l1::{L1Mode, OutgoingRequest, PrefetchIssue, UnifiedL1
 use crate::config::GpuConfig;
 use crate::kernel::{Instr, KernelTrace};
 use crate::obs::{SimEvent, TraceEvent};
+use crate::perfstat::{HostProfiler, Phase, Stopwatch};
 use crate::prefetch::{
     AccessEvent, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher, PrefetcherEvent,
 };
@@ -48,6 +49,11 @@ pub struct Sm {
     trace: Option<Vec<TraceEvent>>,
     /// Scratch buffer for prefetcher-reported chain-walk events.
     pf_events: Vec<PrefetcherEvent>,
+    /// Host-time accumulator for the SM front-end
+    /// ([`Phase::SmIssue`]) and the prefetcher hook
+    /// ([`Phase::Prefetch`]). `None` (default) keeps every timed
+    /// region to a single branch.
+    prof: Option<HostProfiler>,
     /// Throttle state at the last tick (edge detection for
     /// [`SimEvent::ThrottleHalt`]/[`SimEvent::ThrottleResume`]).
     prev_throttled: bool,
@@ -91,6 +97,7 @@ impl Sm {
             max_outstanding_loads: cfg.max_outstanding_loads,
             trace: None,
             pf_events: Vec::new(),
+            prof: None,
             prev_throttled: false,
         }
     }
@@ -120,6 +127,22 @@ impl Sm {
         if let Some(buf) = self.trace.as_mut() {
             buf.push(TraceEvent { cycle, data });
         }
+    }
+
+    /// Starts accumulating host-time for this SM's phases and its
+    /// L1's (see [`perfstat`](crate::perfstat)).
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(HostProfiler::new());
+        self.l1.enable_profiling();
+    }
+
+    /// Folds this SM's host-time accumulator (and its L1's) into
+    /// `into` (end of run).
+    pub fn merge_profile(&mut self, into: &mut HostProfiler) {
+        if let Some(prof) = self.prof.take() {
+            into.merge(&prof);
+        }
+        self.l1.merge_profile(into);
     }
 
     /// Number of resident warps (windowed-metrics input).
@@ -193,17 +216,28 @@ impl Sm {
     /// Advances the SM by one cycle: launch CTAs, refresh warps, issue
     /// from each scheduler, account stalls, sync prefetcher state.
     pub fn tick(&mut self, kernel: &KernelTrace, now: Cycle, noc_utilization: f64) {
+        // Phase attribution: the front-end regions below (CTA launch,
+        // warp refresh, scheduler picks) are timed as `SmIssue`; the
+        // L1 and prefetcher calls nested in `issue()` time themselves
+        // (`L1Lookup`/`Mshr`/`Prefetch`), so phases stay disjoint.
+        let sw = Stopwatch::start(self.prof.is_some());
         self.try_launch_ctas();
+        sw.stop(&mut self.prof, Phase::SmIssue);
         self.l1.tick_recovery(now);
+        let sw = Stopwatch::start(self.prof.is_some());
         for slot in self.slots.iter_mut().flatten() {
             slot.refresh(now);
         }
+        sw.stop(&mut self.prof, Phase::SmIssue);
 
         let n_sched = self.schedulers.len();
         let mut issued = 0u32;
         for sid in 0..n_sched {
             let mut sched = std::mem::take(&mut self.schedulers[sid]);
-            if let Some(slot_idx) = sched.pick(&self.slots, sid, n_sched) {
+            let sw = Stopwatch::start(self.prof.is_some());
+            let picked = sched.pick(&self.slots, sid, n_sched);
+            sw.stop(&mut self.prof, Phase::SmIssue);
+            if let Some(slot_idx) = picked {
                 if self.issue(slot_idx, kernel, now, noc_utilization) {
                     issued += 1;
                 }
@@ -224,7 +258,9 @@ impl Sm {
         }
         self.stats.cycles = now.0 + 1;
 
-        // Prefetcher/L1 policy sync.
+        // Prefetcher/L1 policy sync (charged to the prefetch phase:
+        // it is the mechanism's throttle/training state being read).
+        let sw = Stopwatch::start(self.prof.is_some());
         self.l1.set_trained(self.prefetcher.trained());
         let throttled = self.prefetcher.throttled(now);
         if throttled != self.prev_throttled {
@@ -246,6 +282,7 @@ impl Sm {
             self.l1.confine_until(now.plus(1));
             self.stats.prefetch.throttled_cycles += 1;
         }
+        sw.stop(&mut self.prof, Phase::Prefetch);
     }
 
     /// Issues from `slot_idx`. Returns `true` if a *new* instruction
@@ -396,6 +433,7 @@ impl Sm {
     }
 
     fn run_prefetcher(&mut self, event: &AccessEvent, now: Cycle, noc_utilization: f64) {
+        let sw = Stopwatch::start(self.prof.is_some());
         let ctx = PrefetchContext {
             cycle: now,
             bw_utilization: noc_utilization,
@@ -431,6 +469,9 @@ impl Sm {
                 self.emit(now, data);
             }
         }
+        // Stop before the issue loop: `request_prefetch` times itself
+        // under `L1Lookup`.
+        sw.stop(&mut self.prof, Phase::Prefetch);
         self.scratch.truncate(self.max_prefetches_per_event);
         self.stats.prefetch.requested += self.scratch.len() as u64;
         for i in 0..self.scratch.len() {

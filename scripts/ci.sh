@@ -25,9 +25,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> trace-overhead guard (no-sink path vs recorded baseline)"
+echo "==> trace-overhead guard (observability disabled must stay free)"
 # First run on a machine records the baseline; later runs fail if the
-# sink-disabled tracing path got >2% slower. Delete the file to re-baseline.
+# path with tracing *and* host profiling compiled in but disabled got
+# >2% slower (beyond the measured noise band) — the observatory's
+# no-observer-effect guard. Delete the file to re-baseline.
 ./target/release/pfdebug --overhead-guard target/trace-overhead-baseline.txt lps snake
 
 echo "==> chaos-sweep smoke (supervisor: interrupt + resume, byte-identical)"
@@ -56,5 +58,35 @@ if ! cmp -s "$SWEEP_DIR/full.md" "$SWEEP_DIR/resumed.md"; then
     diff "$SWEEP_DIR/full.md" "$SWEEP_DIR/resumed.md" >&2 || true
     exit 1
 fi
+
+echo "==> perf smoke (host observatory: emit, self-compare, injected regression)"
+# The perf gate must: emit a parseable BENCH_ci.json, pass a
+# same-binary re-run compare, and trip (exit 5) on an artificially
+# injected per-tick stall. Thresholds are generous — this checks the
+# gate's wiring, not this machine's absolute speed.
+PERF_FLAGS=(--perf --quick --benchmarks LPS --mechanisms baseline,snake --runs 3)
+./target/release/repro "${PERF_FLAGS[@]}" --label ci \
+    --perf-out "$SWEEP_DIR/BENCH_ci.json"
+./target/release/repro "${PERF_FLAGS[@]}" --label ci-rerun \
+    --perf-out "$SWEEP_DIR/BENCH_ci_rerun.json" \
+    --compare "$SWEEP_DIR/BENCH_ci.json" --rel-threshold 0.75
+rc=0
+./target/release/repro "${PERF_FLAGS[@]}" --label ci-inject \
+    --perf-out "$SWEEP_DIR/BENCH_ci_inject.json" \
+    --compare "$SWEEP_DIR/BENCH_ci.json" --rel-threshold 0.75 \
+    --perf-inject-ns 20000 || rc=$?
+if [ "$rc" -ne 5 ]; then
+    echo "perf smoke: injected regression must exit 5, got $rc" >&2
+    exit 1
+fi
+# Guard against catastrophic host-side slowdowns relative to the
+# committed reference measurement. The bar is deliberately huge (4x):
+# machines differ, but a 4x simulator slowdown is a bug regardless.
+# Regenerate with:
+#   repro --perf --quick --benchmarks LPS --mechanisms baseline,snake \
+#         --runs 5 --label baseline --perf-out scripts/BENCH_baseline.json
+./target/release/repro "${PERF_FLAGS[@]}" --label ci-vs-committed \
+    --perf-out "$SWEEP_DIR/BENCH_ci_committed.json" \
+    --compare scripts/BENCH_baseline.json --rel-threshold 3.0
 
 echo "CI gate passed."
