@@ -9,6 +9,7 @@
 //! observatory's noise-aware comparator (used by `scripts/ci.sh`).
 
 use std::io::{BufWriter, Write};
+use std::path::Path;
 use std::time::Instant;
 
 use snake_bench::cli::{self, CliError};
@@ -16,6 +17,7 @@ use snake_bench::perfstat::{self, compare, CompareConfig};
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
 use snake_sim::obs::{chrome_trace_to, SharedVecSink};
+use snake_sim::snapshot::{self, Checkpoint};
 use snake_sim::Gpu;
 use snake_workloads::Benchmark;
 
@@ -41,10 +43,16 @@ fn usage() -> String {
          --window N             sample windowed metrics every N cycles (default {} with --timeline)\n  \
          --budget N             stop the run after N cycles (StopReason::BudgetExceeded)\n  \
          --profile              print the run's per-phase host wall-time table\n  \
-         --overhead-guard FILE  time the no-sink path against the baseline in FILE\n                         (records FILE when absent; fails if >{:.0}% slower\n                         beyond the measured noise band)",
+         --overhead-guard FILE  time the no-sink path against the baseline in FILE\n                         (records FILE when absent; fails if >{:.0}% slower\n                         beyond the measured noise band)\n  \
+         --checkpoint-at N      checkpoint the full simulator state at cycle N, then finish\n  \
+         --checkpoint-out FILE  where --checkpoint-at writes (default BENCH-MECHANISM-cN.ckpt)\n  \
+         --restore FILE         restore a checkpoint and run it to completion\n                         (schema/config mismatch exits {})\n  \
+         --outcome-out FILE     write the final SimOutcome (Debug form) for byte comparison\n  \
+         --diverge A B          bisect two checkpoints of the same run: restore the earlier,\n                         replay a golden device from cycle 0, report the first divergent\n                         cycle and state path (exit 1 on divergence)",
         benches.join(" "),
         DEFAULT_WINDOW,
-        (GUARD_TOLERANCE - 1.0) * 100.0
+        (GUARD_TOLERANCE - 1.0) * 100.0,
+        cli::EXIT_CHECKPOINT_MISMATCH
     )
 }
 
@@ -61,6 +69,11 @@ fn run() -> Result<(), CliError> {
     let mut budget: Option<u64> = None;
     let mut profile = false;
     let mut guard: Option<String> = None;
+    let mut checkpoint_at: Option<u64> = None;
+    let mut checkpoint_out: Option<String> = None;
+    let mut restore: Option<String> = None;
+    let mut outcome_out: Option<String> = None;
+    let mut diverge: Option<(String, String)> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -105,6 +118,41 @@ fn run() -> Result<(), CliError> {
                 budget = Some(n);
             }
             "--profile" => profile = true,
+            "--checkpoint-at" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--checkpoint-at needs a cycle count".into()))?;
+                let n: u64 = raw.parse().map_err(|_| CliError::BadArg {
+                    what: "checkpoint-at",
+                    why: format!("not a cycle count: {raw:?}"),
+                })?;
+                checkpoint_at = Some(n);
+            }
+            "--checkpoint-out" => {
+                checkpoint_out = Some(args.next().ok_or_else(|| {
+                    CliError::Usage("--checkpoint-out needs a file operand".into())
+                })?);
+            }
+            "--restore" => {
+                restore = Some(args.next().ok_or_else(|| {
+                    CliError::Usage("--restore needs a checkpoint operand".into())
+                })?);
+            }
+            "--outcome-out" => {
+                outcome_out =
+                    Some(args.next().ok_or_else(|| {
+                        CliError::Usage("--outcome-out needs a file operand".into())
+                    })?);
+            }
+            "--diverge" => {
+                let a = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--diverge needs two checkpoints".into()))?;
+                let b = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--diverge needs two checkpoints".into()))?;
+                diverge = Some((a, b));
+            }
             "--overhead-guard" => {
                 guard = Some(args.next().ok_or_else(|| {
                     CliError::Usage("--overhead-guard needs a baseline file operand".into())
@@ -152,6 +200,9 @@ fn run() -> Result<(), CliError> {
     if let Some(path) = guard {
         return overhead_guard(&path, bench, kind);
     }
+    if let Some((a, b)) = diverge {
+        return diverge_report(&a, &b, bench, kind);
+    }
 
     let mut h = Harness::standard();
     if timeline && window.is_none() {
@@ -168,7 +219,30 @@ fn run() -> Result<(), CliError> {
         gpu.attach_sink(Box::new(s.clone()));
         s
     });
-    let out = gpu.run();
+    if let Some(path) = &restore {
+        let ckpt = Checkpoint::load(Path::new(path))?;
+        gpu.restore(&ckpt)?;
+        eprintln!("restored {path} at cycle {}", gpu.cycle().0);
+    }
+    let out = match checkpoint_at {
+        Some(n) => match gpu.run_interruptible(|c| c.0 >= n) {
+            // Suspended at the requested cycle: capture, then finish
+            // the run normally from the captured state.
+            None => {
+                let path = checkpoint_out.unwrap_or_else(|| {
+                    format!("{}-{}-c{}.ckpt", bench.abbr(), kind.name(), gpu.cycle().0)
+                });
+                gpu.checkpoint().write_atomic(Path::new(&path))?;
+                eprintln!("wrote checkpoint at cycle {} to {path}", gpu.cycle().0);
+                gpu.run()
+            }
+            Some(out) => {
+                eprintln!("run finished before cycle {n}; no checkpoint written");
+                out
+            }
+        },
+        None => gpu.run(),
+    };
     let s = &out.stats;
     let p = &s.prefetch;
     println!("bench={bench} kind={} stop={:?}", kind.name(), out.stop);
@@ -205,6 +279,10 @@ fn run() -> Result<(), CliError> {
         "lifecycle issue->fill {} | fill->first-use {} | unused lifetime {}",
         out.lifecycle.issue_to_fill, out.lifecycle.fill_to_first_use, out.lifecycle.lifetime_unused
     );
+    if let Some(path) = &outcome_out {
+        std::fs::write(path, format!("{out:?}\n")).map_err(|e| CliError::io(path, e))?;
+        eprintln!("wrote outcome to {path}");
+    }
     if let Some(path) = trace_out {
         let events = sink.expect("sink attached with trace_out").snapshot();
         // Stream the document: peak memory is one event's formatting
@@ -233,6 +311,97 @@ fn run() -> Result<(), CliError> {
             None => eprintln!("no metrics series collected"),
         }
     }
+    Ok(())
+}
+
+/// `--diverge A B`: the checkpoint divergence bisector.
+///
+/// Both checkpoints must come from runs of the BENCH/MECHANISM pair
+/// given on the command line (enforced by the config fingerprint; a
+/// mismatch exits with the checkpoint-mismatch code). The earlier
+/// checkpoint is restored onto a fresh device while a *golden* device
+/// replays the same run from cycle zero; from the earlier cycle on,
+/// the two advance in lockstep with their full state compared every
+/// cycle. The first cycle where the restored trajectory leaves the
+/// golden one is reported together with the state path that differs
+/// (`sms/3/l1/...`), which is the bit that failed to round-trip. At
+/// the later checkpoint's cycle the golden state is also compared
+/// against that checkpoint itself, catching capture-side bugs.
+///
+/// Exits 0 when both checkpoints sit on the golden trajectory, 1 on
+/// any divergence.
+fn diverge_report(
+    a_path: &str,
+    b_path: &str,
+    bench: Benchmark,
+    kind: PrefetcherKind,
+) -> Result<(), CliError> {
+    let h = Harness::standard();
+    let kernel = bench.build(&h.size);
+    let warps = h.cfg.max_warps_per_sm;
+    let mut a = Checkpoint::load(Path::new(a_path))?;
+    let mut b = Checkpoint::load(Path::new(b_path))?;
+    let mut ca = snapshot::u64_field(&a.state, "cycle").map_err(CliError::Checkpoint)?;
+    let mut cb = snapshot::u64_field(&b.state, "cycle").map_err(CliError::Checkpoint)?;
+    let (mut a_name, mut b_name) = (a_path, b_path);
+    if cb < ca {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut ca, &mut cb);
+        std::mem::swap(&mut a_name, &mut b_name);
+    }
+
+    let mut restored = Gpu::new(h.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
+    restored.restore(&a)?;
+    b.verify_fingerprint(restored.fingerprint())?;
+
+    let mut golden = Gpu::new(h.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
+    if golden.run_interruptible(|c| c.0 >= ca).is_some() {
+        return Err(CliError::BadArg {
+            what: "checkpoint",
+            why: format!(
+                "{a_name}: golden replay of {bench}/{} finished at cycle {} \
+                 before the checkpoint cycle {ca}",
+                kind.name(),
+                golden.cycle().0
+            ),
+        });
+    }
+
+    loop {
+        let at = golden.cycle().0;
+        if let Some(path) =
+            snapshot::first_divergence(&restored.checkpoint().state, &golden.checkpoint().state)
+        {
+            println!(
+                "diverged at cycle {at}: {path}\n  \
+                 restored-from-{a_name} trajectory vs golden replay from cycle 0"
+            );
+            std::process::exit(1);
+        }
+        if at >= cb {
+            break;
+        }
+        let g = golden.run_interruptible(|_| true);
+        let r = restored.run_interruptible(|_| true);
+        if g.is_some() || r.is_some() {
+            if g.is_some() != r.is_some() {
+                println!(
+                    "diverged at cycle {}: one trajectory finished, the other kept running",
+                    golden.cycle().0
+                );
+                std::process::exit(1);
+            }
+            break;
+        }
+    }
+    if let Some(path) = snapshot::first_divergence(&b.state, &golden.checkpoint().state) {
+        println!("diverged: {b_name} (cycle {cb}) disagrees with the golden replay at {path}");
+        std::process::exit(1);
+    }
+    println!(
+        "no divergence: {a_name} (cycle {ca}) and {b_name} (cycle {cb}) \
+         both sit on the golden trajectory"
+    );
     Ok(())
 }
 

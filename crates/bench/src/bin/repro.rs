@@ -39,7 +39,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
+        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --suspend-after N   checkpoint and requeue any job reaching cycle N (exit 4; resume restores)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
         perfstat::EXIT_PERF_REGRESSION,
         EXPERIMENTS.join(" ")
     )
@@ -66,6 +66,7 @@ fn run() -> Result<i32, CliError> {
     let mut retries: Option<u32> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut stop_after: Option<usize> = None;
+    let mut suspend_after: Option<u64> = None;
     let mut chaos = false;
     let mut benches: Option<Vec<Benchmark>> = None;
     let mut kinds: Option<Vec<PrefetcherKind>> = None;
@@ -149,6 +150,9 @@ fn run() -> Result<i32, CliError> {
             "--stop-after" => {
                 stop_after = Some(parse_num(&mut args, "stop-after", "a job count")?);
             }
+            "--suspend-after" => {
+                suspend_after = Some(parse_num(&mut args, "suspend-after", "a cycle count")?);
+            }
             "--benchmarks" => {
                 let raw = args
                     .next()
@@ -224,6 +228,7 @@ fn run() -> Result<i32, CliError> {
             retries,
             deadline_ms,
             stop_after,
+            suspend_after,
             chaos,
             benches,
             kinds,
@@ -294,6 +299,7 @@ struct SweepOpts {
     retries: Option<u32>,
     deadline_ms: Option<u64>,
     stop_after: Option<usize>,
+    suspend_after: Option<u64>,
     chaos: bool,
     benches: Option<Vec<Benchmark>>,
     kinds: Option<Vec<PrefetcherKind>>,
@@ -341,6 +347,7 @@ fn run_sweep(opts: SweepOpts) -> Result<i32, CliError> {
     }
     cfg.wall_deadline = opts.deadline_ms.map(Duration::from_millis);
     cfg.stop_after = opts.stop_after;
+    cfg.suspend_after = opts.suspend_after;
     let (manifest_path, resume) = match (&opts.manifest, &opts.resume) {
         (_, Some(path)) => (Some(Path::new(path)), true),
         (Some(path), None) => (Some(Path::new(path)), false),
@@ -361,8 +368,11 @@ fn run_sweep(opts: SweepOpts) -> Result<i32, CliError> {
     for e in &result.manifest_errors {
         eprintln!("repro: warning: checkpoint failed for {e}");
     }
-    let (completed, quarantined, skipped) = result.counts();
-    eprintln!("repro: sweep {completed} completed, {quarantined} quarantined, {skipped} skipped");
+    let (completed, quarantined, skipped, suspended) = result.counts();
+    eprintln!(
+        "repro: sweep {completed} completed, {quarantined} quarantined, \
+         {skipped} skipped, {suspended} suspended"
+    );
     if result.exit_code() == supervise::EXIT_INTERRUPTED {
         if let Some(path) = manifest_path {
             eprintln!(

@@ -5,6 +5,12 @@
 //! produces a one-line diagnostic plus the usage string and a nonzero
 //! exit code — never a panic backtrace.
 
+/// Exit code for a checkpoint that cannot be restored: wrong schema
+/// version, wrong config fingerprint, or a torn/corrupt file. Distinct
+/// from the usage code (2) so scripts can tell "bad invocation" from
+/// "this checkpoint does not belong to this run".
+pub const EXIT_CHECKPOINT_MISMATCH: i32 = 6;
+
 /// A fatal error in a bench binary.
 #[derive(Debug)]
 pub enum CliError {
@@ -17,6 +23,10 @@ pub enum CliError {
     },
     /// The simulator rejected the configuration.
     Config(snake_sim::ConfigError),
+    /// A checkpoint could not be loaded or restored (schema version,
+    /// config fingerprint, torn file). Exits
+    /// [`EXIT_CHECKPOINT_MISMATCH`].
+    Checkpoint(snake_sim::snapshot::SnapshotError),
     /// Reading or writing a file failed.
     Io {
         /// The path involved.
@@ -40,6 +50,16 @@ impl CliError {
             source,
         }
     }
+
+    /// The process exit code this error calls for: checkpoint
+    /// mismatches get their own code so `--restore` failures are
+    /// distinguishable from usage errors.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Checkpoint(_) => EXIT_CHECKPOINT_MISMATCH,
+            _ => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -47,6 +67,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::BadArg { what, why } => write!(f, "bad {what}: {why}"),
             CliError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -58,6 +79,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Config(e) => Some(e),
+            CliError::Checkpoint(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
             _ => None,
         }
@@ -70,10 +92,17 @@ impl From<snake_sim::ConfigError> for CliError {
     }
 }
 
+impl From<snake_sim::snapshot::SnapshotError> for CliError {
+    fn from(e: snake_sim::snapshot::SnapshotError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
 impl From<snake_sim::SimError> for CliError {
     fn from(e: snake_sim::SimError) -> Self {
         match e {
             snake_sim::SimError::Config(c) => CliError::Config(c),
+            snake_sim::SimError::Snapshot(s) => CliError::Checkpoint(s),
             // `SimError` is non_exhaustive; future variants still
             // deserve a diagnostic rather than a panic.
             other => CliError::Internal(other.to_string()),
@@ -81,12 +110,17 @@ impl From<snake_sim::SimError> for CliError {
     }
 }
 
-/// Prints `err` and the binary's usage string to stderr, then exits
-/// with status 2 (the conventional usage-error code).
+/// Prints `err` to stderr and exits with the error's code: usage-style
+/// errors (status 2) also get the binary's usage string; checkpoint
+/// mismatches exit [`EXIT_CHECKPOINT_MISMATCH`] without the usage
+/// noise — the invocation was fine, the artifact was not.
 pub fn fail(program: &str, err: &CliError, usage: &str) -> ! {
     eprintln!("{program}: {err}");
-    eprintln!("{usage}");
-    std::process::exit(2);
+    let code = err.exit_code();
+    if code == 2 {
+        eprintln!("{usage}");
+    }
+    std::process::exit(code);
 }
 
 #[cfg(test)]
@@ -100,6 +134,24 @@ mod tests {
             why: "unknown benchmark: \"nope\"".into(),
         };
         assert_eq!(e.to_string(), "bad benchmark: unknown benchmark: \"nope\"");
+    }
+
+    #[test]
+    fn checkpoint_errors_get_the_distinct_exit_code() {
+        let e = CliError::from(snake_sim::snapshot::SnapshotError::SchemaMismatch { found: 2 });
+        assert_eq!(e.exit_code(), EXIT_CHECKPOINT_MISMATCH);
+        assert!(e.to_string().starts_with("checkpoint: "), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+        let usage = CliError::Usage("missing operand".into());
+        assert_eq!(usage.exit_code(), 2);
+    }
+
+    #[test]
+    fn sim_snapshot_errors_map_to_checkpoint_not_internal() {
+        let sim = snake_sim::SimError::from(snake_sim::snapshot::SnapshotError::malformed(
+            "truncated checkpoint",
+        ));
+        assert!(matches!(CliError::from(sim), CliError::Checkpoint(_)));
     }
 
     #[test]

@@ -426,22 +426,23 @@ pub fn collect(
     // which does not carry host profiles; capture them out-of-band.
     let captured: Mutex<Vec<(String, HostProfile)>> = Mutex::new(Vec::new());
     for _ in 0..runs {
-        let result = supervise::run_campaign_with(&h, jobs, &cfg, None, false, |job, _attempt| {
-            let out = h.run_job(job.bench, job.kind)?;
-            if let Some(profile) = &out.host {
-                captured
-                    .lock()
-                    .expect("perf capture lock poisoned")
-                    .push((job.id(), profile.clone()));
-            }
-            Ok(out)
-        })?;
-        let (completed, quarantined, skipped) = result.counts();
-        if quarantined > 0 || skipped > 0 {
+        let result =
+            supervise::run_campaign_with(&h, jobs, &cfg, None, false, |job, _attempt, _resume| {
+                let out = h.run_job(job.bench, job.kind)?;
+                if let Some(profile) = &out.host {
+                    captured
+                        .lock()
+                        .expect("perf capture lock poisoned")
+                        .push((job.id(), profile.clone()));
+                }
+                Ok(crate::runner::JobRun::Finished(Box::new(out)))
+            })?;
+        let (completed, quarantined, skipped, suspended) = result.counts();
+        if quarantined > 0 || skipped > 0 || suspended > 0 {
             return Err(CollectError::Unhealthy {
                 completed,
                 quarantined,
-                skipped,
+                skipped: skipped + suspended,
             });
         }
     }

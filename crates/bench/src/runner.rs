@@ -1,9 +1,12 @@
 //! Shared run harness: configuration, simulation, and report rows.
 
+use std::path::Path;
+
 use snake_core::{MechanismReport, PrefetcherKind};
+use snake_sim::snapshot::Checkpoint;
 use snake_sim::{
-    EnergyModel, Gpu, GpuConfig, HostProfile, KernelTrace, Prefetcher, SimError, SimOutcome, SmId,
-    StopReason,
+    Cycle, EnergyModel, Gpu, GpuConfig, HostProfile, KernelTrace, Prefetcher, SimError, SimOutcome,
+    SmId, StopReason,
 };
 use snake_workloads::{Benchmark, WorkloadSize};
 
@@ -31,6 +34,24 @@ pub struct RunOutput {
     /// Host-side per-phase timing, present when the harness config set
     /// [`GpuConfig::host_profile`] (the perf observatory's input).
     pub host: Option<HostProfile>,
+}
+
+/// What [`Harness::run_job_managed`] produced: either a finished run,
+/// or a mid-simulation suspension whose state is now durable in a
+/// checkpoint file (resume it by passing the path back as
+/// `resume_from`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRun {
+    /// The simulation ran (or resumed) to its stop reason.
+    Finished(Box<RunOutput>),
+    /// The suspend policy fired; the complete simulator state was
+    /// checkpointed atomically before returning.
+    Suspended {
+        /// Cycle the simulation was suspended at.
+        cycle: u64,
+        /// Path of the checkpoint artifact that was written.
+        checkpoint: String,
+    },
 }
 
 impl Harness {
@@ -89,6 +110,72 @@ impl Harness {
         let kernel = bench.build(&self.size);
         let warps = self.cfg.max_warps_per_sm;
         let outcome = self.simulate(&kernel, |_| kind.build(warps))?;
+        Ok(self.job_output(kind, &kernel, outcome))
+    }
+
+    /// Runs one job with mid-simulation suspend/resume support — the
+    /// supervisor's preemption entry point.
+    ///
+    /// * `resume_from` — restore the complete simulator state from a
+    ///   checkpoint written by an earlier suspension, then continue.
+    /// * `suspend` — polled once per simulated cycle; returning `true`
+    ///   checkpoints the state atomically to `checkpoint_to` and
+    ///   returns [`JobRun::Suspended`]. With `checkpoint_to = None`
+    ///   suspension is disabled and the policy is never consulted (the
+    ///   run is indistinguishable from [`Harness::run_job`]).
+    ///
+    /// Restoring is fingerprint-checked: a checkpoint from a different
+    /// configuration, kernel, or mechanism is a typed error, and the
+    /// device is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an invalid configuration or an
+    /// unusable / mismatched checkpoint.
+    pub fn run_job_managed(
+        &self,
+        bench: Benchmark,
+        kind: PrefetcherKind,
+        resume_from: Option<&Path>,
+        checkpoint_to: Option<&Path>,
+        mut suspend: impl FnMut(Cycle) -> bool,
+    ) -> Result<JobRun, SimError> {
+        let kernel = bench.build(&self.size);
+        let warps = self.cfg.max_warps_per_sm;
+        let mut gpu = Gpu::new(self.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
+        if let Some(path) = resume_from {
+            let ckpt = Checkpoint::load(path)?;
+            gpu.restore(&ckpt)?;
+        }
+        let Some(ckpt_path) = checkpoint_to else {
+            let out = self.job_output(kind, &kernel, gpu.run());
+            return Ok(JobRun::Finished(Box::new(out)));
+        };
+        let mut at = Cycle::ZERO;
+        match gpu.run_interruptible(|c| {
+            at = c;
+            suspend(c)
+        }) {
+            Some(outcome) => Ok(JobRun::Finished(Box::new(
+                self.job_output(kind, &kernel, outcome),
+            ))),
+            None => {
+                gpu.checkpoint().write_atomic(ckpt_path)?;
+                Ok(JobRun::Suspended {
+                    cycle: at.0,
+                    checkpoint: ckpt_path.display().to_string(),
+                })
+            }
+        }
+    }
+
+    /// Assembles the supervised-run output for a finished simulation.
+    fn job_output(
+        &self,
+        kind: PrefetcherKind,
+        kernel: &KernelTrace,
+        outcome: SimOutcome,
+    ) -> RunOutput {
         let report = MechanismReport::from_outcome(
             kind.name(),
             kernel.name(),
@@ -97,11 +184,11 @@ impl Harness {
             &self.energy,
             kind.has_hardware(),
         );
-        Ok(RunOutput {
+        RunOutput {
             report,
             stop: outcome.stop,
             host: outcome.host,
-        })
+        }
     }
 
     /// Runs an arbitrary kernel under one registry mechanism.
@@ -221,6 +308,74 @@ mod tests {
         let err = h.run(Benchmark::Lps, PrefetcherKind::Baseline).unwrap_err();
         assert!(matches!(err, SimError::Config(_)));
         assert!(h.run_job(Benchmark::Lps, PrefetcherKind::Baseline).is_err());
+    }
+
+    #[test]
+    fn suspended_then_resumed_job_matches_uninterrupted() {
+        let h = Harness::quick();
+        let full = h.run_job(Benchmark::Lps, PrefetcherKind::Snake).unwrap();
+        let dir = std::env::temp_dir().join(format!("snake-runner-suspend-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("job.ckpt");
+        let run = h
+            .run_job_managed(
+                Benchmark::Lps,
+                PrefetcherKind::Snake,
+                None,
+                Some(&ckpt),
+                |c| c.0 >= 200,
+            )
+            .unwrap();
+        let JobRun::Suspended { cycle, checkpoint } = run else {
+            panic!("expected suspension, got {run:?}");
+        };
+        assert!(cycle >= 200, "suspended at cycle {cycle}");
+        assert_eq!(checkpoint, ckpt.display().to_string());
+        let resumed = h
+            .run_job_managed(
+                Benchmark::Lps,
+                PrefetcherKind::Snake,
+                Some(&ckpt),
+                None,
+                |_| false,
+            )
+            .unwrap();
+        assert_eq!(resumed, JobRun::Finished(Box::new(full)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_under_a_different_mechanism_is_refused() {
+        let h = Harness::quick();
+        let dir =
+            std::env::temp_dir().join(format!("snake-runner-mismatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("job.ckpt");
+        h.run_job_managed(
+            Benchmark::Lps,
+            PrefetcherKind::Snake,
+            None,
+            Some(&ckpt),
+            |c| c.0 >= 100,
+        )
+        .unwrap();
+        let err = h
+            .run_job_managed(
+                Benchmark::Lps,
+                PrefetcherKind::Mta,
+                Some(&ckpt),
+                None,
+                |_| false,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Snapshot(snake_sim::snapshot::SnapshotError::ConfigMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

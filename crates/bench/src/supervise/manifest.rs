@@ -8,6 +8,7 @@
 //! {"manifest":"snake-sweep-manifest","version":1,"fingerprint":"ab12…","jobs":22}
 //! {"job":"LPS/snake","state":"completed","attempts":1,"stop":"completed","report":{…}}
 //! {"job":"MUM/mta","state":"quarantined","attempts":3,"error":"panic: …"}
+//! {"job":"CP/snake","state":"suspended","attempts":1,"cycle":48213,"checkpoint":"sweep.CP-snake.ckpt"}
 //! ```
 //!
 //! Crash consistency:
@@ -122,13 +123,28 @@ pub enum JobRecord {
         /// The last failure, human-readable.
         error: String,
     },
+    /// The job was preempted mid-simulation (sweep deadline); its
+    /// complete simulator state is durable in the checkpoint file, and
+    /// resume restores it instead of re-running from cycle zero.
+    Suspended {
+        /// Job id, `"<abbr>/<mechanism>"`.
+        job: String,
+        /// Attempts when it was suspended.
+        attempts: u32,
+        /// Simulation cycle the state was captured at.
+        cycle: u64,
+        /// Path of the mid-simulation checkpoint artifact.
+        checkpoint: String,
+    },
 }
 
 impl JobRecord {
     /// The job id this record belongs to.
     pub fn job(&self) -> &str {
         match self {
-            JobRecord::Completed { job, .. } | JobRecord::Quarantined { job, .. } => job,
+            JobRecord::Completed { job, .. }
+            | JobRecord::Quarantined { job, .. }
+            | JobRecord::Suspended { job, .. } => job,
         }
     }
 
@@ -156,6 +172,18 @@ impl JobRecord {
                 ("state".into(), Value::str("quarantined")),
                 ("attempts".into(), Value::u64(u64::from(*attempts))),
                 ("error".into(), Value::str(error)),
+            ]),
+            JobRecord::Suspended {
+                job,
+                attempts,
+                cycle,
+                checkpoint,
+            } => Value::Obj(vec![
+                ("job".into(), Value::str(job)),
+                ("state".into(), Value::str("suspended")),
+                ("attempts".into(), Value::u64(u64::from(*attempts))),
+                ("cycle".into(), Value::u64(*cycle)),
+                ("checkpoint".into(), Value::str(checkpoint)),
             ]),
         }
     }
@@ -195,6 +223,19 @@ impl JobRecord {
                     .get("error")
                     .and_then(Value::as_str)
                     .ok_or("missing \"error\" field")?
+                    .to_string(),
+            }),
+            Some("suspended") => Ok(JobRecord::Suspended {
+                job,
+                attempts,
+                cycle: v
+                    .get("cycle")
+                    .and_then(Value::as_u64)
+                    .ok_or("missing \"cycle\" field")?,
+                checkpoint: v
+                    .get("checkpoint")
+                    .and_then(Value::as_str)
+                    .ok_or("missing \"checkpoint\" field")?
                     .to_string(),
             }),
             Some(other) => Err(format!("unknown record state {other:?}")),
@@ -427,14 +468,21 @@ mod tests {
             attempts: 3,
             error: "panic: boom".into(),
         };
+        let suspended = JobRecord::Suspended {
+            job: "CP/snake".into(),
+            attempts: 1,
+            cycle: 48_213,
+            checkpoint: "sweep.CP-snake.ckpt".into(),
+        };
         {
             let mut w = ManifestWriter::create(&path, &header).unwrap();
             w.append(&completed).unwrap();
             w.append(&quarantined).unwrap();
+            w.append(&suspended).unwrap();
         }
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.header, header);
-        assert_eq!(loaded.records, vec![completed, quarantined]);
+        assert_eq!(loaded.records, vec![completed, quarantined, suspended]);
         std::fs::remove_file(&path).unwrap();
     }
 

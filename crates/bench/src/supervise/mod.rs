@@ -14,6 +14,13 @@
 //! replayed from their recorded reports and the final rendered output
 //! is byte-identical to an uninterrupted run.
 //!
+//! Jobs caught *mid-simulation* by the sweep deadline (or the
+//! deterministic `suspend_after` trigger) are not killed and retried
+//! from zero: their complete simulator state is checkpointed next to
+//! the manifest ([`job_checkpoint_path`]) and a `suspended` record is
+//! appended; `--resume` restores the state and finishes the remaining
+//! cycles, with the same byte-identical guarantee.
+//!
 //! Exit codes: `0` all jobs completed, [`EXIT_QUARANTINE`] when any
 //! job was quarantined, [`EXIT_INTERRUPTED`] when the sweep stopped
 //! early (deadline or `--stop-after`) with jobs still pending.
@@ -22,14 +29,14 @@ pub mod manifest;
 mod supervisor;
 
 use std::collections::HashMap;
-use std::path::Path;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use snake_core::PrefetcherKind;
 use snake_sim::SimError;
 use snake_workloads::Benchmark;
 
-use crate::runner::{Harness, RunOutput};
+use crate::runner::{Harness, JobRun};
 use manifest::{LoadedManifest, ManifestError, ManifestHeader, ManifestWriter};
 
 pub use manifest::JobRecord;
@@ -93,6 +100,12 @@ pub struct SweepConfig {
     /// run (checkpointed jobs excluded) — a deterministic stand-in for
     /// killing the process mid-sweep.
     pub stop_after: Option<usize>,
+    /// Suspend (checkpoint mid-simulation and requeue) every running
+    /// job once its simulation reaches this cycle — the deterministic
+    /// stand-in for deadline preemption, mirroring `stop_after`.
+    /// Requires a manifest; applies to this invocation only, so a
+    /// resume without the flag restores and finishes the job.
+    pub suspend_after: Option<u64>,
     /// Base value for the deterministic per-attempt retry seed
     /// schedule (see [`retry_seed`]).
     pub retry_seed_base: u64,
@@ -109,6 +122,7 @@ impl Default for SweepConfig {
                 .unwrap_or(4),
             wall_deadline: None,
             stop_after: None,
+            suspend_after: None,
             retry_seed_base: 0x534E414B45, // "SNAKE"
         }
     }
@@ -200,6 +214,18 @@ impl From<ManifestError> for SweepError {
     }
 }
 
+/// The sibling file a suspended job's mid-simulation checkpoint goes
+/// to: `<manifest file name>.<job id with '/' → '-'>.ckpt`, in the
+/// manifest's directory — so sweep state and simulation state travel
+/// together.
+pub fn job_checkpoint_path(manifest: &Path, job_id: &str) -> PathBuf {
+    let stem = manifest
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "sweep".into());
+    manifest.with_file_name(format!("{stem}.{}.ckpt", job_id.replace('/', "-")))
+}
+
 /// Runs a campaign under supervision with an injectable per-job
 /// runner, wiring up the manifest life cycle:
 ///
@@ -207,8 +233,9 @@ impl From<ManifestError> for SweepError {
 /// * fresh path — a versioned header is written atomically, then one
 ///   record per finished job;
 /// * `resume = true` — previously recorded jobs are replayed from the
-///   manifest (their simulations are *not* re-run) and new records are
-///   appended to the same file.
+///   manifest (their simulations are *not* re-run), jobs suspended
+///   mid-simulation are requeued with their checkpoint path, and new
+///   records are appended to the same file.
 ///
 /// # Errors
 ///
@@ -223,7 +250,7 @@ pub fn run_campaign_with<F>(
     runner: F,
 ) -> Result<SweepResult, SweepError>
 where
-    F: Fn(&JobSpec, u32) -> Result<RunOutput, SimError> + Sync,
+    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, SimError> + Sync,
 {
     h.validate()?;
     let fp = fingerprint(h, jobs);
@@ -261,6 +288,13 @@ where
 /// the harness untouched; retries perturb only the fault-injection
 /// seed via the deterministic [`retry_seed`] schedule.
 ///
+/// With a manifest, running jobs are *suspended* rather than lost when
+/// the sweep deadline expires (or `suspend_after` fires): their full
+/// simulator state is checkpointed next to the manifest and the
+/// `--resume` run restores it mid-simulation, finishing the remaining
+/// cycles bit-identically. Without a manifest there is nowhere durable
+/// to put the state, so jobs run to completion as before.
+///
 /// # Errors
 ///
 /// Returns [`SweepError`] for an invalid harness, an unusable
@@ -273,15 +307,32 @@ pub fn run_campaign(
     resume: bool,
 ) -> Result<SweepResult, SweepError> {
     let base = cfg.retry_seed_base;
-    run_campaign_with(h, jobs, cfg, manifest_path, resume, |job, attempt| {
-        if attempt == 1 {
-            h.run_job(job.bench, job.kind)
-        } else {
-            let mut retry = h.clone();
-            retry.cfg.fault.seed = retry_seed(base, &job.id(), attempt);
-            retry.run_job(job.bench, job.kind)
-        }
-    })
+    let deadline = cfg.wall_deadline.map(|d| Instant::now() + d);
+    let suspend_cycle = cfg.suspend_after;
+    run_campaign_with(
+        h,
+        jobs,
+        cfg,
+        manifest_path,
+        resume,
+        |job, attempt, resume_from| {
+            let checkpoint_to = manifest_path.map(|m| job_checkpoint_path(m, &job.id()));
+            // Poll the wall clock every 1024 cycles only; the
+            // cycle-count trigger stays exact for determinism.
+            let suspend = |c: snake_sim::Cycle| {
+                suspend_cycle.is_some_and(|n| c.0 >= n)
+                    || (c.0.is_multiple_of(1024) && deadline.is_some_and(|d| Instant::now() >= d))
+            };
+            let ckpt = checkpoint_to.as_deref();
+            if attempt == 1 {
+                h.run_job_managed(job.bench, job.kind, resume_from, ckpt, suspend)
+            } else {
+                let mut retry = h.clone();
+                retry.cfg.fault.seed = retry_seed(base, &job.id(), attempt);
+                retry.run_job_managed(job.bench, job.kind, None, ckpt, suspend)
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -13,7 +14,7 @@ use super::manifest::{JobRecord, ManifestWriter};
 use super::{JobSpec, SweepConfig, EXIT_INTERRUPTED, EXIT_QUARANTINE};
 use crate::figures::panic_message;
 use crate::report::{pct, ratio, Table};
-use crate::runner::RunOutput;
+use crate::runner::JobRun;
 
 /// The final state of one job in a finished sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,17 @@ pub enum JobOutcome {
         /// Why it was not started.
         reason: String,
     },
+    /// The job was preempted mid-simulation (deadline or
+    /// `suspend_after`); its full state is checkpointed and resume
+    /// restores it rather than re-running from cycle zero.
+    Suspended {
+        /// Simulation cycle the state was captured at.
+        cycle: u64,
+        /// Path of the checkpoint artifact.
+        checkpoint: String,
+        /// Attempts when it was suspended.
+        attempts: u32,
+    },
 }
 
 /// Everything a finished (or interrupted) sweep produced.
@@ -57,25 +69,27 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    /// Completed / quarantined / skipped counts.
-    pub fn counts(&self) -> (usize, usize, usize) {
-        let mut c = (0, 0, 0);
+    /// Completed / quarantined / skipped / suspended counts.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
         for (_, o) in &self.outcomes {
             match o {
                 JobOutcome::Completed { .. } => c.0 += 1,
                 JobOutcome::Crashed { .. } => c.1 += 1,
                 JobOutcome::Skipped { .. } => c.2 += 1,
+                JobOutcome::Suspended { .. } => c.3 += 1,
             }
         }
         c
     }
 
     /// The process exit code this result calls for: interrupted sweeps
-    /// exit [`EXIT_INTERRUPTED`] (work remains; resume to finish),
-    /// quarantines exit [`EXIT_QUARANTINE`], clean sweeps exit 0.
+    /// (skipped or suspended jobs remain) exit [`EXIT_INTERRUPTED`] —
+    /// resume to finish; quarantines exit [`EXIT_QUARANTINE`], clean
+    /// sweeps exit 0.
     pub fn exit_code(&self) -> i32 {
-        let (_, quarantined, skipped) = self.counts();
-        if self.interrupted || skipped > 0 {
+        let (_, quarantined, skipped, suspended) = self.counts();
+        if self.interrupted || skipped > 0 || suspended > 0 {
             EXIT_INTERRUPTED
         } else if quarantined > 0 {
             EXIT_QUARANTINE
@@ -121,12 +135,18 @@ impl SweepResult {
                 ]);
             }
         }
-        let (completed, quarantined, skipped) = self.counts();
-        t.note(format!(
+        let (completed, quarantined, skipped, suspended) = self.counts();
+        let mut note = format!(
             "{completed} completed, {quarantined} quarantined, {skipped} skipped \
              of {} jobs",
             self.outcomes.len()
-        ));
+        );
+        if suspended > 0 {
+            note.push_str(&format!(
+                " ({suspended} suspended mid-simulation; resume restores them)"
+            ));
+        }
+        t.note(note);
         t
     }
 
@@ -187,14 +207,18 @@ pub(super) fn backoff_ms(cfg: &SweepConfig, attempt: u32) -> u64 {
 }
 
 struct Queue<'a> {
-    pending: VecDeque<(usize, &'a JobSpec)>,
+    /// `(index, job, checkpoint to resume from)` — the path is `Some`
+    /// for jobs a previous run suspended mid-simulation.
+    pending: VecDeque<(usize, &'a JobSpec, Option<String>)>,
     started: usize,
 }
 
 /// Runs `jobs` through `runner` under the supervision policy.
 ///
 /// * Jobs present in `checkpointed` are replayed from their records —
-///   their simulations never run again.
+///   their simulations never run again. A `Suspended` record instead
+///   *requeues* the job with its mid-simulation checkpoint: the runner
+///   restores the state and finishes the remaining cycles.
 /// * Each remaining job runs on a worker behind `catch_unwind`; a
 ///   panic or deadlock triggers retries (with backoff and a fresh
 ///   `attempt` number for the runner's seed schedule) up to
@@ -210,11 +234,11 @@ pub fn run_supervised<F>(
     runner: F,
 ) -> SweepResult
 where
-    F: Fn(&JobSpec, u32) -> Result<RunOutput, SimError> + Sync,
+    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, SimError> + Sync,
 {
     let started_at = Instant::now();
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
-    let mut pending: VecDeque<(usize, &JobSpec)> = VecDeque::new();
+    let mut pending: VecDeque<(usize, &JobSpec, Option<String>)> = VecDeque::new();
     for (i, job) in jobs.iter().enumerate() {
         match checkpointed.get(&job.id()) {
             Some(JobRecord::Completed {
@@ -237,7 +261,10 @@ where
                     attempts: *attempts,
                 });
             }
-            None => pending.push_back((i, job)),
+            Some(JobRecord::Suspended { checkpoint, .. }) => {
+                pending.push_back((i, job, Some(checkpoint.clone())));
+            }
+            None => pending.push_back((i, job, None)),
         }
     }
 
@@ -250,7 +277,7 @@ where
     let manifest_errors = Mutex::new(Vec::new());
     let interrupted = Mutex::new(false);
 
-    let claim = || -> Option<(usize, &JobSpec)> {
+    let claim = || -> Option<(usize, &JobSpec, Option<String>)> {
         let mut q = queue.lock().unwrap();
         if q.pending.is_empty() {
             return None;
@@ -264,7 +291,7 @@ where
                 "sweep stopped by --stop-after before this job started"
             };
             let mut d = done.lock().unwrap();
-            while let Some((i, _)) = q.pending.pop_front() {
+            while let Some((i, _, _)) = q.pending.pop_front() {
                 d[i] = Some(JobOutcome::Skipped {
                     reason: reason.into(),
                 });
@@ -280,8 +307,13 @@ where
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
-                while let Some((i, job)) = claim() {
-                    let outcome = supervise_one(job, cfg, &runner);
+                while let Some((i, job, resume)) = claim() {
+                    let outcome = supervise_one(job, cfg, resume.as_deref(), &runner);
+                    if let JobOutcome::Suspended { .. } = &outcome {
+                        // Work remains: the sweep must report
+                        // interrupted so callers resume it.
+                        *interrupted.lock().unwrap() = true;
+                    }
                     if let Some(w) = &writer {
                         let record = match &outcome {
                             JobOutcome::Completed {
@@ -301,6 +333,16 @@ where
                                     error: message.clone(),
                                 })
                             }
+                            JobOutcome::Suspended {
+                                cycle,
+                                checkpoint,
+                                attempts,
+                            } => Some(JobRecord::Suspended {
+                                job: job.id(),
+                                attempts: *attempts,
+                                cycle: *cycle,
+                                checkpoint: checkpoint.clone(),
+                            }),
                             JobOutcome::Skipped { .. } => None,
                         };
                         if let Some(record) = record {
@@ -332,15 +374,30 @@ where
 
 /// Runs one job's attempt loop: panic isolation, retry classification,
 /// capped exponential backoff, quarantine.
-fn supervise_one<F>(job: &JobSpec, cfg: &SweepConfig, runner: &F) -> JobOutcome
+///
+/// A `resume_from` checkpoint only applies to attempt 1; if a resumed
+/// run fails, later attempts fall back to a fresh run from cycle zero
+/// under the retry seed schedule (a perturbed fault seed cannot take
+/// effect inside restored RNG state anyway).
+fn supervise_one<F>(
+    job: &JobSpec,
+    cfg: &SweepConfig,
+    resume_from: Option<&str>,
+    runner: &F,
+) -> JobOutcome
 where
-    F: Fn(&JobSpec, u32) -> Result<RunOutput, SimError> + Sync,
+    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, SimError> + Sync,
 {
     let max_attempts = cfg.max_attempts.max(1);
     let mut attempt = 1u32;
     loop {
-        let failure = match catch_unwind(AssertUnwindSafe(|| runner(job, attempt))) {
-            Ok(Ok(output)) => match output.stop {
+        let resume = if attempt == 1 {
+            resume_from.map(Path::new)
+        } else {
+            None
+        };
+        let failure = match catch_unwind(AssertUnwindSafe(|| runner(job, attempt, resume))) {
+            Ok(Ok(JobRun::Finished(output))) => match output.stop {
                 StopReason::Deadlock(report) => format!("deadlock: {report}"),
                 _ => {
                     return JobOutcome::Completed {
@@ -350,6 +407,13 @@ where
                     };
                 }
             },
+            Ok(Ok(JobRun::Suspended { cycle, checkpoint })) => {
+                return JobOutcome::Suspended {
+                    cycle,
+                    checkpoint,
+                    attempts: attempt,
+                };
+            }
             // A typed simulator error is deterministic (bad
             // configuration); retrying cannot change it.
             Ok(Err(err)) => {

@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
+use snake_bench::runner::JobRun;
 use snake_bench::supervise::{
     self, campaign, JobOutcome, JobSpec, SweepConfig, SweepError, EXIT_INTERRUPTED, EXIT_QUARANTINE,
 };
@@ -48,7 +49,7 @@ fn interrupted_then_resumed_sweep_is_byte_identical() {
     let full_path = tmp_manifest("full");
     let full = supervise::run_campaign(&h, &jobs, &cfg, Some(&full_path), false).unwrap();
     assert_eq!(full.exit_code(), 0, "clean sweep exits 0");
-    assert_eq!(full.counts(), (4, 0, 0));
+    assert_eq!(full.counts(), (4, 0, 0, 0));
     let reference = full.render(false);
 
     // "Kill" the sweep after two jobs: --stop-after is the
@@ -62,13 +63,13 @@ fn interrupted_then_resumed_sweep_is_byte_identical() {
         supervise::run_campaign(&h, &jobs, &interrupted_cfg, Some(&part_path), false).unwrap();
     assert_eq!(part.exit_code(), EXIT_INTERRUPTED);
     assert!(part.interrupted);
-    assert_eq!(part.counts(), (2, 0, 2), "two done, two skipped");
+    assert_eq!(part.counts(), (2, 0, 2, 0), "two done, two skipped");
 
     // Resume from the manifest: the finished jobs replay from their
     // records, the skipped ones run now.
     let resumed = supervise::run_campaign(&h, &jobs, &cfg, Some(&part_path), true).unwrap();
     assert_eq!(resumed.exit_code(), 0);
-    assert_eq!(resumed.counts(), (4, 0, 0));
+    assert_eq!(resumed.counts(), (4, 0, 0, 0));
     assert_eq!(
         resumed.render(false),
         reference,
@@ -92,9 +93,11 @@ fn resume_skips_checkpointed_jobs() {
     let path = tmp_manifest("skip");
 
     let ran: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let runner = |job: &JobSpec, _attempt: u32| {
+    let runner = |job: &JobSpec, _attempt: u32, _resume: Option<&std::path::Path>| {
         ran.lock().unwrap().push(job.id());
         h.run_job(job.bench, job.kind)
+            .map(Box::new)
+            .map(JobRun::Finished)
     };
 
     let cfg = SweepConfig {
@@ -103,12 +106,12 @@ fn resume_skips_checkpointed_jobs() {
         ..test_cfg()
     };
     let part = supervise::run_campaign_with(&h, &jobs, &cfg, Some(&path), false, runner).unwrap();
-    assert_eq!(part.counts(), (1, 0, 1));
+    assert_eq!(part.counts(), (1, 0, 1, 0));
     assert_eq!(ran.lock().unwrap().as_slice(), ["LIB/baseline"]);
 
     let resumed =
         supervise::run_campaign_with(&h, &jobs, &test_cfg(), Some(&path), true, runner).unwrap();
-    assert_eq!(resumed.counts(), (2, 0, 0));
+    assert_eq!(resumed.counts(), (2, 0, 0, 0));
     assert_eq!(
         ran.lock().unwrap().as_slice(),
         ["LIB/baseline", "LIB/snake"],
@@ -147,19 +150,20 @@ fn poisoned_jobs_are_quarantined_and_siblings_are_unharmed() {
     );
     let cfg = test_cfg();
 
-    let result =
-        supervise::run_campaign_with(&healthy, &jobs, &cfg, None, false, |job, _| {
-            match job.bench {
-                Benchmark::Cp => panic!("injected poison in {job}"),
-                Benchmark::Lps => deadlocked.run_job(job.bench, job.kind),
-                Benchmark::Lib => budgeted.run_job(job.bench, job.kind),
-                _ => healthy.run_job(job.bench, job.kind),
-            }
-        })
-        .unwrap();
+    let result = supervise::run_campaign_with(&healthy, &jobs, &cfg, None, false, |job, _, _| {
+        match job.bench {
+            Benchmark::Cp => panic!("injected poison in {job}"),
+            Benchmark::Lps => deadlocked.run_job(job.bench, job.kind),
+            Benchmark::Lib => budgeted.run_job(job.bench, job.kind),
+            _ => healthy.run_job(job.bench, job.kind),
+        }
+        .map(Box::new)
+        .map(JobRun::Finished)
+    })
+    .unwrap();
 
     assert_eq!(result.exit_code(), EXIT_QUARANTINE);
-    assert_eq!(result.counts(), (3, 2, 0));
+    assert_eq!(result.counts(), (3, 2, 0, 0));
 
     let outcome = |bench: Benchmark| {
         result
@@ -223,13 +227,15 @@ fn flaky_job_succeeds_after_retries() {
     };
 
     let calls = AtomicU32::new(0);
-    let result = supervise::run_campaign_with(&h, &jobs, &cfg, None, false, |job, attempt| {
+    let result = supervise::run_campaign_with(&h, &jobs, &cfg, None, false, |job, attempt, _| {
         calls.fetch_add(1, Ordering::SeqCst);
         assert_eq!(attempt, calls.load(Ordering::SeqCst), "attempts count up");
         if attempt < 3 {
             panic!("transient failure on attempt {attempt}");
         }
         h.run_job(job.bench, job.kind)
+            .map(Box::new)
+            .map(JobRun::Finished)
     })
     .unwrap();
 
@@ -254,9 +260,12 @@ fn deterministic_sim_error_quarantines_without_retry() {
     let jobs = campaign(&[Benchmark::Srad], &[PrefetcherKind::Baseline]);
 
     let calls = AtomicU32::new(0);
-    let result = supervise::run_campaign_with(&h, &jobs, &test_cfg(), None, false, |job, _| {
+    let result = supervise::run_campaign_with(&h, &jobs, &test_cfg(), None, false, |job, _, _| {
         calls.fetch_add(1, Ordering::SeqCst);
-        broken.run_job(job.bench, job.kind)
+        broken
+            .run_job(job.bench, job.kind)
+            .map(Box::new)
+            .map(JobRun::Finished)
     })
     .unwrap();
 
@@ -269,6 +278,69 @@ fn deterministic_sim_error_quarantines_without_retry() {
         other => panic!("expected quarantine, got {other:?}"),
     }
     assert_eq!(calls.load(Ordering::SeqCst), 1);
+}
+
+/// Tentpole acceptance: a job that reaches the deadline is *suspended*
+/// — checkpointed mid-simulation and recorded in the manifest — not
+/// killed; resume restores it from the checkpoint and the final report
+/// is byte-identical to an uninterrupted sweep, with no quarantine.
+#[test]
+fn deadline_suspended_job_resumes_mid_simulation() {
+    let h = Harness::quick();
+    let jobs = campaign(
+        &[Benchmark::Lps],
+        &[PrefetcherKind::Snake, PrefetcherKind::Mta],
+    );
+    let cfg = test_cfg();
+
+    let full_path = tmp_manifest("suspend-full");
+    let full = supervise::run_campaign(&h, &jobs, &cfg, Some(&full_path), false).unwrap();
+    assert_eq!(full.counts(), (2, 0, 0, 0));
+    let reference = full.render(false);
+
+    // Preempt every job that reaches cycle 300: `suspend_after` is the
+    // deterministic stand-in for wall-deadline preemption.
+    let part_path = tmp_manifest("suspend-part");
+    let suspend_cfg = SweepConfig {
+        suspend_after: Some(300),
+        ..test_cfg()
+    };
+    let part = supervise::run_campaign(&h, &jobs, &suspend_cfg, Some(&part_path), false).unwrap();
+    assert_eq!(part.exit_code(), EXIT_INTERRUPTED);
+    let (_, quarantined, _, suspended) = part.counts();
+    assert_eq!(quarantined, 0, "suspension is not a failure");
+    assert!(suspended > 0, "jobs reaching the deadline are suspended");
+    let mut checkpoints = Vec::new();
+    for (_, o) in &part.outcomes {
+        if let JobOutcome::Suspended {
+            cycle, checkpoint, ..
+        } = o
+        {
+            assert!(*cycle >= 300, "suspended at or after the trigger cycle");
+            assert!(
+                std::path::Path::new(checkpoint).exists(),
+                "checkpoint artifact written: {checkpoint}"
+            );
+            checkpoints.push(checkpoint.clone());
+        }
+    }
+
+    // Resume without the trigger: the suspended jobs restore from
+    // their checkpoints and finish the remaining cycles.
+    let resumed = supervise::run_campaign(&h, &jobs, &cfg, Some(&part_path), true).unwrap();
+    assert_eq!(resumed.exit_code(), 0, "resume finishes cleanly");
+    assert_eq!(resumed.counts(), (2, 0, 0, 0), "nothing quarantined");
+    assert_eq!(
+        resumed.render(false),
+        reference,
+        "restored jobs must finish byte-identically to uninterrupted runs"
+    );
+
+    std::fs::remove_file(&full_path).unwrap();
+    std::fs::remove_file(&part_path).unwrap();
+    for c in checkpoints {
+        let _ = std::fs::remove_file(c);
+    }
 }
 
 /// The manifest life cycle refuses the two dangerous cases: clobbering

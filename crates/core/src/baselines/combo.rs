@@ -2,6 +2,8 @@
 //! mechanisms are orthogonal) and a placement override used to build
 //! the "decoupled versions of competitors" discussed with Fig 18.
 
+use snake_sim::json::Value;
+use snake_sim::snapshot::{self, SnapshotError};
 use snake_sim::{
     AccessEvent, KernelTrace, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher,
 };
@@ -82,6 +84,18 @@ impl Prefetcher for Combined {
     fn trained(&self) -> bool {
         self.first.trained() || self.second.trained()
     }
+
+    fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            ("first".into(), self.first.save_state()),
+            ("second".into(), self.second.save_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.first.restore_state(snapshot::field(v, "first")?)?;
+        self.second.restore_state(snapshot::field(v, "second")?)
+    }
 }
 
 /// Overrides the storage placement of an inner mechanism (e.g. a
@@ -146,6 +160,14 @@ impl Prefetcher for WithPlacement {
 
     fn trained(&self) -> bool {
         self.inner.trained()
+    }
+
+    fn save_state(&self) -> Value {
+        self.inner.save_state()
+    }
+
+    fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.inner.restore_state(v)
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use snake_sim::json::Value;
+use snake_sim::snapshot::{self, SnapshotError};
 use snake_sim::{
     AccessEvent, AccessOutcome, Address, KernelTrace, PrefetchContext, PrefetchRequest, Prefetcher,
 };
@@ -95,6 +97,43 @@ impl Prefetcher for Tree {
             next += self.line_bytes;
         }
         *frontier = next.saturating_sub(self.line_bytes);
+    }
+
+    /// Chunks serialized in FIFO (`order`) sequence — `order` and the
+    /// frontier map always hold the same keys, so one array captures
+    /// both, deterministically.
+    fn save_state(&self) -> Value {
+        let chunks = self
+            .order
+            .iter()
+            .map(|chunk| {
+                let frontier = self.frontier.get(chunk).copied().unwrap_or(0);
+                Value::Arr(vec![Value::u64(*chunk), Value::u64(frontier)])
+            })
+            .collect();
+        Value::Obj(vec![("chunks".into(), Value::Arr(chunks))])
+    }
+
+    fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let bad = || SnapshotError::malformed("tree chunk row does not decode");
+        let mut frontier = HashMap::with_capacity(self.capacity);
+        let mut order = Vec::new();
+        for row in snapshot::arr_field(v, "chunks")? {
+            let Some([chunk, front]) = row.as_arr() else {
+                return Err(bad());
+            };
+            let chunk = chunk.as_u64().ok_or_else(bad)?;
+            frontier.insert(chunk, front.as_u64().ok_or_else(bad)?);
+            order.push(chunk);
+        }
+        if order.len() > self.capacity {
+            return Err(SnapshotError::malformed(
+                "tree checkpoint exceeds chunk capacity",
+            ));
+        }
+        self.frontier = frontier;
+        self.order = order;
+        Ok(())
     }
 }
 

@@ -16,8 +16,9 @@
 //!   per-mechanism predictability bounds (Figs 6, 9, 10, 11).
 //! * [`metrics`] — coverage/accuracy/report rows (§4 definitions).
 //! * [`cost`] — the Table 3 / Fig 21 hardware cost model.
-//! * [`json`] — dependency-free JSON used by the sweep supervisor's
-//!   checkpoint manifests (lossless `u64`/`f64` round-trips).
+//! * [`json`] — dependency-free JSON (re-exported from `snake_sim`)
+//!   used by the sweep manifests and simulator checkpoints (lossless
+//!   `u64`/`f64` round-trips).
 //!
 //! ## Quick start
 //!
@@ -54,9 +55,13 @@ pub mod analysis;
 pub mod api;
 pub mod baselines;
 pub mod cost;
-pub mod json;
 pub mod metrics;
 pub mod snake;
 
 pub use api::PrefetcherKind;
 pub use metrics::MechanismReport;
+// The JSON module moved into `snake_sim` so the simulator's snapshot
+// subsystem can use it (this crate depends on the sim, not the other
+// way around); the `snake_core::json` path stays available for
+// existing users such as the sweep manifests.
+pub use snake_sim::json;

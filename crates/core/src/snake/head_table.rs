@@ -13,6 +13,8 @@
 //! per-warp table, the paper's paired rows with doubled columns, and
 //! the cheaper single-column paired row the doubling defends against.
 
+use snake_sim::json::Value;
+use snake_sim::snapshot::{self, SnapshotError};
 use snake_sim::{Address, Pc, WarpId};
 
 /// A Head-table update result: the load-to-load transition of a warp.
@@ -190,6 +192,102 @@ impl HeadTable {
     pub fn reset(&mut self) {
         self.entries.fill(None);
         self.rows.fill(PairedRow::default());
+    }
+
+    /// Serializes both storage organizations for a checkpoint (the
+    /// layout itself is configuration and is not captured).
+    pub fn save_state(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| match e {
+                None => Value::Null,
+                Some((pc, addr)) => {
+                    Value::Arr(vec![Value::u64(u64::from(pc.0)), Value::u64(addr.raw())])
+                }
+            })
+            .collect();
+        let slot = |s: &Option<(WarpId, Address)>| match s {
+            None => Value::Null,
+            Some((w, a)) => Value::Arr(vec![Value::u64(u64::from(w.0)), Value::u64(a.raw())]),
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::Arr(vec![
+                    r.pc.map_or(Value::Null, |pc| Value::u64(u64::from(pc.0))),
+                    slot(&r.slots[0]),
+                    slot(&r.slots[1]),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("entries".into(), Value::Arr(entries)),
+            ("rows".into(), Value::Arr(rows)),
+        ])
+    }
+
+    /// Restores state captured by [`HeadTable::save_state`] onto a
+    /// table built with the same `warps`/`layout`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when the row counts disagree with
+    /// this table's construction or an entry does not decode.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let bad = || SnapshotError::malformed("head table entry does not decode");
+        let pair = |item: &Value| -> Result<Option<(u32, u64)>, SnapshotError> {
+            match item {
+                Value::Null => Ok(None),
+                other => {
+                    let row = other.as_arr().ok_or_else(bad)?;
+                    match row {
+                        [a, b] => Ok(Some((
+                            a.as_u32().ok_or_else(bad)?,
+                            b.as_u64().ok_or_else(bad)?,
+                        ))),
+                        _ => Err(bad()),
+                    }
+                }
+            }
+        };
+        let entries = snapshot::arr_field(v, "entries")?;
+        let rows = snapshot::arr_field(v, "rows")?;
+        if entries.len() != self.entries.len() || rows.len() != self.rows.len() {
+            return Err(SnapshotError::malformed(format!(
+                "head table shape mismatch: checkpoint {}x{} rows, table {}x{}",
+                entries.len(),
+                rows.len(),
+                self.entries.len(),
+                self.rows.len()
+            )));
+        }
+        let mut new_entries = Vec::with_capacity(entries.len());
+        for e in entries {
+            new_entries.push(pair(e)?.map(|(pc, addr)| (Pc(pc), Address(addr))));
+        }
+        let mut new_rows = Vec::with_capacity(rows.len());
+        for r in rows {
+            let row = r.as_arr().ok_or_else(bad)?;
+            let [pc, s0, s1] = row else {
+                return Err(bad());
+            };
+            let pc = match pc {
+                Value::Null => None,
+                other => Some(Pc(other.as_u32().ok_or_else(bad)?)),
+            };
+            let decode_slot = |s: &Value| -> Result<Option<(WarpId, Address)>, SnapshotError> {
+                Ok(pair(s)?.map(|(w, a)| (WarpId(w), Address(a))))
+            };
+            new_rows.push(PairedRow {
+                pc,
+                slots: [decode_slot(s0)?, decode_slot(s1)?],
+            });
+        }
+        self.entries = new_entries;
+        self.rows = new_rows;
+        Ok(())
     }
 }
 

@@ -6,6 +6,8 @@ pub mod head_table;
 pub mod tail_table;
 pub mod throttle;
 
+use snake_sim::json::Value;
+use snake_sim::snapshot::{self, SnapshotError};
 use snake_sim::{
     AccessEvent, Address, KernelTrace, PrefetchContext, PrefetchPlacement, PrefetchRequest,
     Prefetcher, PrefetcherEvent, WalkStop,
@@ -243,6 +245,26 @@ impl Prefetcher for Snake {
 
     fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
         out.append(&mut self.events);
+    }
+
+    /// Captures the Head table, Tail table, and throttle state machine.
+    /// The telemetry buffer is not captured: checkpoints are taken at
+    /// cycle boundaries, after the SM has drained it.
+    fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            ("head".into(), self.head.save_state()),
+            ("tail".into(), self.tail.save_state()),
+            ("throttle".into(), self.throttle.save_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.head.restore_state(snapshot::field(v, "head")?)?;
+        self.tail.restore_state(snapshot::field(v, "tail")?)?;
+        self.throttle
+            .restore_state(snapshot::field(v, "throttle")?)?;
+        self.events.clear();
+        Ok(())
     }
 }
 

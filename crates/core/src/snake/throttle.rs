@@ -9,6 +9,8 @@
 //! 2. **Bandwidth** — measured interconnect utilization reaches 70% of
 //!    peak: halt until it falls back to 50% (hysteresis).
 
+use snake_sim::json::Value;
+use snake_sim::snapshot::{self, SnapshotError};
 use snake_sim::{Cycle, PrefetchContext};
 
 /// Throttle configuration.
@@ -135,6 +137,41 @@ impl Throttle {
         self.bw_halted = false;
         self.depth = 2;
         self.calm_events = 0;
+    }
+
+    /// Serializes the state machine for a checkpoint (the thresholds
+    /// and `max_depth` are configuration and are not captured).
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "space_halted_until".into(),
+                Value::u64(self.space_halted_until.0),
+            ),
+            ("bw_halted".into(), Value::Bool(self.bw_halted)),
+            ("depth".into(), Value::u64(self.depth as u64)),
+            (
+                "calm_events".into(),
+                Value::u64(u64::from(self.calm_events)),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`Throttle::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when a field is missing or does not
+    /// decode.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let space_halted_until = Cycle(snapshot::u64_field(v, "space_halted_until")?);
+        let bw_halted = snapshot::bool_field(v, "bw_halted")?;
+        let depth = snapshot::usize_field(v, "depth")?;
+        let calm_events = snapshot::u32_field(v, "calm_events")?;
+        self.space_halted_until = space_halted_until;
+        self.bw_halted = bw_halted;
+        self.depth = depth.clamp(1, self.max_depth);
+        self.calm_events = calm_events;
+        Ok(())
     }
 }
 

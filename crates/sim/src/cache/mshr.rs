@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
+use crate::json::Value;
 use crate::obs::{SimEvent, TraceEvent};
+use crate::snapshot::{self, SnapshotError};
 use crate::types::{Cycle, LineAddr, SmId, WarpId};
 
 /// The origin of an outstanding miss.
@@ -221,6 +223,97 @@ impl MshrFile {
     /// Mutable access to the entry for `line`, if present.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut MshrEntry> {
         self.entries.get_mut(&line)
+    }
+
+    /// Serializes every outstanding entry for a checkpoint. Entries
+    /// are written in ascending line order so the encoding is
+    /// independent of `HashMap` iteration order — the byte-stability
+    /// the kill-anywhere guarantee needs.
+    pub fn save_state(&self) -> Value {
+        let mut lines: Vec<&MshrEntry> = self.entries.values().collect();
+        lines.sort_by_key(|e| e.line);
+        let entries = lines
+            .into_iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("line".into(), Value::u64(e.line.0)),
+                    (
+                        "origin".into(),
+                        Value::u64(match e.origin {
+                            MissOrigin::Demand => 0,
+                            MissOrigin::Prefetch => 1,
+                        }),
+                    ),
+                    (
+                        "waiters".into(),
+                        Value::Arr(
+                            e.waiters
+                                .iter()
+                                .map(|w| Value::u64(u64::from(w.0)))
+                                .collect(),
+                        ),
+                    ),
+                    ("demand_merged".into(), Value::Bool(e.demand_merged)),
+                    ("requests".into(), Value::u64(u64::from(e.requests))),
+                    ("alloc_cycle".into(), Value::u64(e.alloc_cycle.0)),
+                    ("last_issue".into(), Value::u64(e.last_issue.0)),
+                    ("retries".into(), Value::u64(u64::from(e.retries))),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![("entries".into(), Value::Arr(entries))])
+    }
+
+    /// Restores the outstanding entries from [`save_state`]
+    /// (capacities are config-derived and kept).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a mistyped entry or more
+    /// entries than this file's capacity.
+    ///
+    /// [`save_state`]: MshrFile::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let entries = snapshot::arr_field(v, "entries")?;
+        if entries.len() > self.capacity {
+            return Err(SnapshotError::malformed(format!(
+                "checkpoint has {} MSHR entries, capacity is {}",
+                entries.len(),
+                self.capacity
+            )));
+        }
+        let mut restored = HashMap::with_capacity(self.capacity);
+        for e in entries {
+            let line = LineAddr(snapshot::u64_field(e, "line")?);
+            let origin = match snapshot::u64_field(e, "origin")? {
+                0 => MissOrigin::Demand,
+                1 => MissOrigin::Prefetch,
+                _ => return Err(SnapshotError::malformed("bad MSHR origin")),
+            };
+            let waiters = snapshot::arr_field(e, "waiters")?
+                .iter()
+                .map(|w| {
+                    w.as_u32()
+                        .map(WarpId)
+                        .ok_or_else(|| SnapshotError::malformed("bad MSHR waiter"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            restored.insert(
+                line,
+                MshrEntry {
+                    line,
+                    origin,
+                    waiters,
+                    demand_merged: snapshot::bool_field(e, "demand_merged")?,
+                    requests: snapshot::u32_field(e, "requests")?,
+                    alloc_cycle: Cycle(snapshot::u64_field(e, "alloc_cycle")?),
+                    last_issue: Cycle(snapshot::u64_field(e, "last_issue")?),
+                    retries: snapshot::u32_field(e, "retries")?,
+                },
+            );
+        }
+        self.entries = restored;
+        Ok(())
     }
 }
 

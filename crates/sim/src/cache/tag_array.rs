@@ -2,6 +2,8 @@
 //! demand/prefetch side flag used by Snake's decoupled unified cache.
 
 use crate::config::CacheGeometry;
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
 use crate::types::{Cycle, LineAddr};
 
 /// Allocation state of a cache line.
@@ -305,6 +307,100 @@ impl TagArray {
     /// Iterates over all valid lines (testing/diagnostics).
     pub fn iter_valid(&self) -> impl Iterator<Item = &Line> {
         self.lines.iter().filter(|l| l.state == LineState::Valid)
+    }
+
+    /// Serializes every line for a checkpoint. The geometry and the
+    /// occupancy counters are not captured: geometry comes from the
+    /// config, counters are recomputed from the lines on restore.
+    pub fn save_state(&self) -> Value {
+        let lines = self
+            .lines
+            .iter()
+            .map(|l| {
+                Value::Arr(vec![
+                    Value::u64(l.tag.0),
+                    Value::u64(match l.state {
+                        LineState::Invalid => 0,
+                        LineState::Reserved => 1,
+                        LineState::Valid => 2,
+                    }),
+                    Value::u64(match l.side {
+                        Side::Demand => 0,
+                        Side::Prefetch => 1,
+                    }),
+                    Value::u64(l.last_use.0),
+                    Value::u64(l.fill_cycle.0),
+                    Value::Bool(l.used),
+                    Value::Bool(l.origin_prefetch),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![("lines".into(), Value::Arr(lines))])
+    }
+
+    /// Restores every line from [`save_state`] and recomputes the
+    /// occupancy counters.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when the line count does not match
+    /// this array's geometry or a line entry is mistyped.
+    ///
+    /// [`save_state`]: TagArray::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let lines = snapshot::arr_field(v, "lines")?;
+        if lines.len() != self.lines.len() {
+            return Err(SnapshotError::malformed(format!(
+                "tag array has {} lines, checkpoint has {}",
+                self.lines.len(),
+                lines.len()
+            )));
+        }
+        let bad = || SnapshotError::malformed("bad tag-array line entry");
+        let mut restored = Vec::with_capacity(lines.len());
+        for entry in lines {
+            let f = entry.as_arr().ok_or_else(bad)?;
+            if f.len() != 7 {
+                return Err(bad());
+            }
+            let num = |i: usize| f[i].as_u64().ok_or_else(bad);
+            let flag = |i: usize| f[i].as_bool().ok_or_else(bad);
+            restored.push(Line {
+                tag: LineAddr(num(0)?),
+                state: match num(1)? {
+                    0 => LineState::Invalid,
+                    1 => LineState::Reserved,
+                    2 => LineState::Valid,
+                    _ => return Err(bad()),
+                },
+                side: match num(2)? {
+                    0 => Side::Demand,
+                    1 => Side::Prefetch,
+                    _ => return Err(bad()),
+                },
+                last_use: Cycle(num(3)?),
+                fill_cycle: Cycle(num(4)?),
+                used: flag(5)?,
+                origin_prefetch: flag(6)?,
+            });
+        }
+        self.lines = restored;
+        self.valid = self
+            .lines
+            .iter()
+            .filter(|l| l.state == LineState::Valid)
+            .count() as u32;
+        self.valid_prefetch = self
+            .lines
+            .iter()
+            .filter(|l| l.state == LineState::Valid && l.side == Side::Prefetch)
+            .count() as u32;
+        self.reserved = self
+            .lines
+            .iter()
+            .filter(|l| l.state == LineState::Reserved)
+            .count() as u32;
+        Ok(())
     }
 }
 

@@ -20,8 +20,10 @@ use crate::cache::mshr::{MergeResult, MissOrigin, MshrFile};
 use crate::cache::tag_array::{Side, TagArray};
 use crate::config::GpuConfig;
 use crate::fault::Recovery;
+use crate::json::Value;
 use crate::obs::{PrefetchDropReason, PrefetchLifecycle, SimEvent, TraceEvent};
 use crate::perfstat::{HostProfiler, Phase, Stopwatch};
+use crate::snapshot::{self, SnapshotError};
 use crate::stats::{AccessOutcome, CacheStats, FaultStats, PrefetchStats, ReservationFailReason};
 use crate::types::{Cycle, LineAddr, SmId, WarpId};
 
@@ -737,6 +739,111 @@ impl UnifiedL1 {
             });
             self.fault_stats.reissued_requests += 1;
         }
+    }
+
+    /// Serializes the complete cache state for a checkpoint: tag
+    /// arrays, MSHRs, the miss queue, the decoupling policy state,
+    /// and every counter/histogram. The placement mode, queue depth,
+    /// and recovery plan are config-derived and not captured; trace
+    /// and profiling attachments are runtime-only (checkpoints are
+    /// taken at a flushed cycle boundary, so their buffers are empty).
+    pub fn save_state(&self) -> Value {
+        let mut fields = vec![
+            ("tags".into(), self.tags.save_state()),
+            (
+                "isolated".into(),
+                match &self.isolated {
+                    Some(iso) => iso.save_state(),
+                    None => Value::Null,
+                },
+            ),
+            ("mshr".into(), self.mshr.save_state()),
+            (
+                "miss_queue".into(),
+                Value::Arr(
+                    self.miss_queue
+                        .iter()
+                        .map(|r| {
+                            Value::Arr(vec![
+                                Value::u64(r.line.0),
+                                Value::u64(match r.kind {
+                                    RequestKind::ReadMiss => 0,
+                                    RequestKind::Store => 1,
+                                }),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("confined_until".into(), Value::u64(self.confined_until.0)),
+            ("trained".into(), Value::Bool(self.trained)),
+            ("transfer_numer".into(), Value::u64(self.transfer_numer)),
+            ("transfer_denom".into(), Value::u64(self.transfer_denom)),
+            ("overrun".into(), Value::Bool(self.overrun)),
+        ];
+        fields.push(("fault_stats".into(), self.fault_stats.save_state()));
+        fields.push(("stats".into(), self.stats.save_state()));
+        fields.push(("pf_stats".into(), self.pf_stats.save_state()));
+        fields.push(("lifecycle".into(), self.lifecycle.save_state()));
+        Value::Obj(fields)
+    }
+
+    /// Restores the complete cache state from [`save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when a field is missing, mistyped,
+    /// or inconsistent with this cache's configured geometry.
+    ///
+    /// [`save_state`]: UnifiedL1::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.tags.restore_state(snapshot::field(v, "tags")?)?;
+        match (&mut self.isolated, snapshot::field(v, "isolated")?) {
+            (None, Value::Null) => {}
+            (Some(iso), saved @ Value::Obj(_)) => iso.restore_state(saved)?,
+            _ => {
+                return Err(SnapshotError::malformed(
+                    "isolated-buffer presence disagrees with the configuration",
+                ))
+            }
+        }
+        self.mshr.restore_state(snapshot::field(v, "mshr")?)?;
+        let queue = snapshot::arr_field(v, "miss_queue")?;
+        if queue.len() > self.miss_queue_depth {
+            return Err(SnapshotError::malformed(format!(
+                "checkpoint miss queue holds {}, depth is {}",
+                queue.len(),
+                self.miss_queue_depth
+            )));
+        }
+        let bad = || SnapshotError::malformed("bad miss-queue entry");
+        self.miss_queue = queue
+            .iter()
+            .map(|e| {
+                let f = e.as_arr().filter(|f| f.len() == 2).ok_or_else(bad)?;
+                Ok(OutgoingRequest {
+                    line: LineAddr(f[0].as_u64().ok_or_else(bad)?),
+                    kind: match f[1].as_u64().ok_or_else(bad)? {
+                        0 => RequestKind::ReadMiss,
+                        1 => RequestKind::Store,
+                        _ => return Err(bad()),
+                    },
+                })
+            })
+            .collect::<Result<VecDeque<_>, SnapshotError>>()?;
+        self.confined_until = Cycle(snapshot::u64_field(v, "confined_until")?);
+        self.trained = snapshot::bool_field(v, "trained")?;
+        self.transfer_numer = snapshot::u64_field(v, "transfer_numer")?;
+        self.transfer_denom = snapshot::u64_field(v, "transfer_denom")?;
+        self.overrun = snapshot::bool_field(v, "overrun")?;
+        self.fault_stats
+            .restore_state(snapshot::field(v, "fault_stats")?)?;
+        self.stats.restore_state(snapshot::field(v, "stats")?)?;
+        self.pf_stats
+            .restore_state(snapshot::field(v, "pf_stats")?)?;
+        self.lifecycle
+            .restore_state(snapshot::field(v, "lifecycle")?)?;
+        Ok(())
     }
 
     /// Checks the L1's conservation laws, returning a description of

@@ -165,6 +165,14 @@ pub struct GpuConfig {
     /// cycles into [`SimOutcome::series`](crate::SimOutcome). `None`
     /// (the default) disables collection.
     pub metrics_window: Option<u64>,
+    /// Write a checkpoint of the complete simulator state every this
+    /// many cycles while running under
+    /// [`Gpu::run_checkpointed`](crate::Gpu::run_checkpointed) (or a
+    /// harness that polls [`Gpu::checkpoint`](crate::Gpu::checkpoint)).
+    /// `None` (the default) disables periodic checkpointing entirely —
+    /// the run pays zero overhead, matching the no-observer-effect
+    /// discipline of tracing and profiling.
+    pub checkpoint_every: Option<u64>,
     /// Collect a host-side performance profile: per-phase wall time of
     /// the tick loop (see [`perfstat`](crate::perfstat)) delivered as
     /// [`SimOutcome::host`](crate::SimOutcome::host). `false` (the
@@ -225,6 +233,7 @@ impl GpuConfig {
                 None
             },
             metrics_window: None,
+            checkpoint_every: None,
             host_profile: false,
             perf_inject_stall_ns: 0,
         }
@@ -282,6 +291,7 @@ impl GpuConfig {
                 None
             },
             metrics_window: None,
+            checkpoint_every: None,
             host_profile: false,
             perf_inject_stall_ns: 0,
         }
@@ -337,6 +347,9 @@ impl GpuConfig {
         }
         if self.metrics_window == Some(0) {
             return Err(ConfigError::ZeroParameter("metrics_window"));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroParameter("checkpoint_every"));
         }
         self.fault
             .validate()

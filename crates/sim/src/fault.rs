@@ -14,6 +14,8 @@
 //! its waiters and the forward-progress watchdog converts the hang
 //! into a [`StopReason::Deadlock`](crate::StopReason::Deadlock).
 
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
 use crate::stats::FaultStats;
 use crate::types::Cycle;
 
@@ -190,6 +192,37 @@ impl FaultInjector {
         (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// The generator's current position in the decision stream (the
+    /// raw SplitMix64 state). Exposed so checkpoints can capture it:
+    /// a restored chaos run must continue on the *same* decision
+    /// stream, not restart it from the seed.
+    pub fn generator_position(&self) -> u64 {
+        self.state
+    }
+
+    /// Serializes the generator position and fired-fault counters for
+    /// a checkpoint (the plan itself is config-derived).
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            ("state".into(), Value::u64(self.state)),
+            ("stats".into(), self.stats.save_state()),
+        ])
+    }
+
+    /// Restores the generator position and counters from
+    /// [`save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or mistyped field.
+    ///
+    /// [`save_state`]: FaultInjector::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.state = snapshot::u64_field(v, "state")?;
+        self.stats.restore_state(snapshot::field(v, "stats")?)?;
+        Ok(())
+    }
+
     /// Decides the fate of one fill response and records it.
     pub fn on_response(&mut self) -> ResponseFault {
         if !self.plan.perturbs_responses() {
@@ -273,6 +306,36 @@ mod tests {
         assert!((2500..3500).contains(&s.dropped_responses), "{s:?}");
         assert!((700..1300).contains(&s.duplicated_responses), "{s:?}");
         assert!((1500..2500).contains(&s.delayed_responses), "{s:?}");
+    }
+
+    #[test]
+    fn restored_injector_continues_the_decision_stream() {
+        let p = plan_with(0.2, 0.2, 0.2);
+        let mut full = FaultInjector::new(p);
+        let mut interrupted = FaultInjector::new(p);
+        for _ in 0..137 {
+            full.on_response();
+            interrupted.on_response();
+        }
+        // "Kill" the interrupted run: serialize, rebuild from the
+        // plan (which resets the stream to the seed), restore.
+        let saved = interrupted.save_state();
+        let mut resumed = FaultInjector::new(p);
+        assert_ne!(
+            resumed.generator_position(),
+            interrupted.generator_position()
+        );
+        resumed.restore_state(&saved).unwrap();
+        assert_eq!(resumed.generator_position(), full.generator_position());
+        for _ in 0..500 {
+            assert_eq!(resumed.on_response(), full.on_response());
+        }
+        assert_eq!(resumed.stats, full.stats);
+        // Re-serialization is bit-stable.
+        assert_eq!(
+            resumed.save_state().to_string(),
+            full.save_state().to_string()
+        );
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! partition, advanced by a single cycle loop.
 
 use std::collections::VecDeque;
+use std::path::Path;
 
 use crate::audit::{self, Auditor};
 use crate::config::{ConfigError, GpuConfig};
+use crate::json::Value;
 use crate::kernel::KernelTrace;
 use crate::mem::interconnect::{Interconnect, UpPacket, READ_REQUEST_BYTES};
 use crate::mem::partition::MemoryPartition;
@@ -15,6 +17,7 @@ use crate::obs::{
 use crate::perfstat::{HostProfile, HostProfiler, Phase, Stopwatch};
 use crate::prefetch::Prefetcher;
 use crate::sm::{PendingCta, Sm};
+use crate::snapshot::{self, Checkpoint, SnapshotError};
 use crate::stats::SimStats;
 use crate::types::{Cycle, SmId};
 use crate::watchdog::{DeadlockReport, NocCensus, Watchdog};
@@ -524,6 +527,63 @@ impl Gpu {
         // One clock read per run when profiling; none otherwise.
         let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
         while self.step() {}
+        self.finalize(t0)
+    }
+
+    /// Like [`Gpu::run`], but after every cycle asks `suspend` whether
+    /// to stop early. Returns `None` when suspended: no terminal trace
+    /// event is emitted, no partial metrics window is closed, and the
+    /// device can be checkpointed with [`Gpu::checkpoint`] and later
+    /// resumed (here or in another process via [`Gpu::restore`]).
+    ///
+    /// A suspended device is paused mid-run, not finished — calling
+    /// [`Gpu::run`] again continues it to a normal outcome.
+    pub fn run_interruptible(
+        &mut self,
+        mut suspend: impl FnMut(Cycle) -> bool,
+    ) -> Option<SimOutcome> {
+        let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
+        loop {
+            if !self.step() {
+                return Some(self.finalize(t0));
+            }
+            if suspend(self.cycle) {
+                return None;
+            }
+        }
+    }
+
+    /// Runs to completion while writing a checkpoint of the full
+    /// simulator state to `path` (atomically, replacing the previous
+    /// one) every [`GpuConfig::checkpoint_every`] cycles. When that
+    /// option is `None` this is exactly [`Gpu::run`] — no per-cycle
+    /// checkpoint arithmetic, no I/O.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if a checkpoint cannot be written; the
+    /// simulation stops at that cycle rather than silently continuing
+    /// without crash protection.
+    pub fn run_checkpointed(&mut self, path: &Path) -> Result<SimOutcome, SnapshotError> {
+        let Some(every) = self.cfg.checkpoint_every else {
+            return Ok(self.run());
+        };
+        let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
+        loop {
+            if !self.step() {
+                return Ok(self.finalize(t0));
+            }
+            if self.cycle.0.is_multiple_of(every) {
+                self.checkpoint().write_atomic(path)?;
+            }
+        }
+    }
+
+    /// Computes the stop reason, runs the end-of-run audit, emits the
+    /// terminal trace event, closes the final metrics window, and
+    /// assembles the [`SimOutcome`]. Shared tail of every `run_*`
+    /// entry point, reached only after [`Gpu::step`] returned `false`.
+    fn finalize(&mut self, t0: Option<std::time::Instant>) -> SimOutcome {
         let stop = if let Some(report) = self.deadlock.take() {
             StopReason::Deadlock(report)
         } else if self.sms.iter().all(Sm::is_done) {
@@ -618,24 +678,164 @@ impl Gpu {
     pub fn noc_lifetime_utilization(&self) -> f64 {
         self.noc.lifetime_utilization()
     }
+
+    /// Fingerprint of everything a checkpoint's state is only valid
+    /// under: the configuration (with fields that do not affect
+    /// simulated behavior zeroed — checkpoint cadence, host profiling),
+    /// the kernel trace, and the per-SM mechanism names. Two devices
+    /// with equal fingerprints step identically, so state captured on
+    /// one restores exactly onto the other.
+    pub fn fingerprint(&self) -> u64 {
+        let mut cfg = self.cfg.clone();
+        cfg.checkpoint_every = None;
+        cfg.host_profile = false;
+        cfg.perf_inject_stall_ns = 0;
+        let mut text = format!("{cfg:?}|{:?}", self.kernel);
+        for sm in &self.sms {
+            text.push('|');
+            text.push_str(sm.prefetcher_name());
+        }
+        snapshot::fnv1a64(text.as_bytes())
+    }
+
+    /// Captures the complete mutable simulator state as a checkpoint
+    /// artifact. Must be taken at a cycle boundary (between
+    /// [`Gpu::step`] calls): [`Gpu::step`] ends by flushing trace
+    /// buffers, so none of the transient per-cycle scratch exists then.
+    ///
+    /// Deliberately excluded (see the `snapshot` module doc): host-time
+    /// profiling accumulators, the invariant auditor's reference stats
+    /// (rebuilt on the first post-restore audit window), and attached
+    /// trace sinks — a resumed run re-attaches its own sink and the
+    /// restored `events_flushed` counter keeps throughput accounting
+    /// continuous.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            fingerprint: self.fingerprint(),
+            state: self.save_state(),
+        }
+    }
+
+    /// Applies a checkpoint captured by [`Gpu::checkpoint`] onto a
+    /// freshly built device (same config, kernel, and mechanism —
+    /// enforced via the fingerprint). After this returns, stepping the
+    /// device is bit-identical to stepping the one the checkpoint was
+    /// taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] when the checkpoint was taken
+    /// under a different fingerprint, [`SnapshotError::Malformed`] when
+    /// the state document does not decode. On error the device is
+    /// unchanged or must be discarded (a malformed document detected
+    /// mid-apply leaves partially restored state; callers treat any
+    /// error as fatal for this device).
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), SnapshotError> {
+        ckpt.verify_fingerprint(self.fingerprint())?;
+        self.restore_state(&ckpt.state)
+    }
+
+    /// Serializes all mutable state. Option-gated components (watchdog,
+    /// windowed metrics) encode as `Null` when absent; the fingerprint
+    /// guarantees presence agrees between capture and restore.
+    fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            ("cycle".into(), Value::u64(self.cycle.0)),
+            ("brownout_cycles".into(), Value::u64(self.brownout_cycles)),
+            ("prev_brownout".into(), Value::Bool(self.prev_brownout)),
+            ("events_flushed".into(), Value::u64(self.events_flushed)),
+            (
+                "sms".into(),
+                Value::Arr(self.sms.iter().map(Sm::save_state).collect()),
+            ),
+            ("noc".into(), self.noc.save_state()),
+            ("partition".into(), self.partition.save_state()),
+            (
+                "watchdog".into(),
+                self.watchdog
+                    .as_ref()
+                    .map_or(Value::Null, Watchdog::save_state),
+            ),
+            (
+                "metrics".into(),
+                self.metrics
+                    .as_ref()
+                    .map_or(Value::Null, WindowedMetrics::save_state),
+            ),
+        ])
+    }
+
+    /// Applies state captured by [`Gpu::save_state`].
+    fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let cycle = Cycle(snapshot::u64_field(v, "cycle")?);
+        let brownout_cycles = snapshot::u64_field(v, "brownout_cycles")?;
+        let prev_brownout = snapshot::bool_field(v, "prev_brownout")?;
+        let events_flushed = snapshot::u64_field(v, "events_flushed")?;
+        let sms = snapshot::arr_field(v, "sms")?;
+        if sms.len() != self.sms.len() {
+            return Err(SnapshotError::malformed(format!(
+                "checkpoint has {} SMs, device has {}",
+                sms.len(),
+                self.sms.len()
+            )));
+        }
+        for (sm, state) in self.sms.iter_mut().zip(sms) {
+            sm.restore_state(state)?;
+        }
+        self.noc.restore_state(snapshot::field(v, "noc")?)?;
+        self.partition
+            .restore_state(snapshot::field(v, "partition")?)?;
+        let wd = snapshot::field(v, "watchdog")?;
+        match (&mut self.watchdog, wd) {
+            (None, Value::Null) => {}
+            (Some(w), state) if !matches!(state, Value::Null) => w.restore_state(state)?,
+            _ => {
+                return Err(SnapshotError::malformed(
+                    "watchdog presence disagrees with configuration",
+                ));
+            }
+        }
+        let m = snapshot::field(v, "metrics")?;
+        match (&mut self.metrics, m) {
+            (None, Value::Null) => {}
+            (Some(metrics), state) if !matches!(state, Value::Null) => {
+                metrics.restore_state(state)?;
+            }
+            _ => {
+                return Err(SnapshotError::malformed(
+                    "metrics presence disagrees with configuration",
+                ));
+            }
+        }
+        self.cycle = cycle;
+        self.brownout_cycles = brownout_cycles;
+        self.prev_brownout = prev_brownout;
+        self.events_flushed = events_flushed;
+        self.deadlock = None;
+        Ok(())
+    }
 }
 
 /// A typed error from building or running a simulation.
 ///
-/// Today the only way a run can fail to start is a rejected
-/// configuration; the enum is `non_exhaustive` so harnesses that
-/// propagate it keep compiling as failure modes are added.
+/// The enum is `non_exhaustive` so harnesses that propagate it keep
+/// compiling as failure modes are added. (Not `Clone`/`PartialEq`:
+/// checkpoint failures carry a [`std::io::Error`].)
 #[non_exhaustive]
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub enum SimError {
     /// The configuration failed [`GpuConfig::validate`].
     Config(ConfigError),
+    /// Writing, loading, or applying a checkpoint failed (see
+    /// [`Gpu::run_checkpointed`] and [`Gpu::restore`]).
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -644,6 +844,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
+            SimError::Snapshot(e) => Some(e),
         }
     }
 }
@@ -651,6 +852,12 @@ impl std::error::Error for SimError {
 impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> Self {
         SimError::Config(e)
+    }
+}
+
+impl From<SnapshotError> for SimError {
+    fn from(e: SnapshotError) -> Self {
+        SimError::Snapshot(e)
     }
 }
 

@@ -78,6 +78,15 @@ impl Value {
         }
     }
 
+    /// The number parsed as `i64`, if this is a (possibly negative)
+    /// integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The number parsed as `f64` (accepting `NaN`/`inf`/`-inf`).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -40,6 +40,7 @@ mod config;
 pub mod energy;
 pub mod fault;
 mod gpu;
+pub mod json;
 mod kernel;
 pub mod mem;
 pub mod obs;
@@ -47,6 +48,7 @@ pub mod perfstat;
 mod prefetch;
 mod scheduler;
 mod sm;
+pub mod snapshot;
 mod stats;
 pub mod trace_io;
 mod types;
@@ -69,6 +71,7 @@ pub use prefetch::{
     PrefetcherEvent,
 };
 pub use sm::Sm;
+pub use snapshot::{Checkpoint, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use stats::{
     AccessOutcome, CacheStats, FaultStats, PrefetchStats, ReservationFailReason, SimStats,
 };

@@ -8,8 +8,10 @@
 
 use std::collections::VecDeque;
 
+use crate::json::Value;
 use crate::obs::{NocDir, SimEvent, TraceEvent};
 use crate::perfstat::{HostProfiler, Phase, Stopwatch};
+use crate::snapshot::{self, SnapshotError};
 use crate::types::{Cycle, LineAddr, SmId};
 
 /// A request travelling L1→L2.
@@ -87,6 +89,57 @@ impl<T> Channel<T> {
             }
         }
         None
+    }
+
+    /// Serializes the runtime channel state (budget and latency are
+    /// config-derived). Packets encode through `enc`, prefixed with
+    /// their ready cycle.
+    fn save_state(&self, enc: impl Fn(&T) -> Vec<Value>) -> Value {
+        let in_flight = self
+            .in_flight
+            .iter()
+            .map(|(ready, pkt)| {
+                let mut row = vec![Value::u64(ready.0)];
+                row.extend(enc(pkt));
+                Value::Arr(row)
+            })
+            .collect();
+        Value::Obj(vec![
+            ("effective_budget".into(), Value::u64(self.effective_budget)),
+            ("credit".into(), snapshot::i64_value(self.credit)),
+            ("in_flight".into(), Value::Arr(in_flight)),
+            ("total_bytes".into(), Value::u64(self.total_bytes)),
+            ("window_bytes".into(), Value::u64(self.window_bytes)),
+        ])
+    }
+
+    /// Restores from [`Channel::save_state`]; `dec` decodes the packet
+    /// fields that follow the ready cycle. Nothing is applied until the
+    /// whole in-flight queue decodes.
+    fn restore_state(
+        &mut self,
+        v: &Value,
+        dec: impl Fn(&[Value]) -> Option<T>,
+    ) -> Result<(), SnapshotError> {
+        let mut in_flight = VecDeque::new();
+        for entry in snapshot::arr_field(v, "in_flight")? {
+            let row = entry
+                .as_arr()
+                .ok_or_else(|| SnapshotError::malformed("in-flight packet"))?;
+            let ready = row
+                .first()
+                .and_then(Value::as_u64)
+                .ok_or_else(|| SnapshotError::malformed("in-flight ready cycle"))?;
+            let pkt =
+                dec(&row[1..]).ok_or_else(|| SnapshotError::malformed("in-flight packet body"))?;
+            in_flight.push_back((Cycle(ready), pkt));
+        }
+        self.effective_budget = snapshot::u64_field(v, "effective_budget")?;
+        self.credit = snapshot::i64_field(v, "credit")?;
+        self.in_flight = in_flight;
+        self.total_bytes = snapshot::u64_field(v, "total_bytes")?;
+        self.window_bytes = snapshot::u64_field(v, "window_bytes")?;
+        Ok(())
     }
 }
 
@@ -315,6 +368,73 @@ impl Interconnect {
         }
         let capacity = 2 * self.up.budget * self.cycles;
         (self.up.total_bytes + self.down.total_bytes) as f64 / capacity as f64
+    }
+
+    /// Serializes in-flight packets, credits, brownout scaling, and the
+    /// utilization window for a checkpoint. Budgets, latency, and the
+    /// window length are config-derived and not captured; trace and
+    /// profiling attachments are runtime-only (the trace buffer is
+    /// drained every cycle, so it is empty at a checkpoint boundary).
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "up".into(),
+                self.up.save_state(|p| {
+                    vec![
+                        Value::u64(u64::from(p.sm.0)),
+                        Value::u64(p.line.0),
+                        Value::Bool(p.is_store),
+                    ]
+                }),
+            ),
+            (
+                "down".into(),
+                self.down
+                    .save_state(|p| vec![Value::u64(u64::from(p.sm.0)), Value::u64(p.line.0)]),
+            ),
+            ("window_start".into(), Value::u64(self.window_start.0)),
+            (
+                "last_window_utilization".into(),
+                Value::f64(self.last_window_utilization),
+            ),
+            ("window_capacity".into(), Value::u64(self.window_capacity)),
+            ("cycles".into(), Value::u64(self.cycles)),
+        ])
+    }
+
+    /// Restores from [`save_state`](Interconnect::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or malformed field.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.up.restore_state(snapshot::field(v, "up")?, |row| {
+            if let [sm, line, is_store] = row {
+                Some(UpPacket {
+                    sm: SmId(sm.as_u32()?),
+                    line: LineAddr(line.as_u64()?),
+                    is_store: is_store.as_bool()?,
+                })
+            } else {
+                None
+            }
+        })?;
+        self.down
+            .restore_state(snapshot::field(v, "down")?, |row| {
+                if let [sm, line] = row {
+                    Some(DownPacket {
+                        sm: SmId(sm.as_u32()?),
+                        line: LineAddr(line.as_u64()?),
+                    })
+                } else {
+                    None
+                }
+            })?;
+        self.window_start = Cycle(snapshot::u64_field(v, "window_start")?);
+        self.last_window_utilization = snapshot::f64_field(v, "last_window_utilization")?;
+        self.window_capacity = snapshot::u64_field(v, "window_capacity")?;
+        self.cycles = snapshot::u64_field(v, "cycles")?;
+        Ok(())
     }
 }
 

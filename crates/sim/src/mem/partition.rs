@@ -11,10 +11,12 @@ use std::collections::{HashMap, VecDeque};
 use crate::cache::tag_array::{LineState, Side, TagArray};
 use crate::config::GpuConfig;
 use crate::fault::{FaultInjector, ResponseFault};
+use crate::json::Value;
 use crate::mem::interconnect::DownPacket;
 use crate::obs::{FaultKind, SimEvent, TraceEvent};
 use crate::perfstat::{HostProfiler, Phase, Stopwatch};
-use crate::stats::FaultStats;
+use crate::snapshot::{self, SnapshotError};
+use crate::stats::{persist_u64_fields, FaultStats};
 use crate::types::{Cycle, LineAddr, SmId};
 
 /// A read request pending in the partition.
@@ -36,6 +38,13 @@ pub struct PartitionStats {
     /// DRAM read transactions issued.
     pub dram_reads: u64,
 }
+
+persist_u64_fields!(PartitionStats {
+    l2_hits,
+    l2_misses,
+    stores,
+    dram_reads,
+});
 
 /// The L2 + DRAM memory partition.
 #[derive(Debug, Clone)]
@@ -355,6 +364,178 @@ impl MemoryPartition {
     /// Fault counters accumulated by this partition's injector.
     pub fn fault_stats(&self) -> FaultStats {
         self.injector.stats
+    }
+
+    /// Serializes the complete partition state for a checkpoint: the
+    /// L2 tag array, every queue and pipe, DRAM merge table (sorted by
+    /// line for order-independence of the backing `HashMap`), fault
+    /// injector, and counters. Latencies, bank count, and bandwidth are
+    /// config-derived; trace and profiling attachments are
+    /// runtime-only (the trace buffer is drained every cycle, so it is
+    /// empty at a checkpoint boundary).
+    pub fn save_state(&self) -> Value {
+        let read =
+            |r: &PendingRead| Value::Arr(vec![Value::u64(u64::from(r.sm.0)), Value::u64(r.line.0)]);
+        let pkt =
+            |p: &DownPacket| Value::Arr(vec![Value::u64(u64::from(p.sm.0)), Value::u64(p.line.0)]);
+        let timed_read = |(ready, r): &(Cycle, PendingRead)| {
+            Value::Arr(vec![
+                Value::u64(ready.0),
+                Value::u64(u64::from(r.sm.0)),
+                Value::u64(r.line.0),
+            ])
+        };
+        let timed_pkt = |(ready, p): &(Cycle, DownPacket)| {
+            Value::Arr(vec![
+                Value::u64(ready.0),
+                Value::u64(u64::from(p.sm.0)),
+                Value::u64(p.line.0),
+            ])
+        };
+        let mut merges: Vec<_> = self.dram_merges.iter().collect();
+        merges.sort_by_key(|(line, _)| line.0);
+        let merges = merges
+            .into_iter()
+            .map(|(line, sms)| {
+                Value::Arr(vec![
+                    Value::u64(line.0),
+                    Value::Arr(sms.iter().map(|s| Value::u64(u64::from(s.0))).collect()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("l2".into(), self.l2.save_state()),
+            ("dram_credit".into(), Value::u64(self.dram_credit)),
+            (
+                "incoming".into(),
+                Value::Arr(self.incoming.iter().map(read).collect()),
+            ),
+            (
+                "hit_pipe".into(),
+                Value::Arr(self.hit_pipe.iter().map(timed_pkt).collect()),
+            ),
+            (
+                "dram_queue".into(),
+                Value::Arr(self.dram_queue.iter().map(read).collect()),
+            ),
+            (
+                "dram_pipe".into(),
+                Value::Arr(self.dram_pipe.iter().map(timed_read).collect()),
+            ),
+            ("dram_merges".into(), Value::Arr(merges)),
+            (
+                "outbox".into(),
+                Value::Arr(self.outbox.iter().map(pkt).collect()),
+            ),
+            (
+                "delayed".into(),
+                Value::Arr(self.delayed.iter().map(timed_pkt).collect()),
+            ),
+            ("injector".into(), self.injector.save_state()),
+            ("events".into(), Value::u64(self.events)),
+            ("stats".into(), self.stats.save_state()),
+        ])
+    }
+
+    /// Restores from [`save_state`](MemoryPartition::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or malformed field;
+    /// queues are fully decoded before anything is applied.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        fn decode_read(row: &[Value]) -> Option<PendingRead> {
+            if let [sm, line] = row {
+                Some(PendingRead {
+                    sm: SmId(sm.as_u32()?),
+                    line: LineAddr(line.as_u64()?),
+                })
+            } else {
+                None
+            }
+        }
+        fn decode_pkt(row: &[Value]) -> Option<DownPacket> {
+            if let [sm, line] = row {
+                Some(DownPacket {
+                    sm: SmId(sm.as_u32()?),
+                    line: LineAddr(line.as_u64()?),
+                })
+            } else {
+                None
+            }
+        }
+        fn queue<T>(
+            v: &Value,
+            key: &str,
+            dec: impl Fn(&[Value]) -> Option<T>,
+        ) -> Result<VecDeque<T>, SnapshotError> {
+            snapshot::arr_field(v, key)?
+                .iter()
+                .map(|entry| {
+                    entry
+                        .as_arr()
+                        .and_then(&dec)
+                        .ok_or_else(|| SnapshotError::malformed(format!("partition {key} entry")))
+                })
+                .collect()
+        }
+        fn timed<T>(
+            v: &Value,
+            key: &str,
+            dec: impl Fn(&[Value]) -> Option<T>,
+        ) -> Result<VecDeque<(Cycle, T)>, SnapshotError> {
+            snapshot::arr_field(v, key)?
+                .iter()
+                .map(|entry| {
+                    entry
+                        .as_arr()
+                        .and_then(|row| {
+                            let ready = row.first()?.as_u64()?;
+                            Some((Cycle(ready), dec(&row[1..])?))
+                        })
+                        .ok_or_else(|| SnapshotError::malformed(format!("partition {key} entry")))
+                })
+                .collect()
+        }
+        let incoming = queue(v, "incoming", decode_read)?;
+        let hit_pipe = timed(v, "hit_pipe", decode_pkt)?;
+        let dram_queue = queue(v, "dram_queue", decode_read)?;
+        let dram_pipe = timed(v, "dram_pipe", decode_read)?;
+        let outbox = queue(v, "outbox", decode_pkt)?;
+        let delayed = timed(v, "delayed", decode_pkt)?;
+        let mut dram_merges = HashMap::new();
+        for entry in snapshot::arr_field(v, "dram_merges")? {
+            let (line, sms) = entry
+                .as_arr()
+                .and_then(|row| {
+                    if let [line, sms] = row {
+                        let sms = sms
+                            .as_arr()?
+                            .iter()
+                            .map(|s| s.as_u32().map(SmId))
+                            .collect::<Option<Vec<_>>>()?;
+                        Some((LineAddr(line.as_u64()?), sms))
+                    } else {
+                        None
+                    }
+                })
+                .ok_or_else(|| SnapshotError::malformed("partition dram_merges entry"))?;
+            dram_merges.insert(line, sms);
+        }
+        self.l2.restore_state(snapshot::field(v, "l2")?)?;
+        self.injector
+            .restore_state(snapshot::field(v, "injector")?)?;
+        self.stats.restore_state(snapshot::field(v, "stats")?)?;
+        self.dram_credit = snapshot::u64_field(v, "dram_credit")?;
+        self.events = snapshot::u64_field(v, "events")?;
+        self.incoming = incoming;
+        self.hit_pipe = hit_pipe;
+        self.dram_queue = dram_queue;
+        self.dram_pipe = dram_pipe;
+        self.dram_merges = dram_merges;
+        self.outbox = outbox;
+        self.delayed = delayed;
+        Ok(())
     }
 
     /// Snapshot of queue and pipe occupancy for deadlock reports.

@@ -8,6 +8,9 @@
 //! the hot path. Percentiles are bucket-resolution upper bounds, which
 //! is plenty for "did the fill beat the first use" questions.
 
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
+
 /// Number of power-of-two buckets in a [`LatencyHistogram`].
 ///
 /// Bucket 0 holds exactly the value 0; bucket `i` (for `0 < i < 15`)
@@ -145,6 +148,46 @@ impl LatencyHistogram {
     pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
         &self.buckets
     }
+
+    /// Serializes the histogram for a checkpoint.
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "buckets".into(),
+                Value::Arr(self.buckets.iter().map(|&b| Value::u64(b)).collect()),
+            ),
+            ("count".into(), Value::u64(self.count)),
+            ("sum".into(), Value::u64(self.sum)),
+            ("max".into(), Value::u64(self.max)),
+        ])
+    }
+
+    /// Restores the histogram from [`save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing field or a bucket
+    /// array of the wrong length.
+    ///
+    /// [`save_state`]: LatencyHistogram::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let buckets = snapshot::arr_field(v, "buckets")?;
+        if buckets.len() != HISTOGRAM_BUCKETS {
+            return Err(SnapshotError::malformed(format!(
+                "histogram has {} buckets, expected {HISTOGRAM_BUCKETS}",
+                buckets.len()
+            )));
+        }
+        for (slot, b) in self.buckets.iter_mut().zip(buckets) {
+            *slot = b
+                .as_u64()
+                .ok_or_else(|| SnapshotError::malformed("non-u64 histogram bucket"))?;
+        }
+        self.count = snapshot::u64_field(v, "count")?;
+        self.sum = snapshot::u64_field(v, "sum")?;
+        self.max = snapshot::u64_field(v, "max")?;
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for LatencyHistogram {
@@ -185,6 +228,33 @@ impl PrefetchLifecycle {
         self.issue_to_fill.merge(&other.issue_to_fill);
         self.fill_to_first_use.merge(&other.fill_to_first_use);
         self.lifetime_unused.merge(&other.lifetime_unused);
+    }
+
+    /// Serializes all three histograms for a checkpoint.
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            ("issue_to_fill".into(), self.issue_to_fill.save_state()),
+            (
+                "fill_to_first_use".into(),
+                self.fill_to_first_use.save_state(),
+            ),
+            ("lifetime_unused".into(), self.lifetime_unused.save_state()),
+        ])
+    }
+
+    /// Restores from [`save_state`](PrefetchLifecycle::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or malformed field.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.issue_to_fill
+            .restore_state(snapshot::field(v, "issue_to_fill")?)?;
+        self.fill_to_first_use
+            .restore_state(snapshot::field(v, "fill_to_first_use")?)?;
+        self.lifetime_unused
+            .restore_state(snapshot::field(v, "lifetime_unused")?)?;
+        Ok(())
     }
 }
 

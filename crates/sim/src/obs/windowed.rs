@@ -9,6 +9,8 @@
 //! ([`MetricsSeries::to_csv`]) or rendered as an ASCII timeline
 //! ([`MetricsSeries::ascii_timeline`]).
 
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
 use crate::types::Cycle;
 
 /// Cumulative device-wide counters snapshotted at a window boundary.
@@ -239,6 +241,101 @@ impl WindowedMetrics {
     /// Consumes the collector and returns the series.
     pub fn finish(self) -> MetricsSeries {
         self.series
+    }
+
+    /// Serializes the collected samples and differencing cursors for a
+    /// checkpoint. The sampling period itself is config-derived and not
+    /// captured; the restored collector must be built with the same
+    /// window (guaranteed by the checkpoint's config fingerprint).
+    pub fn save_state(&self) -> Value {
+        let samples = self
+            .series
+            .samples
+            .iter()
+            .map(|s| {
+                Value::Arr(vec![
+                    Value::u64(s.cycle),
+                    Value::f64(s.ipc),
+                    Value::f64(s.l1_hit_rate),
+                    Value::f64(s.mshr_occupancy),
+                    Value::f64(s.miss_queue_occupancy),
+                    Value::f64(s.noc_utilization),
+                    Value::u64(s.active_warps as u64),
+                    Value::u64(s.throttled_sms as u64),
+                    Value::u64(u64::from(s.chain_depth)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("samples".into(), Value::Arr(samples)),
+            (
+                "stop".into(),
+                match &self.series.stop {
+                    Some(s) => Value::str(s.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("last_cycle".into(), Value::u64(self.last_cycle)),
+            (
+                "last_instructions".into(),
+                Value::u64(self.last_instructions),
+            ),
+            ("last_l1_hits".into(), Value::u64(self.last_l1_hits)),
+            ("last_l1_accesses".into(), Value::u64(self.last_l1_accesses)),
+        ])
+    }
+
+    /// Restores from [`save_state`](WindowedMetrics::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or malformed field;
+    /// nothing is applied until the whole sample array decodes.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let mut samples = Vec::new();
+        for (i, entry) in snapshot::arr_field(v, "samples")?.iter().enumerate() {
+            let row = entry
+                .as_arr()
+                .filter(|r| r.len() == 9)
+                .ok_or_else(|| SnapshotError::malformed(format!("metrics sample {i}")))?;
+            let u = |j: usize| {
+                row[j]
+                    .as_u64()
+                    .ok_or_else(|| SnapshotError::malformed(format!("metrics sample {i} col {j}")))
+            };
+            let f = |j: usize| {
+                row[j]
+                    .as_f64()
+                    .ok_or_else(|| SnapshotError::malformed(format!("metrics sample {i} col {j}")))
+            };
+            samples.push(MetricsSample {
+                cycle: u(0)?,
+                ipc: f(1)?,
+                l1_hit_rate: f(2)?,
+                mshr_occupancy: f(3)?,
+                miss_queue_occupancy: f(4)?,
+                noc_utilization: f(5)?,
+                active_warps: u(6)? as usize,
+                throttled_sms: u(7)? as usize,
+                chain_depth: u(8)? as u32,
+            });
+        }
+        let stop = match snapshot::field(v, "stop")? {
+            Value::Null => None,
+            other => Some(
+                other
+                    .as_str()
+                    .ok_or_else(|| SnapshotError::malformed("metrics stop label"))?
+                    .to_string(),
+            ),
+        };
+        self.series.samples = samples;
+        self.series.stop = stop;
+        self.last_cycle = snapshot::u64_field(v, "last_cycle")?;
+        self.last_instructions = snapshot::u64_field(v, "last_instructions")?;
+        self.last_l1_hits = snapshot::u64_field(v, "last_l1_hits")?;
+        self.last_l1_accesses = snapshot::u64_field(v, "last_l1_accesses")?;
+        Ok(())
     }
 }
 

@@ -8,8 +8,10 @@
 //! `snake-core` crate; the simulator itself only ships
 //! [`NullPrefetcher`].
 
+use crate::json::Value;
 use crate::kernel::KernelTrace;
 use crate::obs::WalkStop;
+use crate::snapshot::SnapshotError;
 use crate::stats::AccessOutcome;
 use crate::types::{Address, CtaId, Cycle, Pc, SmId, WarpId};
 
@@ -191,6 +193,34 @@ pub trait Prefetcher {
     /// is a no-op for mechanisms without telemetry.
     fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
         let _ = out;
+    }
+
+    /// Serializes the mechanism's mutable state for a checkpoint. A
+    /// stateless mechanism returns [`Value::Null`] (the default); a
+    /// stateful one must capture everything its decisions depend on,
+    /// or a restored run will diverge from an uninterrupted one.
+    fn save_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restores state captured by
+    /// [`save_state`](Prefetcher::save_state). The default accepts
+    /// only [`Value::Null`], so a mechanism that gains state without
+    /// implementing the pair fails loudly instead of resuming wrong.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on an encoding the mechanism does
+    /// not recognize.
+    fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        if matches!(v, Value::Null) {
+            Ok(())
+        } else {
+            Err(SnapshotError::malformed(format!(
+                "prefetcher {:?} has no state to restore",
+                self.name()
+            )))
+        }
     }
 }
 

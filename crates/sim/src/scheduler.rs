@@ -7,6 +7,8 @@
 //! warp-id/base-address columns (§3.1, §5.5).
 
 use crate::config::SchedulerPolicy;
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
 use crate::warp::WarpSlot;
 
 /// Per-scheduler pick state.
@@ -89,6 +91,27 @@ impl Scheduler {
         if self.current == Some(slot) {
             self.current = None;
         }
+    }
+
+    /// Serializes the pick state for a checkpoint (the policy is
+    /// config-derived and not captured).
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![(
+            "current".into(),
+            snapshot::opt_u64_value(self.current.map(|c| c as u64)),
+        )])
+    }
+
+    /// Restores the pick state from [`save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or mistyped field.
+    ///
+    /// [`save_state`]: Scheduler::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.current = snapshot::opt_u64_field(v, "current")?.map(|c| c as usize);
+        Ok(())
     }
 }
 

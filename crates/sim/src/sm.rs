@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use crate::cache::unified_l1::{L1Mode, OutgoingRequest, PrefetchIssue, UnifiedL1};
 use crate::config::GpuConfig;
+use crate::json::Value;
 use crate::kernel::{Instr, KernelTrace};
 use crate::obs::{SimEvent, TraceEvent};
 use crate::perfstat::{HostProfiler, Phase, Stopwatch};
@@ -12,6 +13,7 @@ use crate::prefetch::{
     AccessEvent, PrefetchContext, PrefetchPlacement, PrefetchRequest, Prefetcher, PrefetcherEvent,
 };
 use crate::scheduler::Scheduler;
+use crate::snapshot::{self, SnapshotError};
 use crate::stats::{AccessOutcome, SimStats};
 use crate::types::{CtaId, Cycle, SmId, WarpId};
 use crate::warp::{WarpSlot, WarpState};
@@ -575,6 +577,115 @@ impl Sm {
             queued_ctas: self.cta_queue.len(),
             warps,
         }
+    }
+
+    /// Serializes the complete SM state for a checkpoint: every warp
+    /// slot, scheduler cursors, the unified L1, the prefetcher's own
+    /// state, the CTA launch queue, and counters. Config-derived
+    /// fields (latencies, capacities) are not captured; trace and
+    /// profiling attachments are runtime-only (event buffers are
+    /// drained every cycle, so they are empty at a checkpoint
+    /// boundary), and `scratch`/`pf_events` never hold data across
+    /// cycles.
+    pub fn save_state(&self) -> Value {
+        let slots = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Some(slot) => slot.save_state(),
+                None => Value::Null,
+            })
+            .collect();
+        let cta_queue = self
+            .cta_queue
+            .iter()
+            .map(|c| {
+                Value::Arr(vec![
+                    Value::u64(u64::from(c.cta.0)),
+                    Value::Arr(c.warps.iter().map(|&w| Value::u64(w as u64)).collect()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("slots".into(), Value::Arr(slots)),
+            (
+                "schedulers".into(),
+                Value::Arr(self.schedulers.iter().map(Scheduler::save_state).collect()),
+            ),
+            ("l1".into(), self.l1.save_state()),
+            ("prefetcher".into(), self.prefetcher.save_state()),
+            ("cta_queue".into(), Value::Arr(cta_queue)),
+            ("launch_seq".into(), Value::u64(self.launch_seq)),
+            ("stats".into(), self.stats.save_state()),
+            ("prev_throttled".into(), Value::Bool(self.prev_throttled)),
+        ])
+    }
+
+    /// Restores from [`save_state`](Sm::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or malformed field,
+    /// or when the slot/scheduler counts do not match this SM's
+    /// configuration (the checkpoint belongs to a different config).
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        let slot_entries = snapshot::arr_field(v, "slots")?;
+        if slot_entries.len() != self.slots.len() {
+            return Err(SnapshotError::malformed(format!(
+                "checkpoint has {} warp slots, SM has {}",
+                slot_entries.len(),
+                self.slots.len()
+            )));
+        }
+        let mut slots = Vec::with_capacity(slot_entries.len());
+        for entry in slot_entries {
+            slots.push(match entry {
+                Value::Null => None,
+                other => Some(WarpSlot::from_state(other)?),
+            });
+        }
+        let sched_entries = snapshot::arr_field(v, "schedulers")?;
+        if sched_entries.len() != self.schedulers.len() {
+            return Err(SnapshotError::malformed(format!(
+                "checkpoint has {} schedulers, SM has {}",
+                sched_entries.len(),
+                self.schedulers.len()
+            )));
+        }
+        let mut cta_queue = VecDeque::new();
+        for entry in snapshot::arr_field(v, "cta_queue")? {
+            let pending = entry
+                .as_arr()
+                .and_then(|row| {
+                    if let [cta, warps] = row {
+                        let warps = warps
+                            .as_arr()?
+                            .iter()
+                            .map(|w| w.as_u64().map(|w| w as usize))
+                            .collect::<Option<Vec<_>>>()?;
+                        Some(PendingCta {
+                            cta: CtaId(cta.as_u32()?),
+                            warps,
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .ok_or_else(|| SnapshotError::malformed("SM cta_queue entry"))?;
+            cta_queue.push_back(pending);
+        }
+        for (sched, entry) in self.schedulers.iter_mut().zip(sched_entries) {
+            sched.restore_state(entry)?;
+        }
+        self.l1.restore_state(snapshot::field(v, "l1")?)?;
+        self.prefetcher
+            .restore_state(snapshot::field(v, "prefetcher")?)?;
+        self.stats.restore_state(snapshot::field(v, "stats")?)?;
+        self.slots = slots;
+        self.cta_queue = cta_queue;
+        self.launch_seq = snapshot::u64_field(v, "launch_seq")?;
+        self.prev_throttled = snapshot::bool_field(v, "prev_throttled")?;
+        Ok(())
     }
 
     /// Frees retired warps (trace exhausted, nothing outstanding).

@@ -6,6 +6,69 @@
 //! (Figs 16/17), IPC (Fig 18), energy events (Fig 19), and L1 hit
 //! rates (Fig 25).
 
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
+
+/// Generates `save_state`/`restore_state` for a struct of plain `u64`
+/// counters — the checkpoint encoding of every stats block.
+macro_rules! persist_u64_fields {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $ty {
+            /// Serializes every counter for a checkpoint.
+            pub fn save_state(&self) -> Value {
+                Value::Obj(vec![
+                    $((stringify!($field).into(), Value::u64(self.$field)),)+
+                ])
+            }
+
+            /// Restores every counter from `save_state`'s encoding.
+            ///
+            /// # Errors
+            ///
+            /// [`SnapshotError::Malformed`] on a missing or mistyped
+            /// field.
+            pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+                $(self.$field = snapshot::u64_field(v, stringify!($field))?;)+
+                Ok(())
+            }
+        }
+    };
+}
+pub(crate) use persist_u64_fields;
+
+persist_u64_fields!(CacheStats {
+    hits,
+    hits_on_prefetch,
+    hits_reserved,
+    merges_with_prefetch,
+    misses,
+    fail_mshr,
+    fail_miss_queue,
+    fail_no_way,
+    evictions,
+});
+
+persist_u64_fields!(PrefetchStats {
+    requested,
+    issued,
+    redundant,
+    rejected,
+    fills,
+    useful,
+    late,
+    evicted_unused,
+    throttled_cycles,
+});
+
+persist_u64_fields!(FaultStats {
+    dropped_responses,
+    duplicated_responses,
+    delayed_responses,
+    reissued_requests,
+    spurious_fills,
+    brownout_cycles,
+});
+
 /// Outcome of a single L1 access attempt.
 ///
 /// Mirrors the paper's four L1 statuses (§2 footnote): *hit*, *miss*,
@@ -295,6 +358,54 @@ impl SimStats {
     }
 }
 
+impl SimStats {
+    /// Serializes every counter (including the nested cache, prefetch,
+    /// and fault blocks) for a checkpoint.
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![
+            ("cycles".into(), Value::u64(self.cycles)),
+            ("instructions".into(), Value::u64(self.instructions)),
+            ("demand_loads".into(), Value::u64(self.demand_loads)),
+            ("stores".into(), Value::u64(self.stores)),
+            (
+                "all_stall_mem_cycles".into(),
+                Value::u64(self.all_stall_mem_cycles),
+            ),
+            ("all_stall_cycles".into(), Value::u64(self.all_stall_cycles)),
+            ("l1".into(), self.l1.save_state()),
+            ("l2_hits".into(), Value::u64(self.l2_hits)),
+            ("l2_misses".into(), Value::u64(self.l2_misses)),
+            ("noc_bytes_up".into(), Value::u64(self.noc_bytes_up)),
+            ("noc_bytes_down".into(), Value::u64(self.noc_bytes_down)),
+            ("prefetch".into(), self.prefetch.save_state()),
+            ("fault".into(), self.fault.save_state()),
+        ])
+    }
+
+    /// Restores from [`save_state`](SimStats::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or mistyped field.
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.cycles = snapshot::u64_field(v, "cycles")?;
+        self.instructions = snapshot::u64_field(v, "instructions")?;
+        self.demand_loads = snapshot::u64_field(v, "demand_loads")?;
+        self.stores = snapshot::u64_field(v, "stores")?;
+        self.all_stall_mem_cycles = snapshot::u64_field(v, "all_stall_mem_cycles")?;
+        self.all_stall_cycles = snapshot::u64_field(v, "all_stall_cycles")?;
+        self.l1.restore_state(snapshot::field(v, "l1")?)?;
+        self.l2_hits = snapshot::u64_field(v, "l2_hits")?;
+        self.l2_misses = snapshot::u64_field(v, "l2_misses")?;
+        self.noc_bytes_up = snapshot::u64_field(v, "noc_bytes_up")?;
+        self.noc_bytes_down = snapshot::u64_field(v, "noc_bytes_down")?;
+        self.prefetch
+            .restore_state(snapshot::field(v, "prefetch")?)?;
+        self.fault.restore_state(snapshot::field(v, "fault")?)?;
+        Ok(())
+    }
+}
+
 pub(crate) fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -385,6 +496,23 @@ mod tests {
         assert_serde::<SimStats>();
         assert_serde::<crate::config::GpuConfig>();
         assert_serde::<crate::energy::EnergyModel>();
+    }
+
+    #[test]
+    fn stats_state_round_trips_bit_exactly() {
+        let c = CacheStats {
+            hits: 1,
+            misses: u64::MAX - 3,
+            fail_no_way: 7,
+            ..Default::default()
+        };
+        let text = c.save_state().to_string();
+        let mut back = CacheStats::default();
+        back.restore_state(&crate::json::parse(&text).unwrap())
+            .unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.save_state().to_string(), text);
+        assert!(back.restore_state(&Value::Obj(vec![])).is_err());
     }
 
     #[test]

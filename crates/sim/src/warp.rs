@@ -6,6 +6,8 @@
 //! latency hiding, exactly the mechanism whose breakdown (the memory
 //! wall) the paper quantifies in Figs 3–5.
 
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
 use crate::types::{Address, CtaId, Cycle, Pc};
 
 /// Execution state of a warp slot.
@@ -111,6 +113,67 @@ impl WarpSlot {
         } else {
             self.state = WarpState::Busy(now.plus(u64::from(hit_latency)));
         }
+    }
+
+    /// Serializes the complete slot for a checkpoint.
+    pub fn save_state(&self) -> Value {
+        let state = match self.state {
+            WarpState::Ready => Value::Null,
+            WarpState::Busy(until) => Value::u64(until.0),
+            WarpState::Waiting => Value::Bool(true),
+        };
+        Value::Obj(vec![
+            ("cta".into(), Value::u64(u64::from(self.cta.0))),
+            ("trace_idx".into(), Value::u64(self.trace_idx as u64)),
+            ("launch_seq".into(), Value::u64(self.launch_seq)),
+            ("next".into(), Value::u64(self.next as u64)),
+            ("state".into(), state),
+            (
+                "pending".into(),
+                Value::Arr(self.pending.iter().map(|a| Value::u64(a.0)).collect()),
+            ),
+            ("cur_pc".into(), Value::u64(u64::from(self.cur_pc.0))),
+            ("cur_is_load".into(), Value::Bool(self.cur_is_load)),
+            ("cur_coalesced".into(), Value::Bool(self.cur_coalesced)),
+            (
+                "outstanding".into(),
+                Value::u64(u64::from(self.outstanding)),
+            ),
+        ])
+    }
+
+    /// Rebuilds a slot from [`save_state`](WarpSlot::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or malformed field.
+    pub fn from_state(v: &Value) -> Result<WarpSlot, SnapshotError> {
+        let state = match snapshot::field(v, "state")? {
+            Value::Null => WarpState::Ready,
+            Value::Bool(true) => WarpState::Waiting,
+            other => WarpState::Busy(Cycle(
+                other
+                    .as_u64()
+                    .ok_or_else(|| SnapshotError::malformed("warp state"))?,
+            )),
+        };
+        let pending = snapshot::arr_field(v, "pending")?
+            .iter()
+            .map(|a| a.as_u64().map(Address))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| SnapshotError::malformed("warp pending address"))?;
+        Ok(WarpSlot {
+            cta: CtaId(snapshot::u32_field(v, "cta")?),
+            trace_idx: snapshot::usize_field(v, "trace_idx")?,
+            launch_seq: snapshot::u64_field(v, "launch_seq")?,
+            next: snapshot::usize_field(v, "next")?,
+            state,
+            pending,
+            cur_pc: Pc(snapshot::u32_field(v, "cur_pc")?),
+            cur_is_load: snapshot::bool_field(v, "cur_is_load")?,
+            cur_coalesced: snapshot::bool_field(v, "cur_coalesced")?,
+            outstanding: snapshot::u32_field(v, "outstanding")?,
+        })
     }
 }
 

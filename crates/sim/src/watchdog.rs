@@ -13,6 +13,8 @@
 //! [`DeadlockReport`]: who is blocked, on what, and where every
 //! in-flight request was parked.
 
+use crate::json::Value;
+use crate::snapshot::{self, SnapshotError};
 use crate::types::{CtaId, Cycle, SmId};
 
 pub use crate::mem::partition::PartitionCensus;
@@ -52,6 +54,27 @@ impl Watchdog {
     /// Cycles since the last observed progress.
     pub fn stalled_for(&self, now: Cycle) -> u64 {
         now.since(self.last_progress)
+    }
+
+    /// Serializes the progress counter for a checkpoint (the
+    /// threshold is config-derived and not captured).
+    pub fn save_state(&self) -> Value {
+        Value::Obj(vec![(
+            "last_progress".into(),
+            Value::u64(self.last_progress.0),
+        )])
+    }
+
+    /// Restores the progress counter from [`save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a missing or mistyped field.
+    ///
+    /// [`save_state`]: Watchdog::save_state
+    pub fn restore_state(&mut self, v: &Value) -> Result<(), SnapshotError> {
+        self.last_progress = Cycle(snapshot::u64_field(v, "last_progress")?);
+        Ok(())
     }
 }
 

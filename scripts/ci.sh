@@ -59,6 +59,61 @@ if ! cmp -s "$SWEEP_DIR/full.md" "$SWEEP_DIR/resumed.md"; then
     exit 1
 fi
 
+echo "==> kill-anywhere smoke (checkpoint mid-run, restore, byte-identical outcome)"
+# Kill a memory-bound benchmark at a pseudo-random cycle, restore from
+# the checkpoint in a fresh process, and require the restored run's
+# SimOutcome artifact to be byte-identical to the uninterrupted one.
+# The kill cycle is derived from the PID and echoed so a failure is
+# reproducible; a mismatched restore must use the distinct exit code 6.
+KILL_CYCLE=$((500 + $$ % 2000))
+echo "    kill cycle: $KILL_CYCLE (reproduce with --checkpoint-at $KILL_CYCLE)"
+./target/release/pfdebug lib snake \
+    --outcome-out "$SWEEP_DIR/uninterrupted.outcome"
+./target/release/pfdebug lib snake --checkpoint-at "$KILL_CYCLE" \
+    --checkpoint-out "$SWEEP_DIR/kill.ckpt" --outcome-out /dev/null
+./target/release/pfdebug lib snake --restore "$SWEEP_DIR/kill.ckpt" \
+    --outcome-out "$SWEEP_DIR/restored.outcome"
+if ! cmp -s "$SWEEP_DIR/uninterrupted.outcome" "$SWEEP_DIR/restored.outcome"; then
+    echo "kill-anywhere smoke: restored outcome differs from the uninterrupted run" >&2
+    ./target/release/pfdebug lib snake --checkpoint-at $((KILL_CYCLE + 32)) \
+        --checkpoint-out "$SWEEP_DIR/kill2.ckpt" --outcome-out /dev/null
+    ./target/release/pfdebug lib snake --diverge "$SWEEP_DIR/kill.ckpt" "$SWEEP_DIR/kill2.ckpt" >&2 || true
+    exit 1
+fi
+rc=0
+./target/release/pfdebug lib mta --restore "$SWEEP_DIR/kill.ckpt" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 6 ]; then
+    echo "kill-anywhere smoke: mismatched restore must exit 6, got $rc" >&2
+    exit 1
+fi
+# Note: checkpointing-off overhead is covered by the trace-overhead
+# guard above (the no-cadence path is exactly Gpu::run) and by the
+# checkpointing_off_is_exactly_run test in crates/bench.
+
+echo "==> suspend-resume smoke (supervisor: deadline preemption, no quarantine)"
+# A sweep whose jobs all hit the suspend trigger must exit 4 with the
+# per-job checkpoints durable next to the manifest; resuming restores
+# them mid-simulation and renders byte-identically to an uninterrupted
+# sweep, with nothing quarantined.
+SUS_FLAGS=(--sweep --quick --benchmarks LIB --mechanisms snake,mta)
+./target/release/repro "${SUS_FLAGS[@]}" \
+    --manifest "$SWEEP_DIR/sus-full.jsonl" --out "$SWEEP_DIR/sus-full.md"
+rc=0
+./target/release/repro "${SUS_FLAGS[@]}" --suspend-after 300 \
+    --manifest "$SWEEP_DIR/sus.jsonl" --out "$SWEEP_DIR/sus-part.md" || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "suspend-resume smoke: suspended sweep must exit 4, got $rc" >&2
+    exit 1
+fi
+ls "$SWEEP_DIR"/sus.jsonl.*.ckpt >/dev/null
+./target/release/repro "${SUS_FLAGS[@]}" \
+    --resume "$SWEEP_DIR/sus.jsonl" --out "$SWEEP_DIR/sus-resumed.md"
+if ! cmp -s "$SWEEP_DIR/sus-full.md" "$SWEEP_DIR/sus-resumed.md"; then
+    echo "suspend-resume smoke: resumed report differs from the uninterrupted run" >&2
+    diff "$SWEEP_DIR/sus-full.md" "$SWEEP_DIR/sus-resumed.md" >&2 || true
+    exit 1
+fi
+
 echo "==> perf smoke (host observatory: emit, self-compare, injected regression)"
 # The perf gate must: emit a parseable BENCH_ci.json, pass a
 # same-binary re-run compare, and trip (exit 5) on an artificially
