@@ -39,7 +39,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --suspend-after N   checkpoint and requeue any job reaching cycle N (exit 4; resume restores)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
+        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --suspend-after N   checkpoint and requeue any job reaching cycle N (exit 4; resume restores)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\n  --progress          repaint a live progress line on stderr (done/total, retries, quarantines, elapsed)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
         perfstat::EXIT_PERF_REGRESSION,
         EXPERIMENTS.join(" ")
     )
@@ -68,6 +68,7 @@ fn run() -> Result<i32, CliError> {
     let mut stop_after: Option<usize> = None;
     let mut suspend_after: Option<u64> = None;
     let mut chaos = false;
+    let mut progress = false;
     let mut benches: Option<Vec<Benchmark>> = None;
     let mut kinds: Option<Vec<PrefetcherKind>> = None;
     let mut perf = false;
@@ -88,6 +89,7 @@ fn run() -> Result<i32, CliError> {
             "--list" => list = true,
             "--sweep" => sweep = true,
             "--chaos" => chaos = true,
+            "--progress" => progress = true,
             "--perf" => perf = true,
             "--profile" => profile = true,
             "--label" => {
@@ -230,10 +232,16 @@ fn run() -> Result<i32, CliError> {
             stop_after,
             suspend_after,
             chaos,
+            progress,
             benches,
             kinds,
         };
         return run_sweep(opts);
+    }
+    if progress {
+        return Err(CliError::Usage(
+            "--progress is a sweep flag; pass it with --sweep or --resume".into(),
+        ));
     }
     if !all && wanted.is_empty() && metrics_csv.is_none() {
         return Err(CliError::Usage(
@@ -301,8 +309,53 @@ struct SweepOpts {
     stop_after: Option<usize>,
     suspend_after: Option<u64>,
     chaos: bool,
+    progress: bool,
     benches: Option<Vec<Benchmark>>,
     kinds: Option<Vec<PrefetcherKind>>,
+}
+
+/// The `--progress` stderr repainter: a thread that rerenders the
+/// sweep counter line (`sweep 3/8 done, 1 quarantined, ...`) every
+/// 200 ms over itself with a carriage return. Stdout — the rendered
+/// tables — is untouched, so piped output stays byte-stable.
+struct ProgressReporter {
+    counters: std::sync::Arc<supervise::Progress>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    painter: std::thread::JoinHandle<()>,
+}
+
+impl ProgressReporter {
+    fn start() -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let counters = Arc::new(supervise::Progress::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let painter = {
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let started = std::time::Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    eprint!("\r{}\x1b[K", counters.snapshot().render(started.elapsed()));
+                    let _ = std::io::stderr().flush();
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                // One final repaint so the finished counts are what
+                // remains on screen, then move off the line.
+                eprintln!("\r{}\x1b[K", counters.snapshot().render(started.elapsed()));
+            })
+        };
+        ProgressReporter {
+            counters,
+            stop,
+            painter,
+        }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.painter.join();
+    }
 }
 
 /// The canned `--chaos` fault plan: dropped/duplicated/delayed fill
@@ -348,13 +401,24 @@ fn run_sweep(opts: SweepOpts) -> Result<i32, CliError> {
     cfg.wall_deadline = opts.deadline_ms.map(Duration::from_millis);
     cfg.stop_after = opts.stop_after;
     cfg.suspend_after = opts.suspend_after;
+    // The live progress line is off by default so sweep output stays
+    // byte-stable; with --progress the repaints go to stderr only and
+    // the same counter block feeds the snaked daemon's tail stream.
+    let reporter = opts.progress.then(ProgressReporter::start);
+    if let Some(r) = &reporter {
+        cfg.progress = Some(std::sync::Arc::clone(&r.counters));
+    }
     let (manifest_path, resume) = match (&opts.manifest, &opts.resume) {
         (_, Some(path)) => (Some(Path::new(path)), true),
         (Some(path), None) => (Some(Path::new(path)), false),
         (None, None) => (None, false),
     };
-    let result = supervise::run_campaign(&h, &jobs, &cfg, manifest_path, resume)
-        .map_err(sweep_error_to_cli)?;
+    let result =
+        supervise::run_campaign(&h, &jobs, &cfg, manifest_path, resume).map_err(sweep_error_to_cli);
+    if let Some(r) = reporter {
+        r.finish();
+    }
+    let result = result?;
     let rendered = result.render(opts.markdown);
     match &opts.out_file {
         Some(path) => {

@@ -1,0 +1,200 @@
+//! `snakectl` — client for the `snaked` telemetry daemon.
+//!
+//! * `submit` queues a sweep and prints its job id.
+//! * `status [ID]` prints the daemon's job registry (JSON, one line).
+//! * `tail ID` follows a job live: one line per metrics window (IPC,
+//!   L1 hit rate, MSHR occupancy, chain depth, throttle state), a
+//!   sweep progress line whenever the counters change, and a final
+//!   `done` line; the process exits with the job's exit code (7 when
+//!   the job was cancelled).
+//! * `cancel ID` cancels a queued or running job.
+//! * `shutdown` stops the daemon (cancelling everything live).
+
+use std::path::PathBuf;
+
+use snake_bench::cli::{fail, CliError};
+use snake_bench::serve::client;
+use snake_bench::serve::{Request, SubmitSpec};
+use snake_core::json::Value;
+
+const USAGE: &str = "usage: snakectl [--socket PATH] COMMAND
+commands:
+  submit [--benchmarks LIST] [--mechanisms LIST] [--quick]
+         [--budget CYCLES] [--window CYCLES] [--events] [--priority N]
+                 queue a sweep; prints the job id
+  status [ID]    print job states as JSON
+  tail ID        follow a job's live telemetry; exits with its code
+  cancel ID      cancel a queued or running job
+  shutdown       stop the daemon
+  --socket PATH  daemon socket (default ./snaked.sock)";
+
+struct Cli {
+    socket: PathBuf,
+    request: Request,
+}
+
+fn operand(
+    args: &mut impl Iterator<Item = String>,
+    what: &'static str,
+) -> Result<String, CliError> {
+    args.next().ok_or(CliError::BadArg {
+        what,
+        why: "missing operand".into(),
+    })
+}
+
+fn parse_u64(raw: &str, what: &'static str) -> Result<u64, CliError> {
+    raw.parse().map_err(|_| CliError::BadArg {
+        what,
+        why: format!("not a non-negative integer: {raw:?}"),
+    })
+}
+
+fn parse_args() -> Result<Cli, CliError> {
+    let mut socket = PathBuf::from("snaked.sock");
+    let mut args = std::env::args().skip(1).peekable();
+    while args.peek().map(String::as_str) == Some("--socket") {
+        args.next();
+        socket = PathBuf::from(operand(&mut args, "--socket")?);
+    }
+    let command = operand(&mut args, "command")?;
+    let request = match command.as_str() {
+        "submit" => {
+            let mut spec = SubmitSpec::default();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--benchmarks" => spec.benchmarks = Some(operand(&mut args, "--benchmarks")?),
+                    "--mechanisms" => spec.mechanisms = Some(operand(&mut args, "--mechanisms")?),
+                    "--quick" => spec.quick = true,
+                    "--events" => spec.events = true,
+                    "--budget" => {
+                        spec.budget =
+                            Some(parse_u64(&operand(&mut args, "--budget")?, "--budget")?);
+                    }
+                    "--window" => {
+                        spec.window =
+                            Some(parse_u64(&operand(&mut args, "--window")?, "--window")?);
+                    }
+                    "--priority" => {
+                        spec.priority =
+                            parse_u64(&operand(&mut args, "--priority")?, "--priority")?;
+                    }
+                    other => return Err(CliError::Usage(format!("unknown argument {other:?}"))),
+                }
+            }
+            Request::Submit(spec)
+        }
+        "status" => Request::Status {
+            id: args
+                .next()
+                .map(|raw| parse_u64(&raw, "job id"))
+                .transpose()?,
+        },
+        "tail" => Request::Tail {
+            id: parse_u64(&operand(&mut args, "job id")?, "job id")?,
+        },
+        "cancel" => Request::Cancel {
+            id: parse_u64(&operand(&mut args, "job id")?, "job id")?,
+        },
+        "shutdown" => Request::Shutdown,
+        other => return Err(CliError::Usage(format!("unknown command {other:?}"))),
+    };
+    Ok(Cli { socket, request })
+}
+
+/// Renders one tail stream object as a human-readable line.
+fn render(v: &Value) -> Option<String> {
+    let kind = v.get("type").and_then(Value::as_str)?;
+    let s = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+    let n = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    match kind {
+        "stream" => Some(format!("stream {} from seq {}", s("job"), n("from"))),
+        "window" => Some(format!(
+            "window {} cycle={} ipc={:.3} l1={:.1}% mshr={:.1}% chain={} \
+             throttled={} warps={} dropped={}",
+            s("job"),
+            n("cycle"),
+            f("ipc"),
+            f("l1_hit_rate") * 100.0,
+            f("mshr_occupancy") * 100.0,
+            n("chain_depth"),
+            n("throttled_sms"),
+            n("active_warps"),
+            n("dropped"),
+        )),
+        "event" => Some(format!(
+            "event {} cycle={} {}",
+            s("job"),
+            n("cycle"),
+            s("name")
+        )),
+        "progress" => Some(format!(
+            "progress {}/{} done, {} quarantined, {} remaining, {} retries",
+            n("done"),
+            n("total"),
+            n("quarantined"),
+            n("remaining"),
+            n("retries"),
+        )),
+        "done" => Some(format!(
+            "done state={} exit={} delivered={} dropped={}",
+            s("state"),
+            n("exit"),
+            n("delivered"),
+            n("dropped"),
+        )),
+        _ => None,
+    }
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => fail("snakectl", &e, USAGE),
+    };
+    let io_fail = |e: std::io::Error| -> ! {
+        fail(
+            "snakectl",
+            &CliError::io(cli.socket.display().to_string(), e),
+            USAGE,
+        )
+    };
+    match &cli.request {
+        Request::Tail { id } => {
+            let end = client::tail(&cli.socket, *id, |line| {
+                if let Some(text) = render(line) {
+                    println!("{text}");
+                }
+            })
+            .unwrap_or_else(|e| io_fail(e));
+            std::process::exit(end.exit);
+        }
+        req => {
+            let response = client::request(&cli.socket, req).unwrap_or_else(|e| io_fail(e));
+            match req {
+                Request::Submit(_) => {
+                    // Just the id, so scripts can capture it.
+                    println!(
+                        "{}",
+                        response.get("id").and_then(Value::as_u64).unwrap_or(0)
+                    );
+                }
+                Request::Status { .. } => {
+                    let body = response
+                        .get("jobs")
+                        .or_else(|| response.get("job"))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    println!("{body}");
+                }
+                Request::Cancel { id } => {
+                    let state = response.get("state").and_then(Value::as_str).unwrap_or("?");
+                    println!("job {id}: {state}");
+                }
+                Request::Shutdown => println!("daemon shutting down"),
+                Request::Tail { .. } => unreachable!("handled above"),
+            }
+        }
+    }
+}

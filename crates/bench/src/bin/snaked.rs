@@ -1,0 +1,59 @@
+//! `snaked` — the telemetry daemon: listens on a Unix-domain socket
+//! for simulate/sweep jobs (`snakectl submit`), runs them through the
+//! sweep supervisor in priority order, and streams live window rows
+//! and trace events to `snakectl tail` subscribers.
+//!
+//! The process runs in the foreground until a `shutdown` request; run
+//! it under a job control tool (or `&` in scripts) for background use.
+
+use std::path::PathBuf;
+
+use snake_bench::cli::{fail, CliError};
+use snake_bench::serve::{serve, DaemonOptions};
+
+const USAGE: &str = "usage: snaked [--socket PATH] [--state PATH]
+  --socket PATH  Unix socket to listen on (default ./snaked.sock)
+  --state PATH   append a JSONL job journal (submitted/terminal lines)";
+
+fn parse_args() -> Result<DaemonOptions, CliError> {
+    let mut opts = DaemonOptions {
+        socket: PathBuf::from("snaked.sock"),
+        state_log: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut operand = |what: &'static str| {
+            args.next().ok_or(CliError::BadArg {
+                what,
+                why: "missing operand".into(),
+            })
+        };
+        match arg.as_str() {
+            "--socket" => opts.socket = PathBuf::from(operand("--socket")?),
+            "--state" => opts.state_log = Some(PathBuf::from(operand("--state")?)),
+            other => {
+                return Err(CliError::Usage(format!("unknown argument {other:?}")));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => fail("snaked", &e, USAGE),
+    };
+    match serve(&opts) {
+        Ok(handle) => {
+            eprintln!("snaked: listening on {}", opts.socket.display());
+            handle.join();
+            eprintln!("snaked: shut down");
+        }
+        Err(e) => fail(
+            "snaked",
+            &CliError::io(opts.socket.display().to_string(), e),
+            USAGE,
+        ),
+    }
+}

@@ -24,6 +24,7 @@ pub mod figures;
 pub mod perfstat;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod supervise;
 
 pub use runner::Harness;

@@ -1,12 +1,13 @@
 //! Shared run harness: configuration, simulation, and report rows.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use snake_core::{MechanismReport, PrefetcherKind};
 use snake_sim::snapshot::Checkpoint;
 use snake_sim::{
     Cycle, EnergyModel, Gpu, GpuConfig, HostProfile, KernelTrace, Prefetcher, SimError, SimOutcome,
-    SmId, StopReason,
+    SmId, StopReason, TelemetryRing,
 };
 use snake_workloads::{Benchmark, WorkloadSize};
 
@@ -52,6 +53,11 @@ pub enum JobRun {
         /// Path of the checkpoint artifact that was written.
         checkpoint: String,
     },
+    /// The job was cancelled before or during its simulation (daemon
+    /// cancellation, see [`Harness::run_job_live`]); no report was
+    /// produced and no state was saved. The supervisor records it as
+    /// skipped and never retries it.
+    Cancelled,
 }
 
 impl Harness {
@@ -166,6 +172,43 @@ impl Harness {
                     checkpoint: ckpt_path.display().to_string(),
                 })
             }
+        }
+    }
+
+    /// Runs one job while publishing live telemetry: per-window metric
+    /// rows (and, with `include_events`, the full trace-event stream)
+    /// are pushed into `ring` as the simulation advances — the
+    /// `snaked` daemon's entry point. `cancel` is polled once per
+    /// cycle; setting it abandons the run and returns
+    /// [`JobRun::Cancelled`].
+    ///
+    /// With no ring subscribers the push path never constructs a
+    /// record, so the outcome (and the report built from it) is
+    /// bit-identical to [`Harness::run_job`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the harness configuration is invalid.
+    pub fn run_job_live(
+        &self,
+        bench: Benchmark,
+        kind: PrefetcherKind,
+        ring: &TelemetryRing,
+        include_events: bool,
+        cancel: &AtomicBool,
+    ) -> Result<JobRun, SimError> {
+        if cancel.load(Ordering::Relaxed) {
+            return Ok(JobRun::Cancelled);
+        }
+        let kernel = bench.build(&self.size);
+        let warps = self.cfg.max_warps_per_sm;
+        let mut gpu = Gpu::new(self.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
+        gpu.attach_telemetry(ring, include_events);
+        match gpu.run_interruptible(|_| cancel.load(Ordering::Relaxed)) {
+            Some(outcome) => Ok(JobRun::Finished(Box::new(
+                self.job_output(kind, &kernel, outcome),
+            ))),
+            None => Ok(JobRun::Cancelled),
         }
     }
 

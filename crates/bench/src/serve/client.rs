@@ -1,0 +1,183 @@
+//! The `snakectl` side of the protocol: one-shot requests and the
+//! `tail` line pump. The end-to-end tests drive the daemon through
+//! exactly these functions, so what the tests verify is what the CLI
+//! ships.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use snake_core::json::{self, Value};
+
+use super::protocol::Request;
+
+/// Turns a protocol-level failure into an [`io::Error`].
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Reads one response line and checks its `ok` field.
+fn read_response(reader: &mut impl BufRead) -> io::Result<Value> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(protocol_error("daemon closed the connection"));
+    }
+    let v = json::parse(line.trim()).map_err(|e| protocol_error(format!("bad response: {e}")))?;
+    match v.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(v),
+        _ => {
+            let why = v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown daemon error");
+            Err(protocol_error(why.to_string()))
+        }
+    }
+}
+
+/// Sends one request and returns the daemon's response object.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] when the socket is unreachable or the daemon
+/// answers `{"ok":false,...}` (surfaced as [`io::ErrorKind::InvalidData`]
+/// with the daemon's message).
+pub fn request(socket: &Path, req: &Request) -> io::Result<Value> {
+    let mut stream = UnixStream::connect(socket)?;
+    writeln!(stream, "{}", req.to_json())?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// What a finished [`tail`] verified and observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailEnd {
+    /// Terminal state label (`"done"` or `"cancelled"`).
+    pub state: String,
+    /// The exit code the daemon reported for the job.
+    pub exit: i32,
+    /// Stream records (window/event lines) delivered.
+    pub delivered: u64,
+    /// Records this subscriber provably missed (ring overflow).
+    pub dropped: u64,
+}
+
+/// Follows a job's telemetry stream, invoking `on_line` for every
+/// stream object (including the final `done` line), and returns the
+/// terminal summary.
+///
+/// Verifies the daemon's drop accounting end-to-end: within each ring
+/// (the span from its `stream` line's `from` to its `stream_end`
+/// line's `next`), the gaps in delivered `seq` numbers — including the
+/// trailing gap up to `next` — must sum to exactly the `dropped` total
+/// the `done` line claims. Any mismatch is an error, so loss can never
+/// pass silently.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] for socket failures, a daemon-side error
+/// response, a malformed stream, or inconsistent drop accounting.
+pub fn tail(socket: &Path, id: u64, mut on_line: impl FnMut(&Value)) -> io::Result<TailEnd> {
+    let stream = UnixStream::connect(socket)?;
+    {
+        let mut w = &stream;
+        writeln!(w, "{}", Request::Tail { id }.to_json())?;
+    }
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)?;
+
+    let mut expected_next: Option<u64> = None;
+    let mut gaps = 0u64;
+    let mut seen = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        let v = json::parse(line.trim())
+            .map_err(|e| protocol_error(format!("bad stream line: {e}")))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| protocol_error("stream line without \"type\""))?
+            .to_string();
+        on_line(&v);
+        match kind.as_str() {
+            "stream" => {
+                let from = v
+                    .get("from")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| protocol_error("stream line without \"from\""))?;
+                expected_next = Some(from);
+            }
+            "stream_end" => {
+                let next = v
+                    .get("next")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| protocol_error("stream_end line without \"next\""))?;
+                let expected = expected_next
+                    .ok_or_else(|| protocol_error("stream_end before its stream header"))?;
+                if next < expected {
+                    return Err(protocol_error(format!(
+                        "stream_end went backwards: {next} after {expected}"
+                    )));
+                }
+                // A trailing gap means records were produced that this
+                // subscriber never saw; they are part of `dropped`.
+                gaps += next - expected;
+                expected_next = None;
+            }
+            "window" | "event" => {
+                let seq = v
+                    .get("seq")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| protocol_error("record without \"seq\""))?;
+                let expected = expected_next
+                    .ok_or_else(|| protocol_error("record before its stream header"))?;
+                if seq < expected {
+                    return Err(protocol_error(format!(
+                        "sequence went backwards: {seq} after {expected}"
+                    )));
+                }
+                gaps += seq - expected;
+                expected_next = Some(seq + 1);
+                seen += 1;
+            }
+            "progress" => {}
+            "done" => {
+                let field = |k: &str| {
+                    v.get(k)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| protocol_error(format!("done line without {k:?}")))
+                };
+                let end = TailEnd {
+                    state: v
+                        .get("state")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    exit: field("exit")? as i32,
+                    delivered: field("delivered")?,
+                    dropped: field("dropped")?,
+                };
+                if end.delivered != seen {
+                    return Err(protocol_error(format!(
+                        "daemon claims {} delivered records, stream carried {seen}",
+                        end.delivered
+                    )));
+                }
+                if end.dropped != gaps {
+                    return Err(protocol_error(format!(
+                        "drop accounting mismatch: done line claims {}, \
+                         sequence gaps sum to {gaps}",
+                        end.dropped
+                    )));
+                }
+                return Ok(end);
+            }
+            other => {
+                return Err(protocol_error(format!(
+                    "unknown stream line type {other:?}"
+                )))
+            }
+        }
+    }
+    Err(protocol_error("stream ended without a done line"))
+}

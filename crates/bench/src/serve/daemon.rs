@@ -1,0 +1,695 @@
+//! The `snaked` server: a Unix-socket accept loop, a priority job
+//! queue with cancellation, and a single scheduler thread that runs
+//! each submitted sweep through the supervisor while per-job telemetry
+//! rings fan windows and events out to `tail` subscribers.
+//!
+//! Concurrency layout: connection handler threads only touch the
+//! registry (submit / status / cancel / shutdown) or read rings
+//! (`tail`); the scheduler thread is the only one that *runs*
+//! simulations, so jobs execute strictly in priority order (FIFO
+//! within a priority) and telemetry rings have exactly one producer —
+//! the invariant the lock-light ring design depends on.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use snake_core::json::Value;
+use snake_core::{MechanismReport, PrefetcherKind};
+use snake_sim::{TelemetryRecord, TelemetryRing};
+use snake_workloads::Benchmark;
+
+use super::protocol::{
+    done_line, err_line, ok_line, progress_line, record_line, stream_end_line, stream_line,
+    Request, SubmitSpec,
+};
+use crate::runner::Harness;
+use crate::supervise::{campaign, run_supervised, JobOutcome, JobSpec, Progress, SweepConfig};
+
+/// Exit code `snakectl tail` reports for a cancelled job — distinct
+/// from every supervisor and CLI code (0/2/3/4/5/6).
+pub const EXIT_CANCELLED: i32 = 7;
+
+/// Records per telemetry ring; at quick-harness rates a full event
+/// stream overflows this, which is exactly what the drop accounting is
+/// for — subscribers see the precise count of what they missed.
+const RING_CAPACITY: usize = 65_536;
+
+/// How long `tail` sleeps when a poll finds nothing new.
+const TAIL_IDLE: Duration = Duration::from_millis(15);
+
+/// Where `snaked` listens and journals, set by the binary's flags.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Unix-domain socket path (created on start, removed on shutdown).
+    pub socket: PathBuf,
+    /// Optional JSONL state journal: one `submitted` line per accepted
+    /// job and one `"terminal":true` line per finished/cancelled job,
+    /// so an orphan check is `count(submitted) == count(terminal)`.
+    pub state_log: Option<PathBuf>,
+}
+
+/// Lifecycle of one submitted sweep.
+#[derive(Debug)]
+enum ReqState {
+    /// Waiting in the priority queue.
+    Queued,
+    /// The scheduler is running it now.
+    Running,
+    /// Finished; holds the supervisor exit code and the report rows.
+    Done {
+        exit: i32,
+        reports: Vec<(String, String, MechanismReport)>,
+    },
+    /// Cancelled before completion (queued or mid-run).
+    Cancelled,
+}
+
+impl ReqState {
+    fn label(&self) -> &'static str {
+        match self {
+            ReqState::Queued => "queued",
+            ReqState::Running => "running",
+            ReqState::Done { .. } => "done",
+            ReqState::Cancelled => "cancelled",
+        }
+    }
+
+    /// `(state label, exit code)` once terminal, `None` while live.
+    fn terminal(&self) -> Option<(&'static str, i32)> {
+        match self {
+            ReqState::Done { exit, .. } => Some(("done", *exit)),
+            ReqState::Cancelled => Some(("cancelled", EXIT_CANCELLED)),
+            _ => None,
+        }
+    }
+}
+
+/// One submitted sweep: immutable plan plus live state.
+struct JobEntry {
+    id: u64,
+    desc: String,
+    priority: u64,
+    harness: Harness,
+    jobs: Vec<JobSpec>,
+    events: bool,
+    cancel: AtomicBool,
+    progress: Arc<Progress>,
+    /// One ring per supervised job, appended as each starts; `tail`
+    /// subscribers walk this list in order. Rings are closed when
+    /// their job ends, so drains observe completion, not silence.
+    rings: Mutex<Vec<(String, TelemetryRing)>>,
+    state: Mutex<ReqState>,
+}
+
+struct Registry {
+    next_id: u64,
+    /// `(id, priority)`, submission order; the scheduler pops the
+    /// highest priority, earliest submitted.
+    queue: Vec<(u64, u64)>,
+    entries: BTreeMap<u64, Arc<JobEntry>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    socket: PathBuf,
+    registry: Mutex<Registry>,
+    wake: Condvar,
+    state_log: Option<Mutex<std::fs::File>>,
+}
+
+impl Shared {
+    fn log(&self, event: &str, id: u64, terminal: Option<i32>) {
+        let Some(f) = &self.state_log else { return };
+        let mut fields = vec![
+            ("event".to_string(), Value::str(event)),
+            ("id".to_string(), Value::u64(id)),
+        ];
+        if let Some(exit) = terminal {
+            fields.push(("terminal".into(), Value::Bool(true)));
+            fields.push(("exit".into(), Value::u64(exit.max(0) as u64)));
+        }
+        let mut f = f.lock().unwrap();
+        // Journal writes are best-effort: a full disk must not take
+        // down running simulations.
+        let _ = writeln!(f, "{}", Value::Obj(fields));
+        let _ = f.flush();
+    }
+}
+
+/// A running daemon; `join` blocks until shutdown completes.
+pub struct DaemonHandle {
+    accept: JoinHandle<()>,
+    scheduler: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle").finish_non_exhaustive()
+    }
+}
+
+impl DaemonHandle {
+    /// Waits for the accept loop and scheduler to exit (they do after
+    /// a `shutdown` request).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        let _ = self.scheduler.join();
+    }
+}
+
+/// Starts the daemon: binds the socket, spawns the scheduler and the
+/// accept loop, and returns immediately.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] when the socket cannot be
+/// bound or the state journal cannot be created.
+pub fn serve(opts: &DaemonOptions) -> io::Result<DaemonHandle> {
+    // A stale socket file from a crashed daemon would make bind fail;
+    // connecting to it distinguishes stale from live.
+    if opts.socket.exists() {
+        if UnixStream::connect(&opts.socket).is_ok() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("a daemon is already listening on {}", opts.socket.display()),
+            ));
+        }
+        std::fs::remove_file(&opts.socket)?;
+    }
+    let listener = UnixListener::bind(&opts.socket)?;
+    let state_log = match &opts.state_log {
+        Some(path) => Some(Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        )),
+        None => None,
+    };
+    let shared = Arc::new(Shared {
+        socket: opts.socket.clone(),
+        registry: Mutex::new(Registry {
+            next_id: 1,
+            queue: Vec::new(),
+            entries: BTreeMap::new(),
+            shutdown: false,
+        }),
+        wake: Condvar::new(),
+        state_log,
+    });
+
+    let sched_shared = Arc::clone(&shared);
+    let scheduler = std::thread::spawn(move || scheduler_loop(&sched_shared));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.registry.lock().unwrap().shutdown {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_shared = Arc::clone(&accept_shared);
+            std::thread::spawn(move || {
+                let _ = handle_connection(&conn_shared, stream);
+            });
+        }
+        let _ = std::fs::remove_file(&accept_shared.socket);
+    });
+
+    Ok(DaemonHandle { accept, scheduler })
+}
+
+/// Resolves a submit spec into a concrete plan, rejecting bad operands
+/// before anything is queued.
+fn resolve(spec: &SubmitSpec) -> Result<(Harness, Vec<JobSpec>, String), String> {
+    let benches: Vec<Benchmark> = match &spec.benchmarks {
+        Some(raw) => parse_list(raw, "benchmark")?,
+        None => Benchmark::all().to_vec(),
+    };
+    let kinds: Vec<PrefetcherKind> = match &spec.mechanisms {
+        Some(raw) => parse_list(raw, "mechanism")?,
+        None => PrefetcherKind::all().to_vec(),
+    };
+    let mut harness = if spec.quick {
+        Harness::quick()
+    } else {
+        Harness::standard()
+    };
+    if let Some(budget) = spec.budget {
+        harness.cfg.cycle_budget = Some(snake_sim::Cycle(budget));
+    }
+    // Window rows are the tail stream's payload, so sampling is always
+    // on; the default matches `pfdebug`'s windowed view.
+    harness.cfg.metrics_window = Some(spec.window.unwrap_or(500));
+    harness.validate().map_err(|e| e.to_string())?;
+    let jobs = campaign(&benches, &kinds);
+    if jobs.is_empty() {
+        return Err("empty campaign: no benchmarks or no mechanisms".into());
+    }
+    let desc = format!(
+        "{} jobs ({} × {}){}",
+        jobs.len(),
+        benches.len(),
+        kinds.len(),
+        if spec.quick { ", quick" } else { "" }
+    );
+    Ok((harness, jobs, desc))
+}
+
+fn parse_list<T>(raw: &str, what: &str) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let items: Result<Vec<T>, String> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().map_err(|e: T::Err| format!("{what}: {e}")))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("{what} list is empty"));
+    }
+    Ok(items)
+}
+
+/// Pops the runnable entry with the highest priority (FIFO within a
+/// priority level), blocking until one exists or shutdown.
+fn next_entry(shared: &Shared) -> Option<Arc<JobEntry>> {
+    let mut reg = shared.registry.lock().unwrap();
+    loop {
+        if let Some(pos) = best_queued(&reg.queue) {
+            let (id, _) = reg.queue.remove(pos);
+            return Some(Arc::clone(&reg.entries[&id]));
+        }
+        if reg.shutdown {
+            return None;
+        }
+        reg = shared.wake.wait(reg).unwrap();
+    }
+}
+
+/// Index of the highest-priority, earliest-submitted queued job.
+fn best_queued(queue: &[(u64, u64)]) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, (_, prio))| (*prio, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)
+}
+
+fn scheduler_loop(shared: &Shared) {
+    while let Some(entry) = next_entry(shared) {
+        run_entry(shared, &entry);
+    }
+}
+
+/// Runs one submitted sweep to its terminal state.
+fn run_entry(shared: &Shared, entry: &JobEntry) {
+    {
+        // The cancel check and the Queued → Running transition must be
+        // one atomic step: the cancel handler marks-and-logs terminal
+        // under the same lock, so exactly one of us writes the
+        // terminal journal line.
+        let mut state = entry.state.lock().unwrap();
+        if entry.cancel.load(Ordering::Relaxed) || !matches!(*state, ReqState::Queued) {
+            return;
+        }
+        *state = ReqState::Running;
+    }
+    shared.log("running", entry.id, None);
+
+    let cfg = SweepConfig {
+        workers: 1,
+        max_attempts: 2,
+        progress: Some(Arc::clone(&entry.progress)),
+        ..SweepConfig::default()
+    };
+    let runner = |job: &JobSpec, attempt: u32, _resume: Option<&Path>| {
+        if entry.cancel.load(Ordering::Relaxed) {
+            return Ok(crate::runner::JobRun::Cancelled);
+        }
+        let ring = TelemetryRing::new(RING_CAPACITY);
+        entry.rings.lock().unwrap().push((job.id(), ring.clone()));
+        let harness = if attempt == 1 {
+            entry.harness.clone()
+        } else {
+            let mut retry = entry.harness.clone();
+            retry.cfg.fault.seed =
+                crate::supervise::retry_seed(cfg.retry_seed_base, &job.id(), attempt);
+            retry
+        };
+        let result = harness.run_job_live(job.bench, job.kind, &ring, entry.events, &entry.cancel);
+        // Closing lets tail subscribers distinguish "job over" from
+        // "no data yet"; a retry gets a fresh ring.
+        ring.close();
+        result
+    };
+    let result = run_supervised(
+        &entry.jobs,
+        &cfg,
+        &std::collections::HashMap::new(),
+        None,
+        runner,
+    );
+
+    let (state, exit) = if entry.cancel.load(Ordering::Relaxed) {
+        ("cancelled", EXIT_CANCELLED)
+    } else {
+        ("done", result.exit_code())
+    };
+    let reports: Vec<(String, String, MechanismReport)> = result
+        .outcomes
+        .iter()
+        .filter_map(|(job, o)| match o {
+            JobOutcome::Completed { report, stop, .. } => {
+                Some((job.id(), stop.clone(), report.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    *entry.state.lock().unwrap() = if state == "cancelled" {
+        ReqState::Cancelled
+    } else {
+        ReqState::Done { exit, reports }
+    };
+    shared.log(state, entry.id, Some(exit));
+}
+
+fn handle_connection(shared: &Shared, stream: UnixStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut out = stream;
+    let request = match Request::parse(line.trim()) {
+        Ok(r) => r,
+        Err(e) => return writeln!(out, "{}", err_line(&e)),
+    };
+    match request {
+        Request::Submit(spec) => handle_submit(shared, &spec, &mut out),
+        Request::Status { id } => handle_status(shared, id, &mut out),
+        Request::Cancel { id } => handle_cancel(shared, id, &mut out),
+        Request::Tail { id } => handle_tail(shared, id, &mut out),
+        Request::Shutdown => handle_shutdown(shared, &mut out),
+    }
+}
+
+fn handle_submit(shared: &Shared, spec: &SubmitSpec, out: &mut UnixStream) -> io::Result<()> {
+    let (harness, jobs, desc) = match resolve(spec) {
+        Ok(plan) => plan,
+        Err(e) => return writeln!(out, "{}", err_line(&e)),
+    };
+    let id = {
+        let mut reg = shared.registry.lock().unwrap();
+        if reg.shutdown {
+            drop(reg);
+            return writeln!(out, "{}", err_line("daemon is shutting down"));
+        }
+        let id = reg.next_id;
+        reg.next_id += 1;
+        let entry = Arc::new(JobEntry {
+            id,
+            desc,
+            priority: spec.priority,
+            harness,
+            jobs,
+            events: spec.events,
+            cancel: AtomicBool::new(false),
+            progress: Arc::new(Progress::default()),
+            rings: Mutex::new(Vec::new()),
+            state: Mutex::new(ReqState::Queued),
+        });
+        reg.entries.insert(id, entry);
+        reg.queue.push((id, spec.priority));
+        id
+    };
+    shared.log("submitted", id, None);
+    shared.wake.notify_all();
+    writeln!(out, "{}", ok_line(vec![("id".into(), Value::u64(id))]))
+}
+
+/// One job's status object.
+fn status_json(entry: &JobEntry) -> Value {
+    let state = entry.state.lock().unwrap();
+    let mut fields = vec![
+        ("id".to_string(), Value::u64(entry.id)),
+        ("desc".to_string(), Value::str(&entry.desc)),
+        ("priority".to_string(), Value::u64(entry.priority)),
+        ("state".to_string(), Value::str(state.label())),
+        ("progress".to_string(), entry.progress.snapshot().to_json()),
+    ];
+    if let ReqState::Done { exit, reports } = &*state {
+        fields.push(("exit".into(), Value::u64((*exit).max(0) as u64)));
+        fields.push((
+            "reports".into(),
+            Value::Arr(
+                reports
+                    .iter()
+                    .map(|(job, stop, report)| {
+                        Value::Obj(vec![
+                            ("job".into(), Value::str(job)),
+                            ("stop".into(), Value::str(stop)),
+                            ("report".into(), report.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+fn handle_status(shared: &Shared, id: Option<u64>, out: &mut UnixStream) -> io::Result<()> {
+    let reg = shared.registry.lock().unwrap();
+    let line = match id {
+        Some(id) => match reg.entries.get(&id) {
+            Some(entry) => ok_line(vec![("job".into(), status_json(entry))]),
+            None => err_line(&format!("no job {id}")),
+        },
+        None => ok_line(vec![(
+            "jobs".into(),
+            Value::Arr(reg.entries.values().map(|e| status_json(e)).collect()),
+        )]),
+    };
+    drop(reg);
+    writeln!(out, "{line}")
+}
+
+fn handle_cancel(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()> {
+    let entry = {
+        let reg = shared.registry.lock().unwrap();
+        match reg.entries.get(&id) {
+            Some(e) => Arc::clone(e),
+            None => {
+                drop(reg);
+                return writeln!(out, "{}", err_line(&format!("no job {id}")));
+            }
+        }
+    };
+    entry.cancel.store(true, Ordering::Relaxed);
+    let label = {
+        let mut state = entry.state.lock().unwrap();
+        match &*state {
+            // Still queued: run_entry re-checks under this lock and
+            // will not start it, so it is terminal right now.
+            ReqState::Queued => {
+                *state = ReqState::Cancelled;
+                drop(state);
+                shared.log("cancelled", id, Some(EXIT_CANCELLED));
+                "cancelled"
+            }
+            // Running: the flag stops it within a cycle; the
+            // scheduler marks and logs the terminal state.
+            ReqState::Running => "cancelling",
+            other => other.label(),
+        }
+    };
+    writeln!(
+        out,
+        "{}",
+        ok_line(vec![
+            ("id".into(), Value::u64(id)),
+            ("state".into(), Value::str(label)),
+        ])
+    )
+}
+
+fn handle_shutdown(shared: &Shared, out: &mut UnixStream) -> io::Result<()> {
+    {
+        let mut reg = shared.registry.lock().unwrap();
+        reg.shutdown = true;
+        reg.queue.clear();
+        // Cancel every live entry, queued or running — including one
+        // the scheduler popped but has not transitioned yet (its
+        // Queued → Running step re-checks under the state lock).
+        for (id, entry) in reg.entries.iter() {
+            let mut state = entry.state.lock().unwrap();
+            match &*state {
+                ReqState::Queued => {
+                    entry.cancel.store(true, Ordering::Relaxed);
+                    *state = ReqState::Cancelled;
+                    drop(state);
+                    shared.log("cancelled", *id, Some(EXIT_CANCELLED));
+                }
+                ReqState::Running => entry.cancel.store(true, Ordering::Relaxed),
+                _ => {}
+            }
+        }
+    }
+    shared.wake.notify_all();
+    writeln!(out, "{}", ok_line(vec![]))?;
+    // Unblock the accept loop so it observes the shutdown flag.
+    let _ = UnixStream::connect(&shared.socket);
+    Ok(())
+}
+
+/// Streams a job's telemetry until it reaches a terminal state:
+/// `stream`/`window`/`event` lines per ring, `progress` lines on
+/// change, then one `done` line with exact delivered/dropped totals.
+fn handle_tail(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()> {
+    let entry = {
+        let reg = shared.registry.lock().unwrap();
+        match reg.entries.get(&id) {
+            Some(e) => Arc::clone(e),
+            None => {
+                drop(reg);
+                return writeln!(out, "{}", err_line(&format!("no job {id}")));
+            }
+        }
+    };
+    writeln!(out, "{}", ok_line(vec![("id".into(), Value::u64(id))]))?;
+
+    let mut ring_idx = 0usize;
+    let mut current: Option<(String, snake_sim::Subscription<TelemetryRecord>)> = None;
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut last_progress = None;
+    loop {
+        let snap = entry.progress.snapshot();
+        if last_progress != Some(snap) {
+            writeln!(out, "{}", progress_line(&snap))?;
+            last_progress = Some(snap);
+        }
+        let mut advanced = false;
+        if current.is_none() {
+            let opened = {
+                let rings = entry.rings.lock().unwrap();
+                // Subscribe from sequence 0: a late subscriber gets
+                // whatever the ring still holds, and the overwritten
+                // prefix is *counted* (not silently absent) — the
+                // first drain reports it in `dropped`.
+                rings
+                    .get(ring_idx)
+                    .map(|(job, ring)| (job.clone(), ring.subscribe_from(0)))
+            };
+            if let Some((job, sub)) = opened {
+                writeln!(out, "{}", stream_line(&job, sub.cursor()))?;
+                current = Some((job, sub));
+                advanced = true;
+            }
+        }
+        if let Some((job, sub)) = &mut current {
+            let drained = sub.drain();
+            dropped += drained.dropped;
+            if !drained.records.is_empty() {
+                advanced = true;
+            }
+            for (k, rec) in drained.records.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{}",
+                    record_line(job, drained.first_seq + k as u64, rec, dropped)
+                )?;
+                delivered += 1;
+            }
+            if drained.done {
+                // After a complete drain the cursor sits one past the
+                // last record the ring ever produced; publishing it
+                // makes trailing drops verifiable by the client.
+                writeln!(out, "{}", stream_end_line(job, sub.cursor()))?;
+                current = None;
+                ring_idx += 1;
+                // Skip the idle sleep: the next ring may already exist.
+                continue;
+            }
+        }
+        if current.is_none() && ring_idx >= entry.rings.lock().unwrap().len() {
+            if let Some((state, exit)) = entry.state.lock().unwrap().terminal() {
+                let snap = entry.progress.snapshot();
+                if last_progress != Some(snap) {
+                    writeln!(out, "{}", progress_line(&snap))?;
+                }
+                return writeln!(out, "{}", done_line(state, exit, delivered, dropped));
+            }
+        }
+        if !advanced {
+            std::thread::sleep(TAIL_IDLE);
+        }
+    }
+}
+
+// Exercised end-to-end (daemon process, socket, client) in
+// `tests/serve.rs`; unit tests here cover the pure pieces.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_pops_priority_then_fifo() {
+        let queue = vec![(1, 0), (2, 5), (3, 5), (4, 1)];
+        assert_eq!(best_queued(&queue), Some(1), "highest priority wins");
+        let queue = vec![(7, 2), (8, 2)];
+        assert_eq!(best_queued(&queue), Some(0), "FIFO within a priority");
+        assert_eq!(best_queued(&[]), None);
+    }
+
+    #[test]
+    fn resolve_rejects_bad_operands_and_defaults_sensibly() {
+        let mut spec = SubmitSpec {
+            quick: true,
+            ..SubmitSpec::default()
+        };
+        let (harness, jobs, desc) = resolve(&spec).unwrap();
+        assert_eq!(
+            jobs.len(),
+            Benchmark::all().len() * PrefetcherKind::all().len()
+        );
+        assert_eq!(harness.cfg.metrics_window, Some(500), "window always on");
+        assert!(desc.contains("quick"));
+
+        spec.benchmarks = Some("LPS".into());
+        spec.mechanisms = Some("baseline,snake".into());
+        spec.window = Some(200);
+        spec.budget = Some(6000);
+        let (harness, jobs, _) = resolve(&spec).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(harness.cfg.metrics_window, Some(200));
+        assert_eq!(harness.cfg.cycle_budget, Some(snake_sim::Cycle(6000)));
+
+        spec.benchmarks = Some("NOPE".into());
+        assert!(resolve(&spec).unwrap_err().contains("benchmark"));
+        spec.benchmarks = Some(",".into());
+        assert!(resolve(&spec).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn protocol_mentions_every_terminal_state() {
+        assert_eq!(ReqState::Queued.terminal(), None);
+        assert_eq!(ReqState::Running.terminal(), None);
+        assert_eq!(
+            ReqState::Cancelled.terminal(),
+            Some(("cancelled", EXIT_CANCELLED))
+        );
+        let done = ReqState::Done {
+            exit: 0,
+            reports: Vec::new(),
+        };
+        assert_eq!(done.terminal(), Some(("done", 0)));
+    }
+}

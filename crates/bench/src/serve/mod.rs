@@ -1,0 +1,31 @@
+//! The live telemetry plane: `snaked`, a local daemon that queues
+//! simulate/sweep jobs, runs them through the sweep supervisor, and
+//! streams cycle-stamped telemetry to any number of subscribers.
+//!
+//! Three pieces:
+//!
+//! - [`protocol`] — the newline-delimited JSON wire format (built
+//!   entirely on the dependency-free `snake_core::json` module): one
+//!   request object per connection, one response line, and for `tail`
+//!   a stream of window/event/progress lines ending in a `done` line.
+//! - [`daemon`] — the server: a Unix-domain socket accept loop, a
+//!   priority job queue with cancellation, and a scheduler thread that
+//!   runs each request through
+//!   [`run_supervised`](crate::supervise::run_supervised) with a
+//!   per-job [`TelemetryRing`](snake_sim::TelemetryRing) carrying
+//!   window rows and trace events out of the simulation thread.
+//! - [`client`] — the `snakectl` side: one-shot requests and the
+//!   `tail` line pump, reused verbatim by the end-to-end tests.
+//!
+//! Telemetry never blocks or perturbs a simulation: rings are bounded,
+//! overflow is *counted* per subscriber (a `dropped` field on every
+//! stream line — loss is explicit, never silent), and with zero
+//! subscribers the produce path doesn't even construct the record, so
+//! job outcomes are bit-identical to `repro` runs without the daemon.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use daemon::{serve, DaemonHandle, DaemonOptions, EXIT_CANCELLED};
+pub use protocol::{Request, SubmitSpec};

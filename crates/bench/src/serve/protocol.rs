@@ -1,0 +1,318 @@
+//! The `snaked` wire format: newline-delimited JSON over a Unix-domain
+//! socket, built on the dependency-free `snake_core::json` module.
+//!
+//! A connection carries exactly one request line. The daemon answers
+//! with one response line — `{"ok":true,...}` or
+//! `{"ok":false,"error":"..."}` — and for `tail` keeps the connection
+//! open, streaming one object per line:
+//!
+//! - `{"type":"stream","job":"lps/snake","from":N}` — a per-job ring
+//!   subscription opened; `from` is the first sequence number the
+//!   subscriber can observe (later records may still be dropped).
+//! - `{"type":"window",...}` — one metrics window (cycle, IPC, L1 hit
+//!   rate, MSHR/miss-queue occupancy, NoC utilization, active warps,
+//!   throttled SMs, chain depth) plus `seq` and the cumulative
+//!   `dropped` count.
+//! - `{"type":"event",...}` — one trace event (`seq`, `cycle`, `name`,
+//!   cumulative `dropped`).
+//! - `{"type":"progress",...}` — the sweep counters, emitted whenever
+//!   they change.
+//! - `{"type":"done","state":...,"exit":N,"delivered":N,"dropped":N}`
+//!   — terminal; `dropped` is the exact number of records this
+//!   subscriber missed (ring overflow), never silently hidden.
+//!
+//! Drop accounting is end-to-end checkable: starting from each
+//! `stream` line's `from`, the gaps in the delivered `seq` numbers sum
+//! to the final `dropped` — [`client::tail`](super::client::tail)
+//! verifies exactly that.
+
+use snake_core::json::Value;
+use snake_sim::{MetricsSample, TelemetryRecord, TraceEvent};
+
+use crate::supervise::ProgressSnapshot;
+
+/// A submitted sweep description, before benchmark/mechanism parsing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubmitSpec {
+    /// Comma-separated benchmark list; `None` means the full suite.
+    pub benchmarks: Option<String>,
+    /// Comma-separated mechanism list; `None` means all mechanisms.
+    pub mechanisms: Option<String>,
+    /// Use the quick (scaled-down) harness instead of the standard one.
+    pub quick: bool,
+    /// Per-job cycle budget override.
+    pub budget: Option<u64>,
+    /// Metrics window in cycles (default 500).
+    pub window: Option<u64>,
+    /// Also stream per-cycle trace events (not just window rows).
+    pub events: bool,
+    /// Scheduling priority; higher runs first, FIFO within a priority.
+    pub priority: u64,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Queue a sweep; answered with `{"ok":true,"id":N}`.
+    Submit(SubmitSpec),
+    /// Report job states — all jobs, or one if `id` is given.
+    Status {
+        /// Restrict to a single job.
+        id: Option<u64>,
+    },
+    /// Subscribe to a job's telemetry stream.
+    Tail {
+        /// The job to follow.
+        id: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job to cancel.
+        id: u64,
+    },
+    /// Stop accepting work, cancel everything, and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = snake_core::json::parse(line).map_err(|e| format!("bad json: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing \"op\"".to_string())?;
+        let id = |required: bool| -> Result<Option<u64>, String> {
+            match v.get("id") {
+                Some(n) => n
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| "\"id\" must be a non-negative integer".to_string()),
+                None if required => Err("missing \"id\"".to_string()),
+                None => Ok(None),
+            }
+        };
+        match op {
+            "submit" => {
+                let field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+                Ok(Request::Submit(SubmitSpec {
+                    benchmarks: field("benchmarks"),
+                    mechanisms: field("mechanisms"),
+                    quick: v.get("quick").and_then(Value::as_bool).unwrap_or(false),
+                    budget: v.get("budget").and_then(Value::as_u64),
+                    window: v.get("window").and_then(Value::as_u64),
+                    events: v.get("events").and_then(Value::as_bool).unwrap_or(false),
+                    priority: v.get("priority").and_then(Value::as_u64).unwrap_or(0),
+                }))
+            }
+            "status" => Ok(Request::Status { id: id(false)? }),
+            "tail" => Ok(Request::Tail {
+                id: id(true)?.expect("required id"),
+            }),
+            "cancel" => Ok(Request::Cancel {
+                id: id(true)?.expect("required id"),
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Renders the request as its wire line (without the newline).
+    pub fn to_json(&self) -> Value {
+        match self {
+            Request::Submit(s) => {
+                let mut fields = vec![("op".into(), Value::str("submit"))];
+                if let Some(b) = &s.benchmarks {
+                    fields.push(("benchmarks".into(), Value::str(b)));
+                }
+                if let Some(m) = &s.mechanisms {
+                    fields.push(("mechanisms".into(), Value::str(m)));
+                }
+                if s.quick {
+                    fields.push(("quick".into(), Value::Bool(true)));
+                }
+                if let Some(b) = s.budget {
+                    fields.push(("budget".into(), Value::u64(b)));
+                }
+                if let Some(w) = s.window {
+                    fields.push(("window".into(), Value::u64(w)));
+                }
+                if s.events {
+                    fields.push(("events".into(), Value::Bool(true)));
+                }
+                if s.priority != 0 {
+                    fields.push(("priority".into(), Value::u64(s.priority)));
+                }
+                Value::Obj(fields)
+            }
+            Request::Status { id } => {
+                let mut fields = vec![("op".into(), Value::str("status"))];
+                if let Some(id) = id {
+                    fields.push(("id".into(), Value::u64(*id)));
+                }
+                Value::Obj(fields)
+            }
+            Request::Tail { id } => Value::Obj(vec![
+                ("op".into(), Value::str("tail")),
+                ("id".into(), Value::u64(*id)),
+            ]),
+            Request::Cancel { id } => Value::Obj(vec![
+                ("op".into(), Value::str("cancel")),
+                ("id".into(), Value::u64(*id)),
+            ]),
+            Request::Shutdown => Value::Obj(vec![("op".into(), Value::str("shutdown"))]),
+        }
+    }
+}
+
+/// `{"ok":true,...fields}`.
+pub fn ok_line(fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("ok".into(), Value::Bool(true))];
+    all.extend(fields);
+    Value::Obj(all)
+}
+
+/// `{"ok":false,"error":...}`.
+pub fn err_line(message: &str) -> Value {
+    Value::Obj(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::str(message)),
+    ])
+}
+
+/// The `stream` line announcing a per-job ring subscription.
+pub fn stream_line(job: &str, from: u64) -> Value {
+    Value::Obj(vec![
+        ("type".into(), Value::str("stream")),
+        ("job".into(), Value::str(job)),
+        ("from".into(), Value::u64(from)),
+    ])
+}
+
+/// The `stream_end` line closing a per-job ring subscription: `next`
+/// is the sequence one past the last record the ring ever produced, so
+/// a trailing gap (records dropped and never followed by a delivered
+/// one — e.g. a ring produced entirely before the subscriber arrived)
+/// is still visible arithmetic, not silent absence.
+pub fn stream_end_line(job: &str, next: u64) -> Value {
+    Value::Obj(vec![
+        ("type".into(), Value::str("stream_end")),
+        ("job".into(), Value::str(job)),
+        ("next".into(), Value::u64(next)),
+    ])
+}
+
+/// One metrics window as a stream line.
+pub fn window_line(job: &str, seq: u64, s: &MetricsSample, dropped: u64) -> Value {
+    Value::Obj(vec![
+        ("type".into(), Value::str("window")),
+        ("job".into(), Value::str(job)),
+        ("seq".into(), Value::u64(seq)),
+        ("cycle".into(), Value::u64(s.cycle)),
+        ("ipc".into(), Value::f64(s.ipc)),
+        ("l1_hit_rate".into(), Value::f64(s.l1_hit_rate)),
+        ("mshr_occupancy".into(), Value::f64(s.mshr_occupancy)),
+        (
+            "miss_queue_occupancy".into(),
+            Value::f64(s.miss_queue_occupancy),
+        ),
+        ("noc_utilization".into(), Value::f64(s.noc_utilization)),
+        ("active_warps".into(), Value::u64(s.active_warps as u64)),
+        ("throttled_sms".into(), Value::u64(s.throttled_sms as u64)),
+        ("chain_depth".into(), Value::u64(u64::from(s.chain_depth))),
+        ("dropped".into(), Value::u64(dropped)),
+    ])
+}
+
+/// One trace event as a stream line.
+pub fn event_line(job: &str, seq: u64, e: &TraceEvent, dropped: u64) -> Value {
+    Value::Obj(vec![
+        ("type".into(), Value::str("event")),
+        ("job".into(), Value::str(job)),
+        ("seq".into(), Value::u64(seq)),
+        ("cycle".into(), Value::u64(e.cycle.0)),
+        ("name".into(), Value::str(e.data.name())),
+        ("dropped".into(), Value::u64(dropped)),
+    ])
+}
+
+/// One telemetry record as a stream line.
+pub fn record_line(job: &str, seq: u64, rec: &TelemetryRecord, dropped: u64) -> Value {
+    match rec {
+        TelemetryRecord::Window(s) => window_line(job, seq, s, dropped),
+        TelemetryRecord::Event(e) => event_line(job, seq, e, dropped),
+    }
+}
+
+/// The sweep counters as a stream line.
+pub fn progress_line(snap: &ProgressSnapshot) -> Value {
+    let mut fields = vec![("type".into(), Value::str("progress"))];
+    if let Value::Obj(counters) = snap.to_json() {
+        fields.extend(counters);
+    }
+    Value::Obj(fields)
+}
+
+/// The terminal stream line.
+pub fn done_line(state: &str, exit: i32, delivered: u64, dropped: u64) -> Value {
+    // Exit codes are small non-negative constants; the json module is
+    // unsigned-only, which is fine here.
+    Value::Obj(vec![
+        ("type".into(), Value::str("done")),
+        ("state".into(), Value::str(state)),
+        ("exit".into(), Value::u64(exit.max(0) as u64)),
+        ("delivered".into(), Value::u64(delivered)),
+        ("dropped".into(), Value::u64(dropped)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let spec = SubmitSpec {
+            benchmarks: Some("LPS,CP".into()),
+            mechanisms: Some("baseline,snake".into()),
+            quick: true,
+            budget: Some(6000),
+            window: Some(200),
+            events: true,
+            priority: 5,
+        };
+        let line = Request::Submit(spec.clone()).to_json().to_string();
+        assert_eq!(Request::parse(&line), Ok(Request::Submit(spec)));
+    }
+
+    #[test]
+    fn defaults_are_omitted_and_reparsed() {
+        let line = Request::Submit(SubmitSpec::default()).to_json().to_string();
+        assert_eq!(line, "{\"op\":\"submit\"}");
+        assert_eq!(
+            Request::parse(&line),
+            Ok(Request::Submit(SubmitSpec::default()))
+        );
+    }
+
+    #[test]
+    fn ops_round_trip() {
+        for req in [
+            Request::Status { id: None },
+            Request::Status { id: Some(3) },
+            Request::Tail { id: 1 },
+            Request::Cancel { id: 9 },
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::parse(&req.to_json().to_string()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(Request::parse("nonsense").is_err());
+        assert!(Request::parse("{\"op\":\"warp\"}").is_err());
+        assert!(Request::parse("{\"op\":\"tail\"}").is_err());
+        assert!(Request::parse("{\"op\":\"tail\",\"id\":\"x\"}").is_err());
+    }
+}

@@ -26,10 +26,12 @@
 //! early (deadline or `--stop-after`) with jobs still pending.
 
 pub mod manifest;
+pub mod progress;
 mod supervisor;
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use snake_core::PrefetcherKind;
@@ -40,6 +42,7 @@ use crate::runner::{Harness, JobRun};
 use manifest::{LoadedManifest, ManifestError, ManifestHeader, ManifestWriter};
 
 pub use manifest::JobRecord;
+pub use progress::{Progress, ProgressSnapshot};
 pub use supervisor::{run_supervised, JobOutcome, SweepResult};
 
 /// Exit code when the sweep finished but quarantined at least one job
@@ -109,6 +112,10 @@ pub struct SweepConfig {
     /// Base value for the deterministic per-attempt retry seed
     /// schedule (see [`retry_seed`]).
     pub retry_seed_base: u64,
+    /// Live progress counters the supervisor updates as jobs finish —
+    /// shared with `repro --progress` and the daemon's `tail` stream.
+    /// `None` (the default) skips all bookkeeping.
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl Default for SweepConfig {
@@ -124,6 +131,7 @@ impl Default for SweepConfig {
             stop_after: None,
             suspend_after: None,
             retry_seed_base: 0x534E414B45, // "SNAKE"
+            progress: None,
         }
     }
 }

@@ -267,6 +267,15 @@ where
             None => pending.push_back((i, job, None)),
         }
     }
+    if let Some(p) = &cfg.progress {
+        p.begin(jobs.len() as u64);
+        // Replayed jobs count toward their buckets up front, so a
+        // resumed sweep's progress line starts where the last one
+        // ended instead of at zero.
+        for outcome in outcomes.iter().flatten() {
+            p.observe(outcome);
+        }
+    }
 
     let queue = Mutex::new(Queue {
         pending,
@@ -292,9 +301,13 @@ where
             };
             let mut d = done.lock().unwrap();
             while let Some((i, _, _)) = q.pending.pop_front() {
-                d[i] = Some(JobOutcome::Skipped {
+                let outcome = JobOutcome::Skipped {
                     reason: reason.into(),
-                });
+                };
+                if let Some(p) = &cfg.progress {
+                    p.observe(&outcome);
+                }
+                d[i] = Some(outcome);
             }
             *interrupted.lock().unwrap() = true;
             return None;
@@ -309,6 +322,9 @@ where
             scope.spawn(|| {
                 while let Some((i, job, resume)) = claim() {
                     let outcome = supervise_one(job, cfg, resume.as_deref(), &runner);
+                    if let Some(p) = &cfg.progress {
+                        p.observe(&outcome);
+                    }
                     if let JobOutcome::Suspended { .. } = &outcome {
                         // Work remains: the sweep must report
                         // interrupted so callers resume it.
@@ -414,6 +430,13 @@ where
                     attempts: attempt,
                 };
             }
+            // Cancellation is a caller decision, not a failure:
+            // recorded as skipped, never retried.
+            Ok(Ok(JobRun::Cancelled)) => {
+                return JobOutcome::Skipped {
+                    reason: "cancelled by the caller before completion".into(),
+                };
+            }
             // A typed simulator error is deterministic (bad
             // configuration); retrying cannot change it.
             Ok(Err(err)) => {
@@ -429,6 +452,9 @@ where
                 message: failure,
                 attempts: attempt,
             };
+        }
+        if let Some(p) = &cfg.progress {
+            p.note_retry();
         }
         std::thread::sleep(std::time::Duration::from_millis(backoff_ms(cfg, attempt)));
         attempt += 1;

@@ -1,0 +1,221 @@
+//! End-to-end tests for the `snaked` telemetry daemon: an in-process
+//! daemon on a temp socket, driven through exactly the client
+//! functions `snakectl` ships. Covers the acceptance contract —
+//! subscribe mid-run and receive cycle-stamped window rows with exact
+//! drop accounting, zero-subscriber runs whose report bytes are
+//! bit-identical to a daemon-free run, and cancellation surfacing as a
+//! distinct exit code.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use snake_bench::serve::{self, DaemonHandle, DaemonOptions, Request, SubmitSpec, EXIT_CANCELLED};
+use snake_bench::Harness;
+use snake_core::json::Value;
+use snake_core::PrefetcherKind;
+use snake_workloads::Benchmark;
+
+use serve::client;
+
+/// Starts an in-process daemon on a test-unique temp socket.
+fn daemon(name: &str) -> (PathBuf, DaemonHandle) {
+    let socket =
+        std::env::temp_dir().join(format!("snake-serve-{}-{name}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let handle = serve::serve(&DaemonOptions {
+        socket: socket.clone(),
+        state_log: None,
+    })
+    .expect("daemon starts");
+    (socket, handle)
+}
+
+/// Submits a spec and returns the assigned job id.
+fn submit(socket: &Path, spec: SubmitSpec) -> u64 {
+    client::request(socket, &Request::Submit(spec))
+        .expect("submit accepted")
+        .get("id")
+        .and_then(Value::as_u64)
+        .expect("submit response carries the job id")
+}
+
+/// Shuts the daemon down and joins its threads.
+fn shutdown(socket: &Path, handle: DaemonHandle) {
+    client::request(socket, &Request::Shutdown).expect("shutdown accepted");
+    handle.join();
+}
+
+/// Submit a two-job sweep with full event streaming and tail it while
+/// it runs: the stream must carry at least one window row, cycles must
+/// be non-decreasing within each job, and the `done` line's
+/// delivered/dropped totals must match the stream exactly
+/// ([`client::tail`] errors on any accounting mismatch).
+#[test]
+fn tail_mid_run_streams_cycle_stamped_windows_with_exact_accounting() {
+    let (socket, handle) = daemon("tail");
+    // Standard harness with a cycle budget: each job runs far longer
+    // than the tail's subscription latency, so the tail reliably
+    // attaches mid-run and observes live windows.
+    let id = submit(
+        &socket,
+        SubmitSpec {
+            benchmarks: Some("LPS".into()),
+            mechanisms: Some("baseline,snake".into()),
+            quick: false,
+            budget: Some(30_000),
+            window: Some(200),
+            events: true,
+            priority: 0,
+        },
+    );
+
+    let mut windows = 0u64;
+    let mut events = 0u64;
+    let mut last_cycle: HashMap<String, u64> = HashMap::new();
+    let end = client::tail(&socket, id, |v| {
+        let kind = v.get("type").and_then(Value::as_str).unwrap_or("");
+        if kind != "window" && kind != "event" {
+            return;
+        }
+        let job = v
+            .get("job")
+            .and_then(Value::as_str)
+            .expect("record carries its job id")
+            .to_string();
+        let cycle = v
+            .get("cycle")
+            .and_then(Value::as_u64)
+            .expect("record is cycle-stamped");
+        let prev = last_cycle.entry(job).or_insert(0);
+        assert!(
+            cycle >= *prev,
+            "cycle went backwards within a job: {cycle} after {prev}"
+        );
+        *prev = cycle;
+        if kind == "window" {
+            windows += 1;
+        } else {
+            events += 1;
+        }
+    })
+    .expect("tail stream verifies end-to-end");
+
+    assert!(windows >= 1, "tail saw no window rows");
+    assert!(events >= 1, "tail saw no trace events despite events:true");
+    assert_eq!(end.state, "done");
+    assert_eq!(end.exit, 0);
+    assert_eq!(end.delivered, windows + events);
+    assert!(
+        !last_cycle.is_empty(),
+        "tail attached but observed no job at all"
+    );
+
+    shutdown(&socket, handle);
+}
+
+/// With no tail attached, the telemetry plane must be invisible: the
+/// report the daemon publishes for a job is byte-for-byte identical to
+/// the report a plain daemon-free [`Harness`] run produces — same
+/// config, no ring, no daemon.
+#[test]
+fn zero_subscriber_daemon_report_bytes_match_daemon_free_run() {
+    let (socket, handle) = daemon("quiet");
+    let id = submit(
+        &socket,
+        SubmitSpec {
+            benchmarks: Some("LPS".into()),
+            mechanisms: Some("snake".into()),
+            quick: true,
+            budget: None,
+            window: None, // daemon defaults to 500
+            events: false,
+            priority: 0,
+        },
+    );
+
+    // Poll status — never tail — so the job runs with zero subscribers.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let job = loop {
+        let resp =
+            client::request(&socket, &Request::Status { id: Some(id) }).expect("status answered");
+        let job = resp.get("job").expect("status carries the job").clone();
+        match job.get("state").and_then(Value::as_str) {
+            Some("done") => break job,
+            Some("cancelled") => panic!("job was cancelled unexpectedly"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "daemon never finished the job");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(job.get("exit").and_then(Value::as_u64), Some(0));
+    let reports = match job.get("reports") {
+        Some(Value::Arr(rows)) => rows.clone(),
+        other => panic!("done status must carry reports, got {other:?}"),
+    };
+    assert_eq!(reports.len(), 1);
+    let daemon_report = reports[0]
+        .get("report")
+        .expect("report row present")
+        .to_string();
+    let daemon_stop = reports[0]
+        .get("stop")
+        .and_then(Value::as_str)
+        .expect("stop label present")
+        .to_string();
+
+    // The daemon-free reference: same harness the daemon resolves for
+    // this spec (quick + metrics window 500), no ring anywhere.
+    let mut harness = Harness::quick();
+    harness.cfg.metrics_window = Some(500);
+    let direct = harness
+        .run_job(Benchmark::Lps, PrefetcherKind::Snake)
+        .expect("direct run succeeds");
+    assert_eq!(
+        daemon_report,
+        direct.report.to_json().to_string(),
+        "telemetry plane perturbed the simulation (observer effect)"
+    );
+    assert_eq!(daemon_stop, direct.stop.label());
+
+    shutdown(&socket, handle);
+}
+
+/// Cancelling a job makes its tail terminate with the distinct
+/// cancelled exit code, never a fake success.
+#[test]
+fn cancelled_job_tails_as_cancelled_with_distinct_exit_code() {
+    let (socket, handle) = daemon("cancel");
+    // Occupy the single scheduler slot so the victim stays queued.
+    let _busy = submit(
+        &socket,
+        SubmitSpec {
+            benchmarks: Some("LPS,CP".into()),
+            mechanisms: Some("baseline,snake".into()),
+            quick: true,
+            budget: Some(50_000),
+            window: Some(500),
+            events: false,
+            priority: 0,
+        },
+    );
+    let victim = submit(
+        &socket,
+        SubmitSpec {
+            benchmarks: Some("LPS".into()),
+            mechanisms: Some("snake".into()),
+            quick: true,
+            budget: None,
+            window: None,
+            events: false,
+            priority: 0,
+        },
+    );
+
+    client::request(&socket, &Request::Cancel { id: victim }).expect("cancel accepted");
+    let end = client::tail(&socket, victim, |_| {}).expect("tail of cancelled job verifies");
+    assert_eq!(end.state, "cancelled");
+    assert_eq!(end.exit, EXIT_CANCELLED);
+
+    shutdown(&socket, handle);
+}

@@ -6,7 +6,7 @@ use snake_sim::{EnergyModel, GpuConfig, SimOutcome, SimStats};
 
 /// One mechanism's results on one application — the columns of
 /// Figs 16–19 and 25.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MechanismReport {
     /// Mechanism name.
     pub mechanism: String,

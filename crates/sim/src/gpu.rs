@@ -10,6 +10,7 @@ use crate::json::Value;
 use crate::kernel::KernelTrace;
 use crate::mem::interconnect::{Interconnect, UpPacket, READ_REQUEST_BYTES};
 use crate::mem::partition::MemoryPartition;
+use crate::obs::ring::{RingSink, TelemetryRecord, TelemetryRing};
 use crate::obs::{
     MetricsSeries, PrefetchLifecycle, SimEvent, TerminalKind, TraceEvent, TraceSink, WindowTotals,
     WindowedMetrics,
@@ -116,6 +117,12 @@ pub struct Gpu {
     /// Trace events forwarded to the sink so far (throughput input for
     /// the host profile).
     events_flushed: u64,
+    /// Live telemetry ring for per-window metric rows (and, via a
+    /// [`RingSink`], trace events), attached by
+    /// [`Gpu::attach_telemetry`]. With zero subscribers every push is
+    /// a counter bump — see the no-observer-effect guarantee on
+    /// [`crate::obs::ring`].
+    tap: Option<TelemetryRing>,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -222,6 +229,7 @@ impl Gpu {
             prev_brownout: false,
             prof,
             events_flushed: 0,
+            tap: None,
         })
     }
 
@@ -238,6 +246,34 @@ impl Gpu {
         self.noc.enable_trace();
         self.partition.enable_trace();
         self.sink = Some(sink);
+    }
+
+    /// Attaches a live telemetry ring. Per-window [`MetricsSample`]
+    /// rows (when [`GpuConfig::metrics_window`] is set) are pushed as
+    /// each window closes; with `include_events` the full trace-event
+    /// stream is forwarded too (via [`attach_sink`](Gpu::attach_sink)
+    /// with a [`RingSink`], so it cannot be combined with another
+    /// sink). Subscribers drain the ring from other threads; with none
+    /// live, pushes only advance the ring's sequence counter and the
+    /// simulation outcome is bit-identical to an untapped run.
+    ///
+    /// [`MetricsSample`]: crate::obs::MetricsSample
+    pub fn attach_telemetry(&mut self, ring: &TelemetryRing, include_events: bool) {
+        if include_events {
+            self.attach_sink(Box::new(RingSink::new(ring.clone())));
+        }
+        self.tap = Some(ring.clone());
+    }
+
+    /// Forwards the most recently closed metrics window to the
+    /// telemetry ring, if one is attached.
+    fn tap_window(tap: &Option<TelemetryRing>, metrics: &WindowedMetrics) {
+        if let Some(tap) = tap {
+            if let Some(sample) = metrics.last_sample() {
+                let sample = *sample;
+                tap.push(|| TelemetryRecord::Window(sample));
+            }
+        }
     }
 
     /// Forwards this cycle's buffered events to the sink, in the fixed
@@ -382,15 +418,6 @@ impl Gpu {
             }
         }
 
-        if let Some(mut metrics) = self.metrics.take() {
-            if self.cycle.0.is_multiple_of(metrics.window()) {
-                let sw = Stopwatch::start(self.prof.is_some());
-                metrics.record(self.cycle, &self.window_totals());
-                sw.stop(&mut self.prof, Phase::Observability);
-            }
-            self.metrics = Some(metrics);
-        }
-
         let done =
             self.sms.iter().all(Sm::is_done) && self.partition.is_idle() && self.noc.is_idle();
         let budget_hit = self
@@ -415,6 +442,21 @@ impl Gpu {
             }
         }
         self.flush_trace();
+
+        // Close the metrics window only after this cycle's trace events
+        // are flushed, so a telemetry ring sees the window row *after*
+        // every event it covers — live subscribers then observe
+        // non-decreasing cycle stamps. The sample itself is unchanged:
+        // nothing above mutates the counters it reads.
+        if let Some(mut metrics) = self.metrics.take() {
+            if self.cycle.0.is_multiple_of(metrics.window()) {
+                let sw = Stopwatch::start(self.prof.is_some());
+                metrics.record(self.cycle, &self.window_totals());
+                Self::tap_window(&self.tap, &metrics);
+                sw.stop(&mut self.prof, Phase::Observability);
+            }
+            self.metrics = Some(metrics);
+        }
         advance
     }
 
@@ -574,7 +616,16 @@ impl Gpu {
                 return Ok(self.finalize(t0));
             }
             if self.cycle.0.is_multiple_of(every) {
-                self.checkpoint().write_atomic(path)?;
+                let bytes = self.checkpoint().write_atomic(path)?;
+                // Stamped after the rename lands, so the event is
+                // never part of the artifact it describes; it rides
+                // out with the next cycle's flush.
+                if self.sink.is_some() {
+                    self.device_events.push(TraceEvent {
+                        cycle: self.cycle,
+                        data: SimEvent::CheckpointSaved { bytes },
+                    });
+                }
             }
         }
     }
@@ -618,6 +669,7 @@ impl Gpu {
         if let Some(mut metrics) = self.metrics.take() {
             if !self.cycle.0.is_multiple_of(metrics.window()) {
                 metrics.record(self.cycle, &self.window_totals());
+                Self::tap_window(&self.tap, &metrics);
             }
             if !stop.is_complete() {
                 metrics.mark_stop(stop.label());
@@ -732,7 +784,20 @@ impl Gpu {
     /// error as fatal for this device).
     pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), SnapshotError> {
         ckpt.verify_fingerprint(self.fingerprint())?;
-        self.restore_state(&ckpt.state)
+        self.restore_state(&ckpt.state)?;
+        // Mark the splice point on the trace (when a sink is attached
+        // before restoring), stamped with the restored cycle. The
+        // fingerprint is config-derived, so the stream stays
+        // deterministic.
+        if self.sink.is_some() {
+            self.device_events.push(TraceEvent {
+                cycle: self.cycle,
+                data: SimEvent::Restored {
+                    fingerprint: ckpt.fingerprint,
+                },
+            });
+        }
+        Ok(())
     }
 
     /// Serializes all mutable state. Option-gated components (watchdog,

@@ -62,8 +62,9 @@ pub use fault::{Brownout, FaultPlan, Recovery};
 pub use gpu::{run_kernel, Gpu, SimError, SimOutcome, StopReason};
 pub use kernel::{AddrList, Instr, KernelTrace, WarpTrace};
 pub use obs::{
-    LatencyHistogram, MetricsSample, MetricsSeries, PrefetchLifecycle, SimEvent, TraceEvent,
-    TraceSink, VecSink, WalkStop,
+    Drained, LatencyHistogram, MetricsSample, MetricsSeries, PrefetchLifecycle, Ring, RingSink,
+    SimEvent, Subscription, TelemetryRecord, TelemetryRing, TraceEvent, TraceSink, VecSink,
+    WalkStop,
 };
 pub use perfstat::{HostProfile, Phase, PhaseStat};
 pub use prefetch::{

@@ -99,6 +99,10 @@ fn args_json(data: &SimEvent) -> String {
             format!("{{\"kind\":\"{}\",\"line\":{}}}", kind.label(), line.0)
         }
         SimEvent::Brownout { active } => format!("{{\"active\":{active}}}"),
+        SimEvent::CheckpointSaved { bytes } => format!("{{\"bytes\":{bytes}}}"),
+        SimEvent::Restored { fingerprint } => {
+            format!("{{\"fingerprint\":{fingerprint}}}")
+        }
         SimEvent::Terminal { kind, detail } => format!(
             "{{\"kind\":\"{}\",\"detail\":\"{}\"}}",
             kind.label(),

@@ -27,10 +27,12 @@
 
 pub mod chrome;
 pub mod hist;
+pub mod ring;
 pub mod windowed;
 
 pub use chrome::{chrome_trace, chrome_trace_to};
 pub use hist::{LatencyHistogram, PrefetchLifecycle, HISTOGRAM_BUCKETS};
+pub use ring::{Drained, Ring, RingSink, Subscription, TelemetryRecord, TelemetryRing};
 pub use windowed::{MetricsSample, MetricsSeries, WindowTotals, WindowedMetrics};
 
 use crate::stats::AccessOutcome;
@@ -332,6 +334,20 @@ pub enum SimEvent {
         /// Whether degraded bandwidth is now in effect.
         active: bool,
     },
+    /// A checkpoint artifact was written durably to disk (emitted by
+    /// [`Gpu::run_checkpointed`](crate::Gpu::run_checkpointed) right
+    /// after the atomic rename lands).
+    CheckpointSaved {
+        /// Size of the serialized artifact in bytes.
+        bytes: u64,
+    },
+    /// The device state was restored from a checkpoint (emitted by
+    /// [`Gpu::restore`](crate::Gpu::restore) once the whole state has
+    /// been applied). The stamped cycle is the restored cycle.
+    Restored {
+        /// Config/workload fingerprint of the applied checkpoint.
+        fingerprint: u64,
+    },
     /// The run ended. Always the last event of a trace.
     Terminal {
         /// How it ended.
@@ -367,6 +383,8 @@ impl SimEvent {
             SimEvent::ChainWalkStop { .. } => "ChainWalkStop",
             SimEvent::FaultInjected { .. } => "FaultInjected",
             SimEvent::Brownout { .. } => "Brownout",
+            SimEvent::CheckpointSaved { .. } => "CheckpointSaved",
+            SimEvent::Restored { .. } => "Restored",
             SimEvent::Terminal { .. } => "Terminal",
         }
     }
@@ -395,7 +413,10 @@ impl SimEvent {
             | SimEvent::ChainWalkStep { sm, .. }
             | SimEvent::ChainWalkStop { sm, .. }
             | SimEvent::FaultInjected { sm, .. } => Some(*sm),
-            SimEvent::Brownout { .. } | SimEvent::Terminal { .. } => None,
+            SimEvent::Brownout { .. }
+            | SimEvent::CheckpointSaved { .. }
+            | SimEvent::Restored { .. }
+            | SimEvent::Terminal { .. } => None,
         }
     }
 }

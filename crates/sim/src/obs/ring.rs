@@ -1,0 +1,436 @@
+//! Bounded single-producer telemetry ring with multi-subscriber
+//! drop accounting.
+//!
+//! A [`Ring`] carries records from the simulation thread to any number
+//! of subscribers without ever blocking the producer: when a slow (or
+//! absent) consumer lets the buffer fill, the oldest records are
+//! overwritten and the loss is *counted*, never silent. Every record
+//! ever produced gets a monotonically increasing sequence number, and a
+//! [`Subscription`] reports, on every [`drain`](Subscription::drain),
+//! exactly how many records it missed — so a consumer can always state
+//! "I saw records `a..b` and lost exactly `n` before them".
+//!
+//! Two properties matter more than throughput here:
+//!
+//! - **No observer effect.** With zero subscribers the producer path is
+//!   a sequence-counter increment under an uncontended mutex; the
+//!   record itself is never constructed (see [`Ring::push`]'s lazy
+//!   closure). Simulation outcomes are bit-identical with and without a
+//!   ring attached — enforced by the no-observer-effect tests in
+//!   `tests/observability.rs`.
+//! - **Deterministic drop accounting.** Drops depend only on the
+//!   interleaving of `push` and `drain` calls, and the dropped count a
+//!   subscriber observes is exact by construction: records occupy
+//!   sequence numbers, retained records form the contiguous suffix, so
+//!   the gap between a cursor and the oldest retained record *is* the
+//!   loss.
+//!
+//! The concrete record type used by the GPU is [`TelemetryRecord`]
+//! (trace events and per-window metric rows multiplexed on one ring,
+//! see [`TelemetryRing`]), attached via
+//! [`Gpu::attach_telemetry`](crate::Gpu::attach_telemetry).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use super::windowed::MetricsSample;
+use super::{TraceEvent, TraceSink};
+
+/// Interior state shared by the producer and all subscriptions.
+#[derive(Debug)]
+struct RingState<T> {
+    /// Maximum number of retained records.
+    cap: usize,
+    /// Retained records; the back holds sequence `head - 1`, the front
+    /// holds `head - buf.len()`.
+    buf: VecDeque<T>,
+    /// Sequence number of the *next* record to be produced; equals the
+    /// total number of records ever pushed.
+    head: u64,
+    /// Live subscription count — the producer skips record
+    /// construction and storage entirely when this is zero.
+    subscribers: usize,
+    /// Set by the producer when the stream is complete; a fully
+    /// drained subscription on a closed ring reports `done`.
+    closed: bool,
+}
+
+/// A bounded, sequence-numbered broadcast ring (see module docs).
+///
+/// Cheaply cloneable handle; all clones share one buffer.
+#[derive(Debug)]
+pub struct Ring<T>(Arc<Mutex<RingState<T>>>);
+
+impl<T> Clone for Ring<T> {
+    fn clone(&self) -> Self {
+        Ring(Arc::clone(&self.0))
+    }
+}
+
+/// One subscriber's cursor into a [`Ring`].
+///
+/// Dropping the subscription unregisters it, restoring the producer's
+/// zero-subscriber fast path when it was the last one.
+#[derive(Debug)]
+pub struct Subscription<T> {
+    state: Arc<Mutex<RingState<T>>>,
+    /// Next sequence number this subscriber wants.
+    cursor: u64,
+    /// Total records this subscriber has lost so far.
+    dropped: u64,
+}
+
+/// The result of one [`Subscription::drain`]: a contiguous run of
+/// records plus exact loss accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drained<T> {
+    /// Sequence number of `records[0]` (meaningless when empty).
+    pub first_seq: u64,
+    /// The drained records, in production order.
+    pub records: Vec<T>,
+    /// Records lost since the previous drain (overwritten before this
+    /// subscriber got to them).
+    pub dropped: u64,
+    /// True when the ring has been closed by the producer *and* this
+    /// subscription has consumed everything it will ever see.
+    pub done: bool,
+}
+
+impl<T: Clone> Ring<T> {
+    /// Creates a ring retaining at most `cap` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be non-zero");
+        Ring(Arc::new(Mutex::new(RingState {
+            cap,
+            buf: VecDeque::new(),
+            head: 0,
+            subscribers: 0,
+            closed: false,
+        })))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RingState<T>> {
+        // The only way to poison this lock is a panicking subscriber
+        // mid-drain; the producer must keep counting regardless.
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Produces one record. The closure runs — and the record is
+    /// stored — only when at least one subscription is live; with zero
+    /// subscribers only the sequence counter advances, so the record's
+    /// construction cost is never paid.
+    pub fn push(&self, make: impl FnOnce() -> T) {
+        let mut s = self.lock();
+        if s.subscribers > 0 {
+            if s.buf.len() == s.cap {
+                s.buf.pop_front();
+            }
+            let record = make();
+            s.buf.push_back(record);
+        }
+        s.head += 1;
+    }
+
+    /// Marks the stream complete. Subsequent pushes still count (and
+    /// are delivered), but a fully-drained subscription now reports
+    /// [`Drained::done`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+    }
+
+    /// Total records ever produced (delivered or not).
+    pub fn produced(&self) -> u64 {
+        self.lock().head
+    }
+
+    /// Number of records currently retained in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether [`close`](Ring::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Subscribes starting at the *current* position: the first drain
+    /// sees only records produced after this call, and nothing earlier
+    /// counts as dropped. This is the mid-run "tail" semantics.
+    pub fn subscribe(&self) -> Subscription<T> {
+        let mut s = self.lock();
+        s.subscribers += 1;
+        Subscription {
+            state: Arc::clone(&self.0),
+            cursor: s.head,
+            dropped: 0,
+        }
+    }
+
+    /// Subscribes with the cursor placed at sequence `seq` (clamped to
+    /// the current head). Records from `seq` that have already been
+    /// overwritten — or were produced while no subscriber was live —
+    /// are counted as dropped on the first drain, keeping the
+    /// accounting exact from the chosen origin. `subscribe_from(0)`
+    /// accounts for the entire stream since the ring was created.
+    pub fn subscribe_from(&self, seq: u64) -> Subscription<T> {
+        let mut s = self.lock();
+        s.subscribers += 1;
+        Subscription {
+            state: Arc::clone(&self.0),
+            cursor: seq.min(s.head),
+            dropped: 0,
+        }
+    }
+}
+
+impl<T: Clone> Subscription<T> {
+    fn lock(&self) -> MutexGuard<'_, RingState<T>> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Takes every record available to this subscriber, advancing the
+    /// cursor past them, and reports exactly how many records were
+    /// lost since the previous drain.
+    pub fn drain(&mut self) -> Drained<T> {
+        let s = self.lock();
+        let oldest = s.head - s.buf.len() as u64;
+        let dropped = oldest.saturating_sub(self.cursor);
+        let start = self.cursor.max(oldest);
+        let first_seq = start;
+        let records: Vec<T> = s
+            .buf
+            .iter()
+            .skip((start - oldest) as usize)
+            .cloned()
+            .collect();
+        let done = s.closed && start + records.len() as u64 == s.head;
+        drop(s);
+        self.cursor = first_seq + records.len() as u64;
+        self.dropped += dropped;
+        Drained {
+            first_seq,
+            records,
+            dropped,
+            done,
+        }
+    }
+
+    /// Total records this subscription has lost since it was created.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sequence number of the next record this subscription will see.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+}
+
+impl<T> Drop for Subscription<T> {
+    fn drop(&mut self) {
+        let mut s = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        s.subscribers -= 1;
+        if s.subscribers == 0 {
+            // Nobody left to deliver to: release the retained records
+            // but keep the counters, so a later subscriber's
+            // `subscribe_from(0)` accounting stays exact.
+            s.buf.clear();
+        }
+    }
+}
+
+/// One record on the live telemetry stream: either a cycle-stamped
+/// trace event or a closed per-window metrics row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryRecord {
+    /// A [`TraceEvent`] as a [`TraceSink`] would receive it.
+    Event(TraceEvent),
+    /// A [`MetricsSample`] at the closing edge of a metrics window.
+    Window(MetricsSample),
+}
+
+impl TelemetryRecord {
+    /// Cycle the record is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TelemetryRecord::Event(e) => e.cycle.0,
+            TelemetryRecord::Window(s) => s.cycle,
+        }
+    }
+}
+
+/// The ring type carried by [`Gpu::attach_telemetry`](crate::Gpu::attach_telemetry).
+pub type TelemetryRing = Ring<TelemetryRecord>;
+
+/// A [`TraceSink`] adapter that forwards every trace event into a
+/// [`TelemetryRing`] — this is how full event streaming (as opposed to
+/// window rows only) reaches live subscribers.
+#[derive(Debug)]
+pub struct RingSink {
+    ring: TelemetryRing,
+}
+
+impl RingSink {
+    /// Wraps a ring handle.
+    pub fn new(ring: TelemetryRing) -> Self {
+        RingSink { ring }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.ring.push(|| TelemetryRecord::Event(event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(d: &Drained<u64>) -> Vec<u64> {
+        (d.first_seq..d.first_seq + d.records.len() as u64).collect()
+    }
+
+    #[test]
+    fn overflow_counts_drops_exactly() {
+        let ring: Ring<u64> = Ring::new(4);
+        let mut sub = ring.subscribe();
+        for i in 0..10 {
+            ring.push(|| i);
+        }
+        let d = sub.drain();
+        // Capacity 4, ten pushed: the first six are gone, counted.
+        assert_eq!(d.dropped, 6);
+        assert_eq!(d.first_seq, 6);
+        assert_eq!(d.records, vec![6, 7, 8, 9]);
+        assert_eq!(sub.total_dropped(), 6);
+        assert_eq!(d.records.len() as u64 + d.dropped, ring.produced());
+    }
+
+    #[test]
+    fn wraparound_preserves_production_order() {
+        let ring: Ring<u64> = Ring::new(3);
+        let mut sub = ring.subscribe();
+        for i in 0..5 {
+            ring.push(|| i * 10);
+        }
+        let d = sub.drain();
+        assert_eq!(d.records, vec![20, 30, 40]);
+        assert_eq!(seqs(&d), vec![2, 3, 4]);
+        // Keep wrapping: the deque must stay in order across many laps.
+        for i in 5..23 {
+            ring.push(|| i * 10);
+        }
+        let d = sub.drain();
+        assert_eq!(d.records, vec![200, 210, 220]);
+        assert_eq!(d.dropped, 15);
+    }
+
+    #[test]
+    fn zero_subscriber_fast_path_stores_nothing_but_counts() {
+        let ring: Ring<String> = Ring::new(8);
+        let mut built = 0u32;
+        for _ in 0..100 {
+            ring.push(|| {
+                built += 1;
+                "expensive".to_string()
+            });
+        }
+        assert_eq!(built, 0, "records must not be constructed");
+        assert_eq!(ring.buffered(), 0);
+        assert_eq!(ring.produced(), 100);
+        // A later subscriber accounting from the origin sees the
+        // unobserved stretch as (exactly) dropped.
+        let mut sub = ring.subscribe_from(0);
+        let d = sub.drain();
+        assert_eq!(d.dropped, 100);
+        assert!(d.records.is_empty());
+    }
+
+    #[test]
+    fn subscribe_starts_at_now_subscribe_from_accounts_backlog() {
+        let ring: Ring<u64> = Ring::new(4);
+        {
+            let _hold = ring.subscribe(); // keep records flowing
+            for i in 0..6 {
+                ring.push(|| i);
+            }
+            let mut now = ring.subscribe();
+            let d = now.drain();
+            assert_eq!(d.dropped, 0, "nothing before subscribe() counts");
+            assert!(d.records.is_empty());
+            ring.push(|| 6);
+            let d = now.drain();
+            assert_eq!(d.records, vec![6]);
+        }
+        let mut origin = ring.subscribe_from(0);
+        let d = origin.drain();
+        assert_eq!(d.dropped + d.records.len() as u64, ring.produced());
+    }
+
+    #[test]
+    fn close_marks_done_only_when_fully_drained() {
+        let ring: Ring<u64> = Ring::new(4);
+        let mut sub = ring.subscribe();
+        ring.push(|| 1);
+        ring.close();
+        assert!(ring.is_closed());
+        ring.push(|| 2); // still counted and delivered after close
+        let d = sub.drain();
+        assert_eq!(d.records, vec![1, 2]);
+        assert!(d.done);
+        let d = sub.drain();
+        assert!(d.records.is_empty());
+        assert!(d.done);
+    }
+
+    #[test]
+    fn last_unsubscribe_releases_buffer_and_keeps_accounting() {
+        let ring: Ring<u64> = Ring::new(8);
+        let sub = ring.subscribe();
+        for i in 0..5 {
+            ring.push(|| i);
+        }
+        assert_eq!(ring.buffered(), 5);
+        drop(sub);
+        assert_eq!(ring.buffered(), 0);
+        assert_eq!(ring.produced(), 5);
+        let mut late = ring.subscribe_from(0);
+        assert_eq!(late.drain().dropped, 5);
+    }
+
+    #[test]
+    fn ring_sink_forwards_events() {
+        use crate::obs::SimEvent;
+        use crate::types::Cycle;
+        let ring = TelemetryRing::new(8);
+        let mut sub = ring.subscribe();
+        let mut sink = RingSink::new(ring.clone());
+        sink.record(&TraceEvent {
+            cycle: Cycle(7),
+            data: SimEvent::Brownout { active: true },
+        });
+        let d = sub.drain();
+        assert_eq!(d.records.len(), 1);
+        assert_eq!(d.records[0].cycle(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: Ring<u64> = Ring::new(0);
+    }
+}

@@ -204,6 +204,13 @@ impl WindowedMetrics {
         self.series.window
     }
 
+    /// The most recently closed window's sample, if any — the row the
+    /// GPU forwards to a live telemetry ring right after
+    /// [`record`](WindowedMetrics::record).
+    pub fn last_sample(&self) -> Option<&MetricsSample> {
+        self.series.samples.last()
+    }
+
     /// Closes the window ending at `cycle` with the given cumulative
     /// snapshot and appends a sample.
     pub fn record(&mut self, cycle: Cycle, totals: &WindowTotals) {

@@ -185,25 +185,28 @@ impl Checkpoint {
     /// Writes the artifact to `path` with the manifest's crash
     /// discipline: temporary file in the same directory, `fsync`,
     /// atomic rename. A crash mid-write leaves the previous file (or
-    /// none) intact.
+    /// none) intact. Returns the artifact size in bytes (reported on
+    /// the [`SimEvent::CheckpointSaved`](crate::obs::SimEvent) trace
+    /// event).
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] with the offending path.
-    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+    pub fn write_atomic(&self, path: &Path) -> Result<u64, SnapshotError> {
         let err = |source| SnapshotError::Io {
             path: path.display().to_string(),
             source,
         };
         let tmp = path.with_extension("ckpt-tmp");
+        let text = self.to_json().to_string();
         {
             let mut f = std::fs::File::create(&tmp).map_err(err)?;
-            f.write_all(self.to_json().to_string().as_bytes())
-                .map_err(err)?;
+            f.write_all(text.as_bytes()).map_err(err)?;
             f.write_all(b"\n").map_err(err)?;
             f.sync_all().map_err(err)?;
         }
-        std::fs::rename(&tmp, path).map_err(err)
+        std::fs::rename(&tmp, path).map_err(err)?;
+        Ok(text.len() as u64 + 1)
     }
 
     /// Loads and validates an artifact from `path`. A torn tail (the

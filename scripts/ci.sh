@@ -39,7 +39,7 @@ echo "==> chaos-sweep smoke (supervisor: interrupt + resume, byte-identical)"
 # The resumed report must be byte-identical to the uninterrupted one,
 # and the interrupted run must use its distinct exit code (4).
 SWEEP_DIR=$(mktemp -d)
-trap 'rm -rf "$SWEEP_DIR"' EXIT
+trap 'kill "${SNAKED_PID:-}" 2>/dev/null || true; rm -rf "$SWEEP_DIR"' EXIT
 SWEEP_FLAGS=(--sweep --quick --chaos --budget 400000
              --benchmarks LPS,CP --mechanisms baseline,snake)
 ./target/release/repro "${SWEEP_FLAGS[@]}" \
@@ -143,5 +143,57 @@ fi
 ./target/release/repro "${PERF_FLAGS[@]}" --label ci-vs-committed \
     --perf-out "$SWEEP_DIR/BENCH_ci_committed.json" \
     --compare scripts/BENCH_baseline.json --rel-threshold 3.0
+# Record the perf trajectory across PRs: the freshly emitted
+# measurement replaces the committed artifact at repo root, so every
+# change ships with its own numbers instead of an empty placeholder.
+cp "$SWEEP_DIR/BENCH_ci.json" BENCH_ci.json
+
+echo "==> snaked smoke (telemetry daemon: submit, tail, cancel, clean shutdown)"
+# Start the daemon on a temp socket, submit a sweep, tail it (the
+# stream must carry at least one window row), cancel a queued job (its
+# tail must exit with the distinct cancelled code 7), then shut down
+# cleanly: the state journal must balance — every submitted job gets a
+# terminal line, so no orphaned jobs survive the daemon.
+SNAKED_SOCK="$SWEEP_DIR/snaked.sock"
+SNAKED_LOG="$SWEEP_DIR/snaked-state.jsonl"
+./target/release/snaked --socket "$SNAKED_SOCK" --state "$SNAKED_LOG" &
+SNAKED_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SNAKED_SOCK" ] && break
+    sleep 0.05
+done
+if [ ! -S "$SNAKED_SOCK" ]; then
+    echo "snaked smoke: daemon socket never appeared" >&2
+    exit 1
+fi
+SNAKECTL=(./target/release/snakectl --socket "$SNAKED_SOCK")
+# A budgeted standard-harness sweep occupies the scheduler long enough
+# to both tail it live and cancel a job queued behind it.
+BUSY_ID=$("${SNAKECTL[@]}" submit --benchmarks LPS --mechanisms baseline,snake \
+    --budget 100000 --window 500)
+VICTIM_ID=$("${SNAKECTL[@]}" submit --quick --benchmarks CP --mechanisms snake)
+"${SNAKECTL[@]}" cancel "$VICTIM_ID" >/dev/null
+rc=0
+"${SNAKECTL[@]}" tail "$VICTIM_ID" >/dev/null || rc=$?
+if [ "$rc" -ne 7 ]; then
+    echo "snaked smoke: cancelled job's tail must exit 7, got $rc" >&2
+    exit 1
+fi
+"${SNAKECTL[@]}" tail "$BUSY_ID" > "$SWEEP_DIR/tail.txt"
+if ! grep -q '^window ' "$SWEEP_DIR/tail.txt"; then
+    echo "snaked smoke: tail streamed no window rows" >&2
+    cat "$SWEEP_DIR/tail.txt" >&2
+    exit 1
+fi
+"${SNAKECTL[@]}" shutdown >/dev/null
+wait "$SNAKED_PID"
+SUBMITTED=$(grep -c '"event":"submitted"' "$SNAKED_LOG")
+TERMINAL=$(grep -c '"terminal":true' "$SNAKED_LOG")
+if [ "$SUBMITTED" -ne 2 ] || [ "$SUBMITTED" -ne "$TERMINAL" ]; then
+    echo "snaked smoke: state journal unbalanced" \
+         "(submitted=$SUBMITTED terminal=$TERMINAL)" >&2
+    cat "$SNAKED_LOG" >&2
+    exit 1
+fi
 
 echo "CI gate passed."

@@ -8,7 +8,10 @@ use snake_repro::prelude::*;
 use snake_repro::sim::obs::{
     chrome_trace, FaultKind, SharedVecSink, SimEvent, TerminalKind, TraceEvent,
 };
-use snake_repro::sim::{Brownout, CacheGeometry, Cycle, FaultPlan, Recovery, StopReason};
+use snake_repro::sim::snapshot::Checkpoint;
+use snake_repro::sim::{
+    Brownout, CacheGeometry, Cycle, FaultPlan, Recovery, StopReason, TelemetryRecord, TelemetryRing,
+};
 
 /// Every [`SimEvent`] variant, by its stable exporter name. The golden
 /// run must produce at least one of each.
@@ -34,6 +37,8 @@ const ALL_EVENTS: &[&str] = &[
     "ChainWalkStop",
     "FaultInjected",
     "Brownout",
+    "CheckpointSaved",
+    "Restored",
     "Terminal",
 ];
 
@@ -78,26 +83,68 @@ fn traced_run(
     (out, sink.snapshot())
 }
 
+/// The golden run, extended with the snapshot layer: a checkpointing
+/// pass (emitting `CheckpointSaved` at every interval) followed by a
+/// restore of the final checkpoint on a fresh device (emitting
+/// `Restored` at the splice point), both feeding one shared sink. The
+/// combined stream exercises all 24 event variants deterministically.
+fn golden_traced_run(tag: &str) -> (SimOutcome, Vec<TraceEvent>) {
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let mut cfg = golden_cfg();
+    cfg.checkpoint_every = Some(1_000);
+    let warps = cfg.max_warps_per_sm;
+    let dir = std::env::temp_dir().join(format!("snake-golden-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt_path = dir.join("golden.ckpt");
+
+    let sink = SharedVecSink::new();
+    let mut gpu = Gpu::new(cfg.clone(), kernel.clone(), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .expect("valid config");
+    gpu.attach_sink(Box::new(sink.clone()));
+    let out = gpu.run_checkpointed(&ckpt_path).expect("checkpointing run");
+
+    // Restore leg: attach the sink *before* restoring so the Restored
+    // splice event is captured, then finish the remaining cycles.
+    let mut resumed =
+        Gpu::new(cfg, kernel, |_| PrefetcherKind::Snake.build(warps)).expect("valid config");
+    resumed.attach_sink(Box::new(sink.clone()));
+    let ckpt = Checkpoint::load(&ckpt_path).expect("checkpoint exists");
+    resumed.restore(&ckpt).expect("restore");
+    let tail = resumed.run();
+    assert_eq!(tail.stop, StopReason::Completed);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    (out, sink.snapshot())
+}
+
 #[test]
 fn golden_chrome_trace_is_byte_stable_and_complete() {
-    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
-    let (out, events) = traced_run(golden_cfg(), kernel.clone(), PrefetcherKind::Snake);
+    let (out, events) = golden_traced_run("a");
     assert_eq!(out.stop, StopReason::Completed);
 
-    // One event of every variant.
+    // One event of every variant — including the snapshot layer's
+    // CheckpointSaved/Restored pair.
     let seen: BTreeSet<&str> = events.iter().map(|e| e.data.name()).collect();
     let missing: Vec<&&str> = ALL_EVENTS.iter().filter(|n| !seen.contains(**n)).collect();
     assert!(missing.is_empty(), "missing event kinds: {missing:?}");
 
-    // The terminal event is last and says the run completed.
+    // The terminal event is last and says the run completed (the
+    // restore leg finishes the same kernel, so there are two).
     match &events.last().expect("nonempty trace").data {
         SimEvent::Terminal { kind, .. } => assert_eq!(*kind, TerminalKind::Completed),
         other => panic!("last event must be Terminal, got {other:?}"),
     }
+    let terminals = events
+        .iter()
+        .filter(|e| e.data.name() == "Terminal")
+        .count();
+    assert_eq!(terminals, 2, "checkpointing pass + restored tail");
 
     // Byte-stable across two identical runs.
     let json = chrome_trace(&events);
-    let (_, again) = traced_run(golden_cfg(), kernel, PrefetcherKind::Snake);
+    let (_, again) = golden_traced_run("b");
     assert!(
         json == chrome_trace(&again),
         "two identical runs produced different traces"
@@ -281,4 +328,72 @@ fn tracing_does_not_perturb_the_simulation() {
     let (traced, _) = traced_run(cfg, kernel, PrefetcherKind::Snake);
     assert_eq!(quiet.stats, traced.stats, "observer effect detected");
     assert_eq!(quiet.lifecycle, traced.lifecycle);
+}
+
+/// Builds the telemetry-test device: golden config plus a metrics
+/// window, so the ring carries both window rows and trace events.
+fn telemetry_gpu(ring: Option<(&TelemetryRing, bool)>) -> Gpu {
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let mut cfg = golden_cfg();
+    cfg.metrics_window = Some(200);
+    let warps = cfg.max_warps_per_sm;
+    let mut gpu =
+        Gpu::new(cfg, kernel, |_| PrefetcherKind::Snake.build(warps)).expect("valid config");
+    if let Some((ring, events)) = ring {
+        gpu.attach_telemetry(ring, events);
+    }
+    gpu
+}
+
+/// The telemetry plane's hard guarantee: with zero subscribers the
+/// ring's produce path never constructs a record, and the *entire*
+/// outcome — stats, lifecycle, windowed series, stop reason — is
+/// bit-identical to a run without any ring attached.
+#[test]
+fn telemetry_with_zero_subscribers_has_no_observer_effect() {
+    let quiet = telemetry_gpu(None).run();
+
+    let ring = TelemetryRing::new(1024);
+    let ringed = telemetry_gpu(Some((&ring, true))).run();
+
+    assert_eq!(quiet, ringed, "observer effect detected");
+    assert!(
+        ring.produced() > 0,
+        "the ring must still count every record it skipped"
+    );
+    assert_eq!(
+        ring.buffered(),
+        0,
+        "zero subscribers must mean zero stored records"
+    );
+}
+
+/// A subscribed ring delivers exactly the windowed series the outcome
+/// reports, cycle-stamped and in order — and subscribing still does
+/// not perturb the simulation.
+#[test]
+fn subscribed_ring_carries_the_exact_window_series() {
+    let quiet = telemetry_gpu(None).run();
+
+    let ring = TelemetryRing::new(1 << 20);
+    let mut sub = ring.subscribe();
+    let ringed = telemetry_gpu(Some((&ring, false))).run();
+    assert_eq!(quiet, ringed, "observer effect detected");
+
+    let drained = sub.drain();
+    assert_eq!(drained.dropped, 0, "capacity covers the whole run");
+    let windows: Vec<_> = drained
+        .records
+        .iter()
+        .map(|r| match r {
+            TelemetryRecord::Window(s) => *s,
+            TelemetryRecord::Event(e) => panic!("events were not requested, got {e:?}"),
+        })
+        .collect();
+    let series = ringed.series.expect("metrics window was configured");
+    assert_eq!(windows, series.samples, "ring must mirror the series");
+    assert!(
+        windows.windows(2).all(|w| w[0].cycle < w[1].cycle),
+        "window cycles must be strictly increasing"
+    );
 }
