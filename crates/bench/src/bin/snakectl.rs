@@ -1,36 +1,65 @@
 //! `snakectl` — client for the `snaked` telemetry daemon.
 //!
-//! * `submit` queues a sweep and prints its job id.
+//! * `submit` queues a sweep and prints its job id; `--client` tags it
+//!   for quota accounting, `--deadline-ms` bounds each scheduling
+//!   slice (suspend-to-checkpoint + requeue on expiry), and
+//!   `--checkpoint-every` overrides the daemon's checkpoint cadence.
+//!   A quota rejection exits with the distinct code 8.
 //! * `status [ID]` prints the daemon's job registry (JSON, one line).
 //! * `tail ID` follows a job live: one line per metrics window (IPC,
 //!   L1 hit rate, MSHR occupancy, chain depth, throttle state), a
 //!   sweep progress line whenever the counters change, and a final
 //!   `done` line; the process exits with the job's exit code (7 when
-//!   the job was cancelled).
+//!   the job was cancelled). `--from-seq`/`--ring` reconnect a cut-off
+//!   subscription mid-stream without re-reading (or silently missing)
+//!   anything.
+//! * `reports ID` prints a finished job's report rows (JSON, one
+//!   line) — stable bytes, suitable for diffing two runs.
+//! * `health` prints the daemon's self-diagnostics: journal
+//!   degradation counters, dropped tail subscribers, checkpoints.
 //! * `cancel ID` cancels a queued or running job.
 //! * `shutdown` stops the daemon (cancelling everything live).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use snake_bench::cli::{fail, CliError};
-use snake_bench::serve::client;
-use snake_bench::serve::{Request, SubmitSpec};
+use snake_bench::serve::client::{self, ClientError};
+use snake_bench::serve::{Request, SubmitSpec, EXIT_QUOTA};
 use snake_core::json::Value;
 
 const USAGE: &str = "usage: snakectl [--socket PATH] COMMAND
 commands:
   submit [--benchmarks LIST] [--mechanisms LIST] [--quick]
          [--budget CYCLES] [--window CYCLES] [--events] [--priority N]
+         [--client NAME] [--deadline-ms MS] [--checkpoint-every CYCLES]
                  queue a sweep; prints the job id
+                 (exit 8: rejected by the per-client quota)
   status [ID]    print job states as JSON
-  tail ID        follow a job's live telemetry; exits with its code
+  tail ID [--ring N] [--from-seq N]
+                 follow a job's live telemetry; exits with its code;
+                 --ring/--from-seq resume a cut-off subscription
+  reports ID     print a finished job's report rows as JSON
+  health         print daemon health (journal state, drop counters)
   cancel ID      cancel a queued or running job
   shutdown       stop the daemon
   --socket PATH  daemon socket (default ./snaked.sock)";
 
+enum Command {
+    /// One-shot request/response operations.
+    Oneshot(Request),
+    /// The streaming tail, with reconnect coordinates.
+    Tail {
+        id: u64,
+        ring: u64,
+        from: Option<u64>,
+    },
+    /// Fetch one job's status and print only its report rows.
+    Reports { id: u64 },
+}
+
 struct Cli {
     socket: PathBuf,
-    request: Request,
+    command: Command,
 }
 
 fn operand(
@@ -58,7 +87,7 @@ fn parse_args() -> Result<Cli, CliError> {
         socket = PathBuf::from(operand(&mut args, "--socket")?);
     }
     let command = operand(&mut args, "command")?;
-    let request = match command.as_str() {
+    let command = match command.as_str() {
         "submit" => {
             let mut spec = SubmitSpec::default();
             while let Some(arg) = args.next() {
@@ -79,27 +108,56 @@ fn parse_args() -> Result<Cli, CliError> {
                         spec.priority =
                             parse_u64(&operand(&mut args, "--priority")?, "--priority")?;
                     }
+                    "--client" => spec.client = Some(operand(&mut args, "--client")?),
+                    "--deadline-ms" => {
+                        spec.deadline_ms = Some(parse_u64(
+                            &operand(&mut args, "--deadline-ms")?,
+                            "--deadline-ms",
+                        )?);
+                    }
+                    "--checkpoint-every" => {
+                        spec.checkpoint_every = Some(parse_u64(
+                            &operand(&mut args, "--checkpoint-every")?,
+                            "--checkpoint-every",
+                        )?);
+                    }
                     other => return Err(CliError::Usage(format!("unknown argument {other:?}"))),
                 }
             }
-            Request::Submit(spec)
+            Command::Oneshot(Request::Submit(spec))
         }
-        "status" => Request::Status {
+        "status" => Command::Oneshot(Request::Status {
             id: args
                 .next()
                 .map(|raw| parse_u64(&raw, "job id"))
                 .transpose()?,
-        },
-        "tail" => Request::Tail {
+        }),
+        "tail" => {
+            let id = parse_u64(&operand(&mut args, "job id")?, "job id")?;
+            let mut ring = 0;
+            let mut from = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--ring" => ring = parse_u64(&operand(&mut args, "--ring")?, "--ring")?,
+                    "--from-seq" => {
+                        from = Some(parse_u64(&operand(&mut args, "--from-seq")?, "--from-seq")?);
+                    }
+                    other => return Err(CliError::Usage(format!("unknown argument {other:?}"))),
+                }
+            }
+            Command::Tail { id, ring, from }
+        }
+        "reports" => Command::Reports {
             id: parse_u64(&operand(&mut args, "job id")?, "job id")?,
         },
-        "cancel" => Request::Cancel {
+        "health" => Command::Oneshot(Request::Health),
+        "cancel" => Command::Oneshot(Request::Cancel {
             id: parse_u64(&operand(&mut args, "job id")?, "job id")?,
-        },
-        "shutdown" => Request::Shutdown,
+        }),
+        "shutdown" => Command::Oneshot(Request::Shutdown),
         other => return Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
-    Ok(Cli { socket, request })
+    Ok(Cli { socket, command })
 }
 
 /// Renders one tail stream object as a human-readable line.
@@ -148,30 +206,54 @@ fn render(v: &Value) -> Option<String> {
     }
 }
 
+/// Exits with the code a client failure calls for: the typed quota
+/// rejection gets its own exit code ([`EXIT_QUOTA`]), other daemon
+/// refusals exit 2, transport failures go through the shared CLI path.
+fn client_fail(socket: &Path, e: ClientError) -> ! {
+    match e {
+        ClientError::Daemon { message, code } => {
+            eprintln!("snakectl: {message}");
+            if code.as_deref() == Some("quota") {
+                std::process::exit(EXIT_QUOTA);
+            }
+            std::process::exit(2);
+        }
+        ClientError::Io(e) => fail(
+            "snakectl",
+            &CliError::io(socket.display().to_string(), e),
+            USAGE,
+        ),
+    }
+}
+
 fn main() {
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(e) => fail("snakectl", &e, USAGE),
     };
-    let io_fail = |e: std::io::Error| -> ! {
-        fail(
-            "snakectl",
-            &CliError::io(cli.socket.display().to_string(), e),
-            USAGE,
-        )
-    };
-    match &cli.request {
-        Request::Tail { id } => {
-            let end = client::tail(&cli.socket, *id, |line| {
+    match &cli.command {
+        Command::Tail { id, ring, from } => {
+            let end = client::tail_from(&cli.socket, *id, *ring, *from, |line| {
                 if let Some(text) = render(line) {
                     println!("{text}");
                 }
             })
-            .unwrap_or_else(|e| io_fail(e));
+            .unwrap_or_else(|e| client_fail(&cli.socket, e));
             std::process::exit(end.exit);
         }
-        req => {
-            let response = client::request(&cli.socket, req).unwrap_or_else(|e| io_fail(e));
+        Command::Reports { id } => {
+            let response = client::request(&cli.socket, &Request::Status { id: Some(*id) })
+                .unwrap_or_else(|e| client_fail(&cli.socket, e));
+            let reports = response
+                .get("job")
+                .and_then(|j| j.get("reports"))
+                .cloned()
+                .unwrap_or(Value::Arr(Vec::new()));
+            println!("{reports}");
+        }
+        Command::Oneshot(req) => {
+            let response =
+                client::request(&cli.socket, req).unwrap_or_else(|e| client_fail(&cli.socket, e));
             match req {
                 Request::Submit(_) => {
                     // Just the id, so scripts can capture it.
@@ -188,6 +270,7 @@ fn main() {
                         .unwrap_or(Value::Null);
                     println!("{body}");
                 }
+                Request::Health => println!("{response}"),
                 Request::Cancel { id } => {
                     let state = response.get("state").and_then(Value::as_str).unwrap_or("?");
                     println!("job {id}: {state}");

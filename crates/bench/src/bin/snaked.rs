@@ -3,6 +3,12 @@
 //! sweep supervisor in priority order, and streams live window rows
 //! and trace events to `snakectl tail` subscribers.
 //!
+//! With `--state` the daemon is crash-safe: every accepted job, state
+//! transition, and mid-simulation checkpoint is journaled, and a
+//! restarted daemon (even after `kill -9`) replays the journal —
+//! finished jobs keep their reports, unfinished jobs re-queue, and
+//! mid-run simulations resume from their latest checkpoint.
+//!
 //! The process runs in the foreground until a `shutdown` request; run
 //! it under a job control tool (or `&` in scripts) for background use.
 
@@ -11,14 +17,31 @@ use std::path::PathBuf;
 use snake_bench::cli::{fail, CliError};
 use snake_bench::serve::{serve, DaemonOptions};
 
-const USAGE: &str = "usage: snaked [--socket PATH] [--state PATH]
-  --socket PATH  Unix socket to listen on (default ./snaked.sock)
-  --state PATH   append a JSONL job journal (submitted/terminal lines)";
+const USAGE: &str = "usage: snaked [--socket PATH] [--state PATH] [--checkpoint-every N]
+              [--workers N] [--quota-queued N] [--quota-running N]
+  --socket PATH        Unix socket to listen on (default ./snaked.sock)
+  --state PATH         append a JSONL state journal and recover from it
+                       on startup (submitted/running/record/checkpoint/
+                       terminal lines; kill -9 safe)
+  --checkpoint-every N default mid-simulation checkpoint cadence in
+                       cycles for journaled jobs (default 2000; submits
+                       may override)
+  --workers N          concurrent scheduler workers (default 2; a
+                       running quota needs at least 2 to matter)
+  --quota-queued N     max queued jobs per client id; further submits
+                       are rejected with the typed quota error
+  --quota-running N    max running jobs per client id; the scheduler
+                       holds that client's queued jobs without starving
+                       other clients";
 
 fn parse_args() -> Result<DaemonOptions, CliError> {
     let mut opts = DaemonOptions {
         socket: PathBuf::from("snaked.sock"),
         state_log: None,
+        checkpoint_every: Some(2000),
+        quota_queued: None,
+        quota_running: None,
+        workers: 2,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,9 +51,35 @@ fn parse_args() -> Result<DaemonOptions, CliError> {
                 why: "missing operand".into(),
             })
         };
+        let positive = |what: &'static str, raw: String| -> Result<u64, CliError> {
+            match raw.parse() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(CliError::BadArg {
+                    what,
+                    why: format!("not a positive integer: {raw:?}"),
+                }),
+            }
+        };
         match arg.as_str() {
             "--socket" => opts.socket = PathBuf::from(operand("--socket")?),
             "--state" => opts.state_log = Some(PathBuf::from(operand("--state")?)),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(positive(
+                    "--checkpoint-every",
+                    operand("--checkpoint-every")?,
+                )?);
+            }
+            "--workers" => {
+                opts.workers = positive("--workers", operand("--workers")?)? as usize;
+            }
+            "--quota-queued" => {
+                opts.quota_queued =
+                    Some(positive("--quota-queued", operand("--quota-queued")?)? as usize);
+            }
+            "--quota-running" => {
+                opts.quota_running =
+                    Some(positive("--quota-running", operand("--quota-running")?)? as usize);
+            }
             other => {
                 return Err(CliError::Usage(format!("unknown argument {other:?}")));
             }

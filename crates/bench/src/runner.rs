@@ -212,6 +212,96 @@ impl Harness {
         }
     }
 
+    /// Runs one job with the full daemon service surface: live
+    /// telemetry ([`Harness::run_job_live`]) plus checkpoint/resume
+    /// and deadline suspension ([`Harness::run_job_managed`]) in a
+    /// single pass — the `snaked` scheduler's entry point.
+    ///
+    /// * `resume_from` — restore the complete simulator state from an
+    ///   earlier checkpoint, then continue.
+    /// * `checkpoint_to` — where periodic mid-simulation checkpoints
+    ///   go, every [`GpuConfig::checkpoint_every`] cycles (both must
+    ///   be set for any checkpointing to happen); `on_checkpoint(cycle,
+    ///   bytes)` fires after each write is durable, so the caller can
+    ///   journal the artifact before anything else can crash.
+    /// * `deadline` — a wall-clock slice budget: once it passes (and
+    ///   checkpointing is enabled), the run suspends at the next check,
+    ///   writes a final checkpoint, and returns [`JobRun::Suspended`].
+    /// * `cancel` — polled once per cycle; cancellation *wins* every
+    ///   race with the deadline: a run that stops because the flag was
+    ///   set returns [`JobRun::Cancelled`] and writes no final
+    ///   checkpoint, so a cancelled job never leaves a fresh resume
+    ///   artifact behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an invalid configuration, an unusable
+    /// or mismatched resume checkpoint, or a failed checkpoint write.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_job_serviced(
+        &self,
+        bench: Benchmark,
+        kind: PrefetcherKind,
+        ring: &TelemetryRing,
+        include_events: bool,
+        cancel: &AtomicBool,
+        resume_from: Option<&Path>,
+        checkpoint_to: Option<&Path>,
+        deadline: Option<std::time::Instant>,
+        mut on_checkpoint: impl FnMut(u64, u64),
+    ) -> Result<JobRun, SimError> {
+        if cancel.load(Ordering::Relaxed) {
+            return Ok(JobRun::Cancelled);
+        }
+        let kernel = bench.build(&self.size);
+        let warps = self.cfg.max_warps_per_sm;
+        let mut gpu = Gpu::new(self.cfg.clone(), kernel.clone(), |_| kind.build(warps))?;
+        if let Some(path) = resume_from {
+            let ckpt = Checkpoint::load(path)?;
+            gpu.restore(&ckpt)?;
+        }
+        gpu.attach_telemetry(ring, include_events);
+        let ckpt = match (checkpoint_to, self.cfg.checkpoint_every) {
+            (Some(path), Some(every)) => Some((path, every)),
+            _ => None,
+        };
+        let can_suspend = ckpt.is_some() && deadline.is_some();
+        let mut at = Cycle::ZERO;
+        let mut hit_deadline = false;
+        let outcome = gpu.run_serviced(ckpt, &mut on_checkpoint, |c| {
+            at = c;
+            if cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+            // The deadline only matters at millisecond scale; checking
+            // the clock every cycle would dominate the simulation.
+            if can_suspend && c.0.is_multiple_of(1024) {
+                if let Some(dl) = deadline {
+                    if std::time::Instant::now() >= dl {
+                        hit_deadline = true;
+                        return true;
+                    }
+                }
+            }
+            false
+        })?;
+        match outcome {
+            Some(outcome) => Ok(JobRun::Finished(Box::new(
+                self.job_output(kind, &kernel, outcome),
+            ))),
+            None if hit_deadline && !cancel.load(Ordering::Relaxed) => {
+                let (path, _) = ckpt.expect("deadline suspension requires checkpointing");
+                let bytes = gpu.checkpoint().write_atomic(path)?;
+                on_checkpoint(at.0, bytes);
+                Ok(JobRun::Suspended {
+                    cycle: at.0,
+                    checkpoint: path.display().to_string(),
+                })
+            }
+            None => Ok(JobRun::Cancelled),
+        }
+    }
+
     /// Assembles the supervised-run output for a finished simulation.
     fn job_output(
         &self,

@@ -11,27 +11,79 @@ use snake_core::json::{self, Value};
 
 use super::protocol::Request;
 
-/// Turns a protocol-level failure into an [`io::Error`].
-fn protocol_error(message: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.into())
+/// Why a client call failed: transport trouble, or the daemon said no.
+///
+/// The split matters for exit codes: a typed daemon refusal (e.g. the
+/// `"quota"` admission rejection) carries its `code` so `snakectl` can
+/// map it to a distinct exit code instead of a generic failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket/stream failure, or a malformed stream (bad JSON, broken
+    /// sequence accounting).
+    Io(io::Error),
+    /// The daemon answered `{"ok":false,...}`.
+    Daemon {
+        /// The daemon's human-readable error message.
+        message: String,
+        /// Machine-readable rejection code, when the daemon sent one
+        /// (currently `"quota"` for admission-control rejections).
+        code: Option<String>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "{e}"),
+            ClientError::Daemon { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Daemon { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// Whether this is a daemon rejection carrying the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        matches!(self, ClientError::Daemon { code: Some(c), .. } if c == code)
+    }
+}
+
+/// Turns a protocol-level failure into an [`io::Error`]-backed error.
+fn protocol_error(message: impl Into<String>) -> ClientError {
+    ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, message.into()))
 }
 
 /// Reads one response line and checks its `ok` field.
-fn read_response(reader: &mut impl BufRead) -> io::Result<Value> {
+fn read_response(reader: &mut impl BufRead) -> Result<Value, ClientError> {
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    if reader.read_line(&mut line).map_err(ClientError::Io)? == 0 {
         return Err(protocol_error("daemon closed the connection"));
     }
     let v = json::parse(line.trim()).map_err(|e| protocol_error(format!("bad response: {e}")))?;
     match v.get("ok").and_then(Value::as_bool) {
         Some(true) => Ok(v),
-        _ => {
-            let why = v
+        _ => Err(ClientError::Daemon {
+            message: v
                 .get("error")
                 .and_then(Value::as_str)
-                .unwrap_or("unknown daemon error");
-            Err(protocol_error(why.to_string()))
-        }
+                .unwrap_or("unknown daemon error")
+                .to_string(),
+            code: v.get("code").and_then(Value::as_str).map(str::to_string),
+        }),
     }
 }
 
@@ -39,12 +91,12 @@ fn read_response(reader: &mut impl BufRead) -> io::Result<Value> {
 ///
 /// # Errors
 ///
-/// Returns [`io::Error`] when the socket is unreachable or the daemon
-/// answers `{"ok":false,...}` (surfaced as [`io::ErrorKind::InvalidData`]
-/// with the daemon's message).
-pub fn request(socket: &Path, req: &Request) -> io::Result<Value> {
-    let mut stream = UnixStream::connect(socket)?;
-    writeln!(stream, "{}", req.to_json())?;
+/// [`ClientError::Io`] when the socket is unreachable or the response
+/// is malformed; [`ClientError::Daemon`] (with any typed `code`) when
+/// the daemon answers `{"ok":false,...}`.
+pub fn request(socket: &Path, req: &Request) -> Result<Value, ClientError> {
+    let mut stream = UnixStream::connect(socket).map_err(ClientError::Io)?;
+    writeln!(stream, "{}", req.to_json()).map_err(ClientError::Io)?;
     let mut reader = BufReader::new(stream);
     read_response(&mut reader)
 }
@@ -58,13 +110,27 @@ pub struct TailEnd {
     pub exit: i32,
     /// Stream records (window/event lines) delivered.
     pub delivered: u64,
-    /// Records this subscriber provably missed (ring overflow).
+    /// Records this subscriber provably missed (ring overflow, or —
+    /// with `from` — history overwritten before the reconnect).
     pub dropped: u64,
+}
+
+/// Follows a job's telemetry stream from the beginning; see
+/// [`tail_from`].
+///
+/// # Errors
+///
+/// As [`tail_from`].
+pub fn tail(socket: &Path, id: u64, on_line: impl FnMut(&Value)) -> Result<TailEnd, ClientError> {
+    tail_from(socket, id, 0, None, on_line)
 }
 
 /// Follows a job's telemetry stream, invoking `on_line` for every
 /// stream object (including the final `done` line), and returns the
-/// terminal summary.
+/// terminal summary. `ring` skips already-consumed per-attempt rings
+/// and `from` resumes the first ring at a sequence number — together
+/// they let a disconnected subscriber reconnect mid-stream without
+/// re-reading (or silently missing) anything.
 ///
 /// Verifies the daemon's drop accounting end-to-end: within each ring
 /// (the span from its `stream` line's `from` to its `stream_end`
@@ -75,13 +141,20 @@ pub struct TailEnd {
 ///
 /// # Errors
 ///
-/// Returns [`io::Error`] for socket failures, a daemon-side error
-/// response, a malformed stream, or inconsistent drop accounting.
-pub fn tail(socket: &Path, id: u64, mut on_line: impl FnMut(&Value)) -> io::Result<TailEnd> {
-    let stream = UnixStream::connect(socket)?;
+/// [`ClientError::Io`] for socket failures, a malformed stream, or
+/// inconsistent drop accounting; [`ClientError::Daemon`] for a
+/// daemon-side error response.
+pub fn tail_from(
+    socket: &Path,
+    id: u64,
+    ring: u64,
+    from: Option<u64>,
+    mut on_line: impl FnMut(&Value),
+) -> Result<TailEnd, ClientError> {
+    let stream = UnixStream::connect(socket).map_err(ClientError::Io)?;
     {
         let mut w = &stream;
-        writeln!(w, "{}", Request::Tail { id }.to_json())?;
+        writeln!(w, "{}", Request::Tail { id, ring, from }.to_json()).map_err(ClientError::Io)?;
     }
     let mut reader = BufReader::new(stream);
     read_response(&mut reader)?;
@@ -90,7 +163,7 @@ pub fn tail(socket: &Path, id: u64, mut on_line: impl FnMut(&Value)) -> io::Resu
     let mut gaps = 0u64;
     let mut seen = 0u64;
     for line in reader.lines() {
-        let line = line?;
+        let line = line.map_err(ClientError::Io)?;
         let v = json::parse(line.trim())
             .map_err(|e| protocol_error(format!("bad stream line: {e}")))?;
         let kind = v

@@ -4,36 +4,65 @@
 //! rings fan windows and events out to `tail` subscribers.
 //!
 //! Concurrency layout: connection handler threads only touch the
-//! registry (submit / status / cancel / shutdown) or read rings
-//! (`tail`); the scheduler thread is the only one that *runs*
+//! registry (submit / status / cancel / health / shutdown) or read
+//! rings (`tail`); the scheduler thread is the only one that *runs*
 //! simulations, so jobs execute strictly in priority order (FIFO
 //! within a priority) and telemetry rings have exactly one producer —
 //! the invariant the lock-light ring design depends on.
+//!
+//! Crash safety: every state transition is journaled ([`journal`])
+//! before the daemon acts on it being durable, and on startup the
+//! journal is replayed — terminal jobs come back with their recorded
+//! reports (bit-exact, via the lexeme-preserving json layer),
+//! non-terminal jobs re-queue at their original priority, and sub-jobs
+//! with a live mid-simulation checkpoint resume from it instead of
+//! cycle zero. Combined with the simulator's deterministic
+//! kill-anywhere snapshots, a `kill -9`'d daemon finishes its sweeps
+//! byte-identically to one that was never killed (chaos-tested in
+//! `tests/serve_chaos.rs`).
+//!
+//! Multi-tenancy: submits carry an optional client id; the daemon can
+//! cap queued jobs per client (typed `"quota"` rejection → `snakectl`
+//! exit [`EXIT_QUOTA`]) and cap concurrently running jobs per client
+//! (the scheduler passes over a client at its running quota without
+//! starving other clients). Per-job `deadline_ms` bounds a scheduling
+//! slice: on expiry the running simulation suspends to a checkpoint,
+//! the job re-queues behind its priority peers, and the next slice
+//! resumes mid-simulation — cooperative time-sharing with zero lost
+//! cycles.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use snake_core::json::Value;
 use snake_core::{MechanismReport, PrefetcherKind};
+use snake_sim::snapshot::Checkpoint;
 use snake_sim::{TelemetryRecord, TelemetryRing};
 use snake_workloads::Benchmark;
 
+use super::journal::{self, Journal, JournalEvent};
 use super::protocol::{
-    done_line, err_line, ok_line, progress_line, record_line, stream_end_line, stream_line,
-    Request, SubmitSpec,
+    done_line, err_line, err_line_coded, ok_line, progress_line, record_line, stream_end_line,
+    stream_line, Request, SubmitSpec,
 };
 use crate::runner::Harness;
-use crate::supervise::{campaign, run_supervised, JobOutcome, JobSpec, Progress, SweepConfig};
+use crate::supervise::{
+    campaign, run_supervised, JobOutcome, JobRecord, JobSpec, Progress, SweepConfig,
+};
 
 /// Exit code `snakectl tail` reports for a cancelled job — distinct
 /// from every supervisor and CLI code (0/2/3/4/5/6).
 pub const EXIT_CANCELLED: i32 = 7;
+
+/// Exit code `snakectl submit` reports for a quota rejection — the
+/// typed admission-control refusal, distinct from every other code.
+pub const EXIT_QUOTA: i32 = 8;
 
 /// Records per telemetry ring; at quick-harness rates a full event
 /// stream overflows this, which is exactly what the drop accounting is
@@ -49,9 +78,28 @@ pub struct DaemonOptions {
     /// Unix-domain socket path (created on start, removed on shutdown).
     pub socket: PathBuf,
     /// Optional JSONL state journal: one `submitted` line per accepted
-    /// job and one `"terminal":true` line per finished/cancelled job,
-    /// so an orphan check is `count(submitted) == count(terminal)`.
+    /// job and one `"terminal":true` line per finished/cancelled job
+    /// (so an orphan check is `count(submitted) == count(terminal)`),
+    /// plus running/requeued/record/checkpoint lines in between. The
+    /// journal is what makes the daemon restartable: on startup it is
+    /// replayed and unfinished jobs resume.
     pub state_log: Option<PathBuf>,
+    /// Default mid-simulation checkpoint cadence (cycles) for daemon
+    /// jobs, applied when the journal is enabled; per-submit
+    /// `checkpoint_every` overrides it. `None` disables checkpointing
+    /// unless a submit asks for it.
+    pub checkpoint_every: Option<u64>,
+    /// Max jobs one client may have *queued* at once; further submits
+    /// are rejected with the typed `"quota"` code. `None` = unlimited.
+    pub quota_queued: Option<usize>,
+    /// Max jobs one client may have *running* at once; the scheduler
+    /// passes over that client's queued jobs until a slot frees.
+    /// `None` = unlimited.
+    pub quota_running: Option<usize>,
+    /// Scheduler worker threads — how many sweeps run concurrently.
+    /// Must be at least 1; a running quota only has teeth with more
+    /// than one worker (one worker never runs two jobs at once).
+    pub workers: usize,
 }
 
 /// Lifecycle of one submitted sweep.
@@ -95,16 +143,30 @@ struct JobEntry {
     id: u64,
     desc: String,
     priority: u64,
+    client: Option<String>,
     harness: Harness,
     jobs: Vec<JobSpec>,
     events: bool,
+    /// Wall budget per scheduling slice; expiry suspends-to-checkpoint
+    /// and re-queues instead of finishing the sweep in one sitting.
+    deadline: Option<Duration>,
     cancel: AtomicBool,
     progress: Arc<Progress>,
-    /// One ring per supervised job, appended as each starts; `tail`
-    /// subscribers walk this list in order. Rings are closed when
-    /// their job ends, so drains observe completion, not silence.
+    /// One ring per supervised job *attempt*, appended as each starts
+    /// (across every scheduling slice); `tail` subscribers walk this
+    /// list in order. Rings are closed when their job ends, so drains
+    /// observe completion, not silence.
     rings: Mutex<Vec<(String, TelemetryRing)>>,
     state: Mutex<ReqState>,
+    /// Durable per-sub-job records carried across scheduling slices
+    /// (and across daemon restarts): the supervisor replays these
+    /// instead of re-running finished work.
+    recovered: Mutex<HashMap<String, JobRecord>>,
+    /// Checkpoint artifacts currently registered in the journal, keyed
+    /// by sub-job id. Cleared (file removed + journaled) the moment a
+    /// sub-job completes or the sweep is cancelled, so a cancel leaves
+    /// no stray checkpoint registered.
+    live_ckpts: Mutex<HashMap<String, PathBuf>>,
 }
 
 struct Registry {
@@ -120,32 +182,81 @@ struct Shared {
     socket: PathBuf,
     registry: Mutex<Registry>,
     wake: Condvar,
-    state_log: Option<Mutex<std::fs::File>>,
+    journal: Option<Journal>,
+    /// Default checkpoint cadence (see [`DaemonOptions`]).
+    checkpoint_every: Option<u64>,
+    quota_queued: Option<usize>,
+    quota_running: Option<usize>,
+    /// Tail subscribers that vanished mid-stream (write failure); the
+    /// simulation never notices — the subscription is just dropped —
+    /// but the count is surfaced in `health`.
+    tails_disconnected: AtomicU64,
+    /// Mid-simulation checkpoints made durable since startup.
+    checkpoints_written: AtomicU64,
 }
 
 impl Shared {
-    fn log(&self, event: &str, id: u64, terminal: Option<i32>) {
-        let Some(f) = &self.state_log else { return };
-        let mut fields = vec![
-            ("event".to_string(), Value::str(event)),
-            ("id".to_string(), Value::u64(id)),
-        ];
-        if let Some(exit) = terminal {
-            fields.push(("terminal".into(), Value::Bool(true)));
-            fields.push(("exit".into(), Value::u64(exit.max(0) as u64)));
+    fn journal(&self, event: &JournalEvent) {
+        if let Some(j) = &self.journal {
+            j.append(event);
         }
-        let mut f = f.lock().unwrap();
-        // Journal writes are best-effort: a full disk must not take
-        // down running simulations.
-        let _ = writeln!(f, "{}", Value::Obj(fields));
-        let _ = f.flush();
     }
+
+    fn journal_terminal(&self, id: u64, state: &str, exit: i32) {
+        self.journal(&JournalEvent::Terminal {
+            id,
+            state: state.to_string(),
+            exit,
+        });
+    }
+
+    /// `(label, degraded, errors)` for status/health lines.
+    fn journal_health(&self) -> (&'static str, bool, u64) {
+        match &self.journal {
+            Some(j) if j.degraded() => ("degraded", true, j.errors()),
+            Some(_) => ("ok", false, 0),
+            None => ("disabled", false, 0),
+        }
+    }
+}
+
+/// Removes one sub-job's checkpoint artifact and journals the clear.
+fn clear_checkpoint(shared: &Shared, entry: &JobEntry, job: &str) {
+    let removed = entry.live_ckpts.lock().unwrap().remove(job);
+    if let Some(path) = removed {
+        let _ = std::fs::remove_file(&path);
+        shared.journal(&JournalEvent::CheckpointCleared {
+            id: entry.id,
+            job: job.to_string(),
+        });
+    }
+}
+
+/// Removes every live checkpoint of a sweep (cancellation path).
+fn clear_all_checkpoints(shared: &Shared, entry: &JobEntry) {
+    let drained: Vec<(String, PathBuf)> = entry.live_ckpts.lock().unwrap().drain().collect();
+    for (job, path) in drained {
+        let _ = std::fs::remove_file(&path);
+        shared.journal(&JournalEvent::CheckpointCleared { id: entry.id, job });
+    }
+}
+
+/// The sibling file a daemon job's mid-simulation checkpoint goes to:
+/// `<journal file name>.j<id>.<sub-job id with '/' → '-'>.ckpt`, in
+/// the journal's directory — daemon state and simulation state travel
+/// together, mirroring the sweep manifest convention.
+fn checkpoint_path(journal_path: &Path, id: u64, job_id: &str) -> PathBuf {
+    let stem = journal_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snaked-state".into());
+    journal_path.with_file_name(format!("{stem}.j{id}.{}.ckpt", job_id.replace('/', "-")))
 }
 
 /// A running daemon; `join` blocks until shutdown completes.
 pub struct DaemonHandle {
     accept: JoinHandle<()>,
-    scheduler: JoinHandle<()>,
+    schedulers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for DaemonHandle {
@@ -155,22 +266,41 @@ impl std::fmt::Debug for DaemonHandle {
 }
 
 impl DaemonHandle {
-    /// Waits for the accept loop and scheduler to exit (they do after
-    /// a `shutdown` request).
+    /// Waits for the accept loop and every scheduler worker to exit
+    /// (they do after a `shutdown` request).
     pub fn join(self) {
         let _ = self.accept.join();
-        let _ = self.scheduler.join();
+        for worker in self.schedulers {
+            let _ = worker.join();
+        }
     }
 }
 
-/// Starts the daemon: binds the socket, spawns the scheduler and the
-/// accept loop, and returns immediately.
+/// Starts the daemon: binds the socket, replays the state journal
+/// (re-queueing unfinished jobs, resurrecting mid-run simulations from
+/// their checkpoints), spawns the scheduler workers and the accept
+/// loop, and returns immediately.
 ///
 /// # Errors
 ///
 /// Returns the underlying [`io::Error`] when the socket cannot be
-/// bound or the state journal cannot be created.
+/// bound, a quota or worker count is zero, the state journal cannot be
+/// opened,
+/// or the journal is corrupt (mid-file corruption — a torn tail is
+/// healed silently).
 pub fn serve(opts: &DaemonOptions) -> io::Result<DaemonHandle> {
+    if opts.quota_queued == Some(0) || opts.quota_running == Some(0) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "quotas must be at least 1 (omit the flag for unlimited)",
+        ));
+    }
+    if opts.workers == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "the daemon needs at least 1 scheduler worker",
+        ));
+    }
     // A stale socket file from a crashed daemon would make bind fail;
     // connecting to it distinguishes stale from live.
     if opts.socket.exists() {
@@ -183,29 +313,54 @@ pub fn serve(opts: &DaemonOptions) -> io::Result<DaemonHandle> {
         std::fs::remove_file(&opts.socket)?;
     }
     let listener = UnixListener::bind(&opts.socket)?;
-    let state_log = match &opts.state_log {
-        Some(path) => Some(Mutex::new(
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)?,
-        )),
+    let mut registry = Registry {
+        next_id: 1,
+        queue: Vec::new(),
+        entries: BTreeMap::new(),
+        shutdown: false,
+    };
+    let journal = match &opts.state_log {
+        Some(path) => {
+            // Replay only regular files: a device node (/dev/null,
+            // /dev/full) has no replayable history — and reading one
+            // could block forever.
+            let recovered = if std::fs::metadata(path)
+                .map(|m| m.is_file())
+                .unwrap_or(false)
+            {
+                let events = journal::load(path)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                journal::recover(&events)
+            } else {
+                journal::Recovered::default()
+            };
+            let j = Journal::open_append(path)?;
+            registry.next_id = recovered.next_id.max(1);
+            for job in recovered.jobs {
+                restore_job(&j, job, opts.checkpoint_every, &mut registry);
+            }
+            Some(j)
+        }
         None => None,
     };
     let shared = Arc::new(Shared {
         socket: opts.socket.clone(),
-        registry: Mutex::new(Registry {
-            next_id: 1,
-            queue: Vec::new(),
-            entries: BTreeMap::new(),
-            shutdown: false,
-        }),
+        registry: Mutex::new(registry),
         wake: Condvar::new(),
-        state_log,
+        journal,
+        checkpoint_every: opts.checkpoint_every,
+        quota_queued: opts.quota_queued,
+        quota_running: opts.quota_running,
+        tails_disconnected: AtomicU64::new(0),
+        checkpoints_written: AtomicU64::new(0),
     });
 
-    let sched_shared = Arc::clone(&shared);
-    let scheduler = std::thread::spawn(move || scheduler_loop(&sched_shared));
+    let schedulers = (0..opts.workers)
+        .map(|_| {
+            let sched_shared = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler_loop(&sched_shared))
+        })
+        .collect();
 
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || {
@@ -222,12 +377,164 @@ pub fn serve(opts: &DaemonOptions) -> io::Result<DaemonHandle> {
         let _ = std::fs::remove_file(&accept_shared.socket);
     });
 
-    Ok(DaemonHandle { accept, scheduler })
+    Ok(DaemonHandle { accept, schedulers })
+}
+
+/// Reconstructs one journaled job into the registry: terminal jobs
+/// come back with their recorded reports, non-terminal jobs re-queue
+/// at their original priority with validated resume checkpoints.
+fn restore_job(
+    j: &Journal,
+    job: journal::RecoveredJob,
+    default_every: Option<u64>,
+    registry: &mut Registry,
+) {
+    let id = job.id;
+    let plan = match resolve(&job.spec, true, default_every) {
+        Ok(plan) => plan,
+        Err(why) => {
+            // A journal from an incompatible build: the job cannot be
+            // re-planned. Balance its `submitted` line and move on —
+            // never fail the whole recovery for one bad entry.
+            if job.terminal.is_none() {
+                j.append(&JournalEvent::Terminal {
+                    id,
+                    state: "cancelled".into(),
+                    exit: EXIT_CANCELLED,
+                });
+            }
+            registry.entries.insert(
+                id,
+                Arc::new(JobEntry {
+                    id,
+                    desc: format!("unrecoverable: {why}"),
+                    priority: job.spec.priority,
+                    client: job.spec.client.clone(),
+                    harness: Harness::quick(),
+                    jobs: Vec::new(),
+                    events: false,
+                    deadline: None,
+                    cancel: AtomicBool::new(true),
+                    progress: Arc::new(Progress::default()),
+                    rings: Mutex::new(Vec::new()),
+                    state: Mutex::new(ReqState::Cancelled),
+                    recovered: Mutex::new(HashMap::new()),
+                    live_ckpts: Mutex::new(HashMap::new()),
+                }),
+            );
+            return;
+        }
+    };
+    let mut records = job.records;
+    let mut live: HashMap<String, PathBuf> = job
+        .live_checkpoints
+        .iter()
+        .map(|(k, v)| (k.clone(), PathBuf::from(v)))
+        .collect();
+    let state = match &job.terminal {
+        Some((state, exit)) => {
+            // Terminal before the crash: nothing resumes, so any
+            // checkpoint artifact still registered is stale.
+            for (jid, path) in live.drain() {
+                let _ = std::fs::remove_file(&path);
+                j.append(&JournalEvent::CheckpointCleared { id, job: jid });
+            }
+            if state == "cancelled" {
+                ReqState::Cancelled
+            } else {
+                // Reports in campaign order, exactly how a live run
+                // publishes them — recovery must not reorder bytes.
+                let reports = plan
+                    .jobs
+                    .iter()
+                    .filter_map(|js| match records.get(&js.id()) {
+                        Some(JobRecord::Completed { stop, report, .. }) => {
+                            Some((js.id(), stop.clone(), report.clone()))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                ReqState::Done {
+                    exit: *exit,
+                    reports,
+                }
+            }
+        }
+        None => ReqState::Queued,
+    };
+    let queued = matches!(state, ReqState::Queued);
+    if queued {
+        // A resume checkpoint must actually load (schema, crc, and
+        // fingerprint checked); an unusable one means that sub-job
+        // simply re-runs from cycle zero — deterministically, so the
+        // final bytes are unaffected.
+        records.retain(|jid, rec| match rec {
+            JobRecord::Suspended { checkpoint, .. } => {
+                if Checkpoint::load(Path::new(checkpoint)).is_ok() {
+                    true
+                } else {
+                    if let Some(p) = live.remove(jid) {
+                        let _ = std::fs::remove_file(&p);
+                        j.append(&JournalEvent::CheckpointCleared {
+                            id,
+                            job: jid.clone(),
+                        });
+                    }
+                    false
+                }
+            }
+            _ => true,
+        });
+        // A checkpoint superseded by a completed/quarantined record is
+        // dead weight: clear it so the journal never re-resurrects it.
+        let stale: Vec<String> = live
+            .keys()
+            .filter(|jid| !matches!(records.get(*jid), Some(JobRecord::Suspended { .. })))
+            .cloned()
+            .collect();
+        for jid in stale {
+            if let Some(p) = live.remove(&jid) {
+                let _ = std::fs::remove_file(&p);
+                j.append(&JournalEvent::CheckpointCleared { id, job: jid });
+            }
+        }
+    }
+    let entry = Arc::new(JobEntry {
+        id,
+        desc: plan.desc,
+        priority: job.spec.priority,
+        client: job.spec.client.clone(),
+        harness: plan.harness,
+        jobs: plan.jobs,
+        events: job.spec.events,
+        deadline: job.spec.deadline_ms.map(Duration::from_millis),
+        cancel: AtomicBool::new(false),
+        progress: Arc::new(Progress::default()),
+        rings: Mutex::new(Vec::new()),
+        state: Mutex::new(state),
+        recovered: Mutex::new(records),
+        live_ckpts: Mutex::new(live),
+    });
+    if queued {
+        registry.queue.push((id, entry.priority));
+        j.append(&JournalEvent::Requeued { id });
+    }
+    registry.entries.insert(id, entry);
+}
+
+/// A resolved submit: the concrete harness and job list to run.
+#[derive(Debug)]
+struct Plan {
+    harness: Harness,
+    jobs: Vec<JobSpec>,
+    desc: String,
 }
 
 /// Resolves a submit spec into a concrete plan, rejecting bad operands
-/// before anything is queued.
-fn resolve(spec: &SubmitSpec) -> Result<(Harness, Vec<JobSpec>, String), String> {
+/// before anything is queued. `journaled` gates the checkpoint/deadline
+/// features: without a journal there is nowhere durable to register
+/// checkpoints, so both are refused rather than silently ignored.
+fn resolve(spec: &SubmitSpec, journaled: bool, default_every: Option<u64>) -> Result<Plan, String> {
     let benches: Vec<Benchmark> = match &spec.benchmarks {
         Some(raw) => parse_list(raw, "benchmark")?,
         None => Benchmark::all().to_vec(),
@@ -247,6 +554,27 @@ fn resolve(spec: &SubmitSpec) -> Result<(Harness, Vec<JobSpec>, String), String>
     // Window rows are the tail stream's payload, so sampling is always
     // on; the default matches `pfdebug`'s windowed view.
     harness.cfg.metrics_window = Some(spec.window.unwrap_or(500));
+    if !journaled && spec.checkpoint_every.is_some() {
+        return Err("checkpointing requires the daemon to run with --state \
+             (there is no journal to register checkpoints in)"
+            .into());
+    }
+    let every = if journaled {
+        spec.checkpoint_every.or(default_every)
+    } else {
+        None
+    };
+    harness.cfg.checkpoint_every = every;
+    if spec.deadline_ms == Some(0) {
+        return Err("\"deadline_ms\" must be positive".into());
+    }
+    if spec.deadline_ms.is_some() && every.is_none() {
+        return Err(
+            "a per-job deadline requires checkpointing: run the daemon with \
+             --state and --checkpoint-every, or pass checkpoint_every on submit"
+                .into(),
+        );
+    }
     harness.validate().map_err(|e| e.to_string())?;
     let jobs = campaign(&benches, &kinds);
     if jobs.is_empty() {
@@ -259,7 +587,11 @@ fn resolve(spec: &SubmitSpec) -> Result<(Harness, Vec<JobSpec>, String), String>
         kinds.len(),
         if spec.quick { ", quick" } else { "" }
     );
-    Ok((harness, jobs, desc))
+    Ok(Plan {
+        harness,
+        jobs,
+        desc,
+    })
 }
 
 fn parse_list<T>(raw: &str, what: &str) -> Result<Vec<T>, String>
@@ -279,12 +611,35 @@ where
     Ok(items)
 }
 
+/// Queue ids whose client is at its running quota right now — the
+/// scheduler passes over them without starving anybody else.
+fn quota_blocked(reg: &Registry, quota_running: Option<usize>) -> HashSet<u64> {
+    let Some(max) = quota_running else {
+        return HashSet::new();
+    };
+    let mut running: HashMap<&Option<String>, usize> = HashMap::new();
+    for e in reg.entries.values() {
+        if matches!(*e.state.lock().unwrap(), ReqState::Running) {
+            *running.entry(&e.client).or_insert(0) += 1;
+        }
+    }
+    reg.queue
+        .iter()
+        .filter_map(|(id, _)| {
+            let e = reg.entries.get(id)?;
+            (running.get(&e.client).copied().unwrap_or(0) >= max).then_some(*id)
+        })
+        .collect()
+}
+
 /// Pops the runnable entry with the highest priority (FIFO within a
-/// priority level), blocking until one exists or shutdown.
+/// priority level, quota-blocked clients passed over), blocking until
+/// one exists or shutdown.
 fn next_entry(shared: &Shared) -> Option<Arc<JobEntry>> {
     let mut reg = shared.registry.lock().unwrap();
     loop {
-        if let Some(pos) = best_queued(&reg.queue) {
+        let blocked = quota_blocked(&reg, shared.quota_running);
+        if let Some(pos) = best_queued(&reg.queue, &blocked) {
             let (id, _) = reg.queue.remove(pos);
             return Some(Arc::clone(&reg.entries[&id]));
         }
@@ -295,11 +650,13 @@ fn next_entry(shared: &Shared) -> Option<Arc<JobEntry>> {
     }
 }
 
-/// Index of the highest-priority, earliest-submitted queued job.
-fn best_queued(queue: &[(u64, u64)]) -> Option<usize> {
+/// Index of the highest-priority, earliest-submitted queued job that
+/// is not quota-blocked.
+fn best_queued(queue: &[(u64, u64)], blocked: &HashSet<u64>) -> Option<usize> {
     queue
         .iter()
         .enumerate()
+        .filter(|(_, (id, _))| !blocked.contains(id))
         .max_by_key(|(i, (_, prio))| (*prio, std::cmp::Reverse(*i)))
         .map(|(i, _)| i)
 }
@@ -310,7 +667,19 @@ fn scheduler_loop(shared: &Shared) {
     }
 }
 
-/// Runs one submitted sweep to its terminal state.
+/// Marks an entry cancelled, clears its checkpoint artifacts, and
+/// journals the terminal line. The caller must have observed a state
+/// that makes it the unique finalizer.
+fn finalize_cancelled(shared: &Shared, entry: &JobEntry) {
+    clear_all_checkpoints(shared, entry);
+    *entry.state.lock().unwrap() = ReqState::Cancelled;
+    shared.journal_terminal(entry.id, "cancelled", EXIT_CANCELLED);
+    shared.wake.notify_all();
+}
+
+/// Runs one scheduling slice of a submitted sweep: to a terminal state
+/// when it finishes (or is cancelled), or back to the queue when its
+/// per-slice deadline suspends it mid-simulation.
 fn run_entry(shared: &Shared, entry: &JobEntry) {
     {
         // The cancel check and the Queued → Running transition must be
@@ -318,20 +687,39 @@ fn run_entry(shared: &Shared, entry: &JobEntry) {
         // under the same lock, so exactly one of us writes the
         // terminal journal line.
         let mut state = entry.state.lock().unwrap();
-        if entry.cancel.load(Ordering::Relaxed) || !matches!(*state, ReqState::Queued) {
+        if !matches!(*state, ReqState::Queued) {
+            return;
+        }
+        if entry.cancel.load(Ordering::Relaxed) {
+            // Cancelled after a requeue put it back in the queue (the
+            // cancel handler saw Running and left finalizing to us).
+            *state = ReqState::Cancelled;
+            drop(state);
+            clear_all_checkpoints(shared, entry);
+            shared.journal_terminal(entry.id, "cancelled", EXIT_CANCELLED);
+            shared.wake.notify_all();
             return;
         }
         *state = ReqState::Running;
     }
-    shared.log("running", entry.id, None);
+    shared.journal(&JournalEvent::Running { id: entry.id });
 
     let cfg = SweepConfig {
         workers: 1,
         max_attempts: 2,
         progress: Some(Arc::clone(&entry.progress)),
+        // The per-slice wall budget: jobs not yet claimed when it
+        // expires are skipped (the supervisor's exit-4 path) and the
+        // whole sweep re-queues below.
+        wall_deadline: entry.deadline,
         ..SweepConfig::default()
     };
-    let runner = |job: &JobSpec, attempt: u32, _resume: Option<&Path>| {
+    let slice_deadline = entry.deadline.map(|d| Instant::now() + d);
+    let ckpt_base = match &shared.journal {
+        Some(j) if entry.harness.cfg.checkpoint_every.is_some() => Some(j.path().to_path_buf()),
+        _ => None,
+    };
+    let runner = |job: &JobSpec, attempt: u32, resume: Option<&Path>| {
         if entry.cancel.load(Ordering::Relaxed) {
             return Ok(crate::runner::JobRun::Cancelled);
         }
@@ -345,25 +733,95 @@ fn run_entry(shared: &Shared, entry: &JobEntry) {
                 crate::supervise::retry_seed(cfg.retry_seed_base, &job.id(), attempt);
             retry
         };
-        let result = harness.run_job_live(job.bench, job.kind, &ring, entry.events, &entry.cancel);
+        let jid = job.id();
+        let ckpt_path = ckpt_base
+            .as_ref()
+            .map(|b| checkpoint_path(b, entry.id, &jid));
+        let result = harness.run_job_serviced(
+            job.bench,
+            job.kind,
+            &ring,
+            entry.events,
+            &entry.cancel,
+            resume,
+            ckpt_path.as_deref(),
+            slice_deadline,
+            |cycle, _bytes| {
+                // A checkpoint is durable on disk the moment this
+                // fires; register it before anything can crash.
+                let Some(p) = &ckpt_path else { return };
+                shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                entry
+                    .live_ckpts
+                    .lock()
+                    .unwrap()
+                    .insert(jid.clone(), p.clone());
+                shared.journal(&JournalEvent::Checkpoint {
+                    id: entry.id,
+                    job: jid.clone(),
+                    cycle,
+                    path: p.display().to_string(),
+                });
+            },
+        );
         // Closing lets tail subscribers distinguish "job over" from
         // "no data yet"; a retry gets a fresh ring.
         ring.close();
         result
     };
-    let result = run_supervised(
-        &entry.jobs,
-        &cfg,
-        &std::collections::HashMap::new(),
-        None,
-        runner,
-    );
+    let recovered_at_start = entry.recovered.lock().unwrap().clone();
+    let result = run_supervised(&entry.jobs, &cfg, &recovered_at_start, None, runner);
 
-    let (state, exit) = if entry.cancel.load(Ordering::Relaxed) {
-        ("cancelled", EXIT_CANCELLED)
-    } else {
-        ("done", result.exit_code())
-    };
+    // Journal every record that became durable this slice (replayed
+    // ones are already in the journal — appending them again would
+    // make recovery quadratic) and drop checkpoints of finished jobs.
+    {
+        let mut recovered = entry.recovered.lock().unwrap();
+        for (job, outcome) in &result.outcomes {
+            let jid = job.id();
+            let Some(rec) = outcome.to_record(jid.clone()) else {
+                continue;
+            };
+            if recovered.get(&jid) != Some(&rec) {
+                shared.journal(&JournalEvent::Job {
+                    id: entry.id,
+                    record: rec.clone(),
+                });
+                recovered.insert(jid.clone(), rec.clone());
+            }
+            if !matches!(rec, JobRecord::Suspended { .. }) {
+                clear_checkpoint(shared, entry, &jid);
+            }
+        }
+    }
+
+    if entry.cancel.load(Ordering::Relaxed) {
+        finalize_cancelled(shared, entry);
+        return;
+    }
+    let unfinished = result
+        .outcomes
+        .iter()
+        .any(|(_, o)| matches!(o, JobOutcome::Skipped { .. } | JobOutcome::Suspended { .. }));
+    if unfinished {
+        // The slice deadline hit: suspended state is durable, so the
+        // sweep goes back to the queue at its original priority and
+        // the next slice resumes mid-simulation.
+        let mut reg = shared.registry.lock().unwrap();
+        if reg.shutdown || entry.cancel.load(Ordering::Relaxed) {
+            drop(reg);
+            finalize_cancelled(shared, entry);
+            return;
+        }
+        *entry.state.lock().unwrap() = ReqState::Queued;
+        reg.queue.push((entry.id, entry.priority));
+        drop(reg);
+        shared.journal(&JournalEvent::Requeued { id: entry.id });
+        shared.wake.notify_all();
+        return;
+    }
+
+    let exit = result.exit_code();
     let reports: Vec<(String, String, MechanismReport)> = result
         .outcomes
         .iter()
@@ -374,12 +832,9 @@ fn run_entry(shared: &Shared, entry: &JobEntry) {
             _ => None,
         })
         .collect();
-    *entry.state.lock().unwrap() = if state == "cancelled" {
-        ReqState::Cancelled
-    } else {
-        ReqState::Done { exit, reports }
-    };
-    shared.log(state, entry.id, Some(exit));
+    *entry.state.lock().unwrap() = ReqState::Done { exit, reports };
+    shared.journal_terminal(entry.id, "done", exit);
+    shared.wake.notify_all();
 }
 
 fn handle_connection(shared: &Shared, stream: UnixStream) -> io::Result<()> {
@@ -395,13 +850,14 @@ fn handle_connection(shared: &Shared, stream: UnixStream) -> io::Result<()> {
         Request::Submit(spec) => handle_submit(shared, &spec, &mut out),
         Request::Status { id } => handle_status(shared, id, &mut out),
         Request::Cancel { id } => handle_cancel(shared, id, &mut out),
-        Request::Tail { id } => handle_tail(shared, id, &mut out),
+        Request::Tail { id, ring, from } => handle_tail(shared, id, ring, from, &mut out),
+        Request::Health => handle_health(shared, &mut out),
         Request::Shutdown => handle_shutdown(shared, &mut out),
     }
 }
 
 fn handle_submit(shared: &Shared, spec: &SubmitSpec, out: &mut UnixStream) -> io::Result<()> {
-    let (harness, jobs, desc) = match resolve(spec) {
+    let plan = match resolve(spec, shared.journal.is_some(), shared.checkpoint_every) {
         Ok(plan) => plan,
         Err(e) => return writeln!(out, "{}", err_line(&e)),
     };
@@ -411,25 +867,53 @@ fn handle_submit(shared: &Shared, spec: &SubmitSpec, out: &mut UnixStream) -> io
             drop(reg);
             return writeln!(out, "{}", err_line("daemon is shutting down"));
         }
+        if let Some(max) = shared.quota_queued {
+            let queued = reg
+                .entries
+                .values()
+                .filter(|e| {
+                    e.client == spec.client && matches!(*e.state.lock().unwrap(), ReqState::Queued)
+                })
+                .count();
+            if queued >= max {
+                let who = spec.client.as_deref().unwrap_or("(anonymous)");
+                drop(reg);
+                return writeln!(
+                    out,
+                    "{}",
+                    err_line_coded(
+                        &format!("client {who:?} already has {queued} queued jobs (quota {max})"),
+                        "quota",
+                    )
+                );
+            }
+        }
         let id = reg.next_id;
         reg.next_id += 1;
         let entry = Arc::new(JobEntry {
             id,
-            desc,
+            desc: plan.desc,
             priority: spec.priority,
-            harness,
-            jobs,
+            client: spec.client.clone(),
+            harness: plan.harness,
+            jobs: plan.jobs,
             events: spec.events,
+            deadline: spec.deadline_ms.map(Duration::from_millis),
             cancel: AtomicBool::new(false),
             progress: Arc::new(Progress::default()),
             rings: Mutex::new(Vec::new()),
             state: Mutex::new(ReqState::Queued),
+            recovered: Mutex::new(HashMap::new()),
+            live_ckpts: Mutex::new(HashMap::new()),
         });
         reg.entries.insert(id, entry);
         reg.queue.push((id, spec.priority));
         id
     };
-    shared.log("submitted", id, None);
+    shared.journal(&JournalEvent::Submitted {
+        id,
+        spec: spec.clone(),
+    });
     shared.wake.notify_all();
     writeln!(out, "{}", ok_line(vec![("id".into(), Value::u64(id))]))
 }
@@ -444,6 +928,9 @@ fn status_json(entry: &JobEntry) -> Value {
         ("state".to_string(), Value::str(state.label())),
         ("progress".to_string(), entry.progress.snapshot().to_json()),
     ];
+    if let Some(client) = &entry.client {
+        fields.push(("client".into(), Value::str(client)));
+    }
     if let ReqState::Done { exit, reports } = &*state {
         fields.push(("exit".into(), Value::u64((*exit).max(0) as u64)));
         fields.push((
@@ -467,18 +954,50 @@ fn status_json(entry: &JobEntry) -> Value {
 
 fn handle_status(shared: &Shared, id: Option<u64>, out: &mut UnixStream) -> io::Result<()> {
     let reg = shared.registry.lock().unwrap();
+    let (journal_state, degraded, errors) = shared.journal_health();
     let line = match id {
         Some(id) => match reg.entries.get(&id) {
-            Some(entry) => ok_line(vec![("job".into(), status_json(entry))]),
+            Some(entry) => ok_line(vec![
+                ("job".into(), status_json(entry)),
+                ("journal".into(), Value::str(journal_state)),
+                ("journal_degraded".into(), Value::Bool(degraded)),
+                ("journal_errors".into(), Value::u64(errors)),
+            ]),
             None => err_line(&format!("no job {id}")),
         },
-        None => ok_line(vec![(
-            "jobs".into(),
-            Value::Arr(reg.entries.values().map(|e| status_json(e)).collect()),
-        )]),
+        None => ok_line(vec![
+            (
+                "jobs".into(),
+                Value::Arr(reg.entries.values().map(|e| status_json(e)).collect()),
+            ),
+            ("journal".into(), Value::str(journal_state)),
+            ("journal_degraded".into(), Value::Bool(degraded)),
+            ("journal_errors".into(), Value::u64(errors)),
+        ]),
     };
     drop(reg);
     writeln!(out, "{line}")
+}
+
+fn handle_health(shared: &Shared, out: &mut UnixStream) -> io::Result<()> {
+    let (journal_state, degraded, errors) = shared.journal_health();
+    writeln!(
+        out,
+        "{}",
+        ok_line(vec![
+            ("journal".into(), Value::str(journal_state)),
+            ("journal_degraded".into(), Value::Bool(degraded)),
+            ("journal_errors".into(), Value::u64(errors)),
+            (
+                "tails_disconnected".into(),
+                Value::u64(shared.tails_disconnected.load(Ordering::Relaxed)),
+            ),
+            (
+                "checkpoints_written".into(),
+                Value::u64(shared.checkpoints_written.load(Ordering::Relaxed)),
+            ),
+        ])
+    )
 }
 
 fn handle_cancel(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()> {
@@ -501,7 +1020,8 @@ fn handle_cancel(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<(
             ReqState::Queued => {
                 *state = ReqState::Cancelled;
                 drop(state);
-                shared.log("cancelled", id, Some(EXIT_CANCELLED));
+                clear_all_checkpoints(shared, &entry);
+                shared.journal_terminal(id, "cancelled", EXIT_CANCELLED);
                 "cancelled"
             }
             // Running: the flag stops it within a cycle; the
@@ -535,7 +1055,8 @@ fn handle_shutdown(shared: &Shared, out: &mut UnixStream) -> io::Result<()> {
                     entry.cancel.store(true, Ordering::Relaxed);
                     *state = ReqState::Cancelled;
                     drop(state);
-                    shared.log("cancelled", *id, Some(EXIT_CANCELLED));
+                    clear_all_checkpoints(shared, entry);
+                    shared.journal_terminal(*id, "cancelled", EXIT_CANCELLED);
                 }
                 ReqState::Running => entry.cancel.store(true, Ordering::Relaxed),
                 _ => {}
@@ -552,7 +1073,17 @@ fn handle_shutdown(shared: &Shared, out: &mut UnixStream) -> io::Result<()> {
 /// Streams a job's telemetry until it reaches a terminal state:
 /// `stream`/`window`/`event` lines per ring, `progress` lines on
 /// change, then one `done` line with exact delivered/dropped totals.
-fn handle_tail(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()> {
+///
+/// A write failure (the subscriber vanished) only drops this
+/// connection's subscription — the simulation thread never blocks on a
+/// tail — and is counted in `health`'s `tails_disconnected`.
+fn handle_tail(
+    shared: &Shared,
+    id: u64,
+    ring_start: u64,
+    from: Option<u64>,
+    out: &mut UnixStream,
+) -> io::Result<()> {
     let entry = {
         let reg = shared.registry.lock().unwrap();
         match reg.entries.get(&id) {
@@ -564,8 +1095,23 @@ fn handle_tail(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()>
         }
     };
     writeln!(out, "{}", ok_line(vec![("id".into(), Value::u64(id))]))?;
+    let result = stream_tail(&entry, ring_start, from, out);
+    if result.is_err() {
+        shared.tails_disconnected.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
 
-    let mut ring_idx = 0usize;
+fn stream_tail(
+    entry: &JobEntry,
+    ring_start: u64,
+    from: Option<u64>,
+    out: &mut UnixStream,
+) -> io::Result<()> {
+    let mut ring_idx = ring_start as usize;
+    // `--from-seq` applies to the first ring this subscriber opens; a
+    // reconnect resumes exactly where the last connection was cut off.
+    let mut resume_from = from;
     let mut current: Option<(String, snake_sim::Subscription<TelemetryRecord>)> = None;
     let mut delivered = 0u64;
     let mut dropped = 0u64;
@@ -580,13 +1126,17 @@ fn handle_tail(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()>
         if current.is_none() {
             let opened = {
                 let rings = entry.rings.lock().unwrap();
-                // Subscribe from sequence 0: a late subscriber gets
-                // whatever the ring still holds, and the overwritten
-                // prefix is *counted* (not silently absent) — the
-                // first drain reports it in `dropped`.
-                rings
-                    .get(ring_idx)
-                    .map(|(job, ring)| (job.clone(), ring.subscribe_from(0)))
+                // Subscribe from the requested sequence (0 for later
+                // rings): a late subscriber gets whatever the ring
+                // still holds, and the overwritten prefix is *counted*
+                // (not silently absent) — the first drain reports it
+                // in `dropped`.
+                rings.get(ring_idx).map(|(job, ring)| {
+                    (
+                        job.clone(),
+                        ring.subscribe_from(resume_from.take().unwrap_or(0)),
+                    )
+                })
             };
             if let Some((job, sub)) = opened {
                 writeln!(out, "{}", stream_line(&job, sub.cursor()))?;
@@ -635,18 +1185,30 @@ fn handle_tail(shared: &Shared, id: u64, out: &mut UnixStream) -> io::Result<()>
 }
 
 // Exercised end-to-end (daemon process, socket, client) in
-// `tests/serve.rs`; unit tests here cover the pure pieces.
+// `tests/serve.rs` and `tests/serve_chaos.rs`; unit tests here cover
+// the pure pieces.
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn queue_pops_priority_then_fifo() {
+    fn queue_pops_priority_then_fifo_and_respects_blocking() {
+        let none = HashSet::new();
         let queue = vec![(1, 0), (2, 5), (3, 5), (4, 1)];
-        assert_eq!(best_queued(&queue), Some(1), "highest priority wins");
+        assert_eq!(best_queued(&queue, &none), Some(1), "highest priority wins");
         let queue = vec![(7, 2), (8, 2)];
-        assert_eq!(best_queued(&queue), Some(0), "FIFO within a priority");
-        assert_eq!(best_queued(&[]), None);
+        assert_eq!(
+            best_queued(&queue, &none),
+            Some(0),
+            "FIFO within a priority"
+        );
+        assert_eq!(best_queued(&[], &none), None);
+        // A quota-blocked id is passed over without starving the rest.
+        let blocked: HashSet<u64> = [2].into_iter().collect();
+        let queue = vec![(1, 0), (2, 5), (3, 1)];
+        assert_eq!(best_queued(&queue, &blocked), Some(2));
+        let all: HashSet<u64> = [1, 2, 3].into_iter().collect();
+        assert_eq!(best_queued(&queue, &all), None);
     }
 
     #[test]
@@ -655,27 +1217,68 @@ mod tests {
             quick: true,
             ..SubmitSpec::default()
         };
-        let (harness, jobs, desc) = resolve(&spec).unwrap();
+        let plan = resolve(&spec, false, None).unwrap();
         assert_eq!(
-            jobs.len(),
+            plan.jobs.len(),
             Benchmark::all().len() * PrefetcherKind::all().len()
         );
-        assert_eq!(harness.cfg.metrics_window, Some(500), "window always on");
-        assert!(desc.contains("quick"));
+        assert_eq!(
+            plan.harness.cfg.metrics_window,
+            Some(500),
+            "window always on"
+        );
+        assert!(plan.desc.contains("quick"));
 
         spec.benchmarks = Some("LPS".into());
         spec.mechanisms = Some("baseline,snake".into());
         spec.window = Some(200);
         spec.budget = Some(6000);
-        let (harness, jobs, _) = resolve(&spec).unwrap();
-        assert_eq!(jobs.len(), 2);
-        assert_eq!(harness.cfg.metrics_window, Some(200));
-        assert_eq!(harness.cfg.cycle_budget, Some(snake_sim::Cycle(6000)));
+        let plan = resolve(&spec, false, None).unwrap();
+        assert_eq!(plan.jobs.len(), 2);
+        assert_eq!(plan.harness.cfg.metrics_window, Some(200));
+        assert_eq!(plan.harness.cfg.cycle_budget, Some(snake_sim::Cycle(6000)));
 
         spec.benchmarks = Some("NOPE".into());
-        assert!(resolve(&spec).unwrap_err().contains("benchmark"));
+        assert!(resolve(&spec, false, None)
+            .unwrap_err()
+            .contains("benchmark"));
         spec.benchmarks = Some(",".into());
-        assert!(resolve(&spec).unwrap_err().contains("empty"));
+        assert!(resolve(&spec, false, None).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn resolve_gates_checkpointing_and_deadlines_on_the_journal() {
+        let mut spec = SubmitSpec {
+            quick: true,
+            checkpoint_every: Some(1000),
+            ..SubmitSpec::default()
+        };
+        // Checkpointing without a journal is refused, not ignored.
+        assert!(resolve(&spec, false, None).unwrap_err().contains("--state"));
+        let plan = resolve(&spec, true, None).unwrap();
+        assert_eq!(plan.harness.cfg.checkpoint_every, Some(1000));
+        // The daemon default applies when the submit does not override.
+        spec.checkpoint_every = None;
+        let plan = resolve(&spec, true, Some(2000)).unwrap();
+        assert_eq!(plan.harness.cfg.checkpoint_every, Some(2000));
+        // A deadline needs somewhere to suspend to.
+        spec.deadline_ms = Some(100);
+        assert!(resolve(&spec, true, None).unwrap_err().contains("deadline"));
+        assert!(resolve(&spec, true, Some(2000)).is_ok());
+        spec.deadline_ms = Some(0);
+        assert!(resolve(&spec, true, Some(2000))
+            .unwrap_err()
+            .contains("positive"));
+        // checkpoint_every = 0 falls to the config validator.
+        spec.deadline_ms = None;
+        spec.checkpoint_every = Some(0);
+        assert!(resolve(&spec, true, None).is_err());
+    }
+
+    #[test]
+    fn checkpoint_paths_are_journal_siblings() {
+        let p = checkpoint_path(Path::new("/tmp/state.jsonl"), 3, "LPS/snake");
+        assert_eq!(p, PathBuf::from("/tmp/state.jsonl.j3.LPS-snake.ckpt"));
     }
 
     #[test]

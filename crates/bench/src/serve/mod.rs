@@ -2,30 +2,46 @@
 //! simulate/sweep jobs, runs them through the sweep supervisor, and
 //! streams cycle-stamped telemetry to any number of subscribers.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - [`protocol`] — the newline-delimited JSON wire format (built
 //!   entirely on the dependency-free `snake_core::json` module): one
 //!   request object per connection, one response line, and for `tail`
 //!   a stream of window/event/progress lines ending in a `done` line.
+//! - [`journal`] — the crash-consistent state journal and its replay:
+//!   every accepted job, state transition, durable sub-job record, and
+//!   mid-simulation checkpoint is appended (fsynced, torn-tail
+//!   tolerant), so a `kill -9`'d daemon restarts exactly where it
+//!   died: terminal jobs keep their bit-exact reports, unfinished jobs
+//!   re-queue at their original priority, and mid-run simulations
+//!   resume from their latest checkpoint.
 //! - [`daemon`] — the server: a Unix-domain socket accept loop, a
-//!   priority job queue with cancellation, and a scheduler thread that
-//!   runs each request through
+//!   priority job queue with cancellation, per-client quotas
+//!   (queued-job admission control and a running-job scheduler cap),
+//!   per-job deadline slices (suspend-to-checkpoint, re-queue, resume),
+//!   and a scheduler thread that runs each request through
 //!   [`run_supervised`](crate::supervise::run_supervised) with a
 //!   per-job [`TelemetryRing`](snake_sim::TelemetryRing) carrying
 //!   window rows and trace events out of the simulation thread.
 //! - [`client`] — the `snakectl` side: one-shot requests and the
-//!   `tail` line pump, reused verbatim by the end-to-end tests.
+//!   `tail` line pump (reconnectable via `ring`/`from`), reused
+//!   verbatim by the end-to-end tests.
 //!
 //! Telemetry never blocks or perturbs a simulation: rings are bounded,
 //! overflow is *counted* per subscriber (a `dropped` field on every
-//! stream line — loss is explicit, never silent), and with zero
-//! subscribers the produce path doesn't even construct the record, so
-//! job outcomes are bit-identical to `repro` runs without the daemon.
+//! stream line — loss is explicit, never silent), a subscriber that
+//! vanishes mid-stream just drops its subscription (counted in
+//! `health`), and with zero subscribers the produce path doesn't even
+//! construct the record, so job outcomes are bit-identical to `repro`
+//! runs without the daemon. Journal write failures degrade the same
+//! way: counted and surfaced in `status`/`health`, never fatal to the
+//! running simulation, never silent.
 
 pub mod client;
 pub mod daemon;
+pub mod journal;
 pub mod protocol;
 
-pub use daemon::{serve, DaemonHandle, DaemonOptions, EXIT_CANCELLED};
+pub use daemon::{serve, DaemonHandle, DaemonOptions, EXIT_CANCELLED, EXIT_QUOTA};
+pub use journal::{Journal, JournalEvent};
 pub use protocol::{Request, SubmitSpec};

@@ -48,6 +48,73 @@ pub struct SubmitSpec {
     pub events: bool,
     /// Scheduling priority; higher runs first, FIFO within a priority.
     pub priority: u64,
+    /// Client id for quota accounting (`snakectl --client`); anonymous
+    /// submits share one bucket.
+    pub client: Option<String>,
+    /// Wall-clock budget per scheduling slice, in milliseconds: when it
+    /// expires the running simulation suspends to a checkpoint and the
+    /// job re-queues at its priority. Requires checkpointing.
+    pub deadline_ms: Option<u64>,
+    /// Mid-simulation checkpoint cadence in cycles (overrides the
+    /// daemon default); what makes the job resurrectable after a crash.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl SubmitSpec {
+    /// Serializes as a bare object of the non-default fields — shared
+    /// by the `submit` wire line and the daemon's state journal, so a
+    /// restarted daemon re-resolves exactly what was submitted.
+    pub fn to_json(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(b) = &self.benchmarks {
+            fields.push(("benchmarks".to_string(), Value::str(b)));
+        }
+        if let Some(m) = &self.mechanisms {
+            fields.push(("mechanisms".to_string(), Value::str(m)));
+        }
+        if self.quick {
+            fields.push(("quick".to_string(), Value::Bool(true)));
+        }
+        if let Some(b) = self.budget {
+            fields.push(("budget".to_string(), Value::u64(b)));
+        }
+        if let Some(w) = self.window {
+            fields.push(("window".to_string(), Value::u64(w)));
+        }
+        if self.events {
+            fields.push(("events".to_string(), Value::Bool(true)));
+        }
+        if self.priority != 0 {
+            fields.push(("priority".to_string(), Value::u64(self.priority)));
+        }
+        if let Some(c) = &self.client {
+            fields.push(("client".to_string(), Value::str(c)));
+        }
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::u64(d)));
+        }
+        if let Some(n) = self.checkpoint_every {
+            fields.push(("checkpoint_every".to_string(), Value::u64(n)));
+        }
+        Value::Obj(fields)
+    }
+
+    /// Parses the spec fields out of an object; absent fields default.
+    pub fn from_json(v: &Value) -> SubmitSpec {
+        let field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        SubmitSpec {
+            benchmarks: field("benchmarks"),
+            mechanisms: field("mechanisms"),
+            quick: v.get("quick").and_then(Value::as_bool).unwrap_or(false),
+            budget: v.get("budget").and_then(Value::as_u64),
+            window: v.get("window").and_then(Value::as_u64),
+            events: v.get("events").and_then(Value::as_bool).unwrap_or(false),
+            priority: v.get("priority").and_then(Value::as_u64).unwrap_or(0),
+            client: field("client"),
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            checkpoint_every: v.get("checkpoint_every").and_then(Value::as_u64),
+        }
+    }
 }
 
 /// One parsed request line.
@@ -64,12 +131,22 @@ pub enum Request {
     Tail {
         /// The job to follow.
         id: u64,
+        /// Ring index to start at (0 = from the job's first sub-job);
+        /// a reconnecting client resumes at the ring it was cut off in.
+        ring: u64,
+        /// Sequence number to resume the first ring's subscription
+        /// from; records the ring already overwrote are *counted* as
+        /// dropped, keeping the sequence arithmetic verifiable.
+        from: Option<u64>,
     },
     /// Cancel a queued or running job.
     Cancel {
         /// The job to cancel.
         id: u64,
     },
+    /// Report daemon health: journal degradation counters, disconnect
+    /// and checkpoint totals.
+    Health,
     /// Stop accepting work, cancel everything, and exit.
     Shutdown,
 }
@@ -93,25 +170,17 @@ impl Request {
             }
         };
         match op {
-            "submit" => {
-                let field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
-                Ok(Request::Submit(SubmitSpec {
-                    benchmarks: field("benchmarks"),
-                    mechanisms: field("mechanisms"),
-                    quick: v.get("quick").and_then(Value::as_bool).unwrap_or(false),
-                    budget: v.get("budget").and_then(Value::as_u64),
-                    window: v.get("window").and_then(Value::as_u64),
-                    events: v.get("events").and_then(Value::as_bool).unwrap_or(false),
-                    priority: v.get("priority").and_then(Value::as_u64).unwrap_or(0),
-                }))
-            }
+            "submit" => Ok(Request::Submit(SubmitSpec::from_json(&v))),
             "status" => Ok(Request::Status { id: id(false)? }),
             "tail" => Ok(Request::Tail {
                 id: id(true)?.expect("required id"),
+                ring: v.get("ring").and_then(Value::as_u64).unwrap_or(0),
+                from: v.get("from").and_then(Value::as_u64),
             }),
             "cancel" => Ok(Request::Cancel {
                 id: id(true)?.expect("required id"),
             }),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -121,27 +190,9 @@ impl Request {
     pub fn to_json(&self) -> Value {
         match self {
             Request::Submit(s) => {
-                let mut fields = vec![("op".into(), Value::str("submit"))];
-                if let Some(b) = &s.benchmarks {
-                    fields.push(("benchmarks".into(), Value::str(b)));
-                }
-                if let Some(m) = &s.mechanisms {
-                    fields.push(("mechanisms".into(), Value::str(m)));
-                }
-                if s.quick {
-                    fields.push(("quick".into(), Value::Bool(true)));
-                }
-                if let Some(b) = s.budget {
-                    fields.push(("budget".into(), Value::u64(b)));
-                }
-                if let Some(w) = s.window {
-                    fields.push(("window".into(), Value::u64(w)));
-                }
-                if s.events {
-                    fields.push(("events".into(), Value::Bool(true)));
-                }
-                if s.priority != 0 {
-                    fields.push(("priority".into(), Value::u64(s.priority)));
+                let mut fields = vec![("op".to_string(), Value::str("submit"))];
+                if let Value::Obj(spec_fields) = s.to_json() {
+                    fields.extend(spec_fields);
                 }
                 Value::Obj(fields)
             }
@@ -152,14 +203,24 @@ impl Request {
                 }
                 Value::Obj(fields)
             }
-            Request::Tail { id } => Value::Obj(vec![
-                ("op".into(), Value::str("tail")),
-                ("id".into(), Value::u64(*id)),
-            ]),
+            Request::Tail { id, ring, from } => {
+                let mut fields = vec![
+                    ("op".to_string(), Value::str("tail")),
+                    ("id".to_string(), Value::u64(*id)),
+                ];
+                if *ring != 0 {
+                    fields.push(("ring".into(), Value::u64(*ring)));
+                }
+                if let Some(seq) = from {
+                    fields.push(("from".into(), Value::u64(*seq)));
+                }
+                Value::Obj(fields)
+            }
             Request::Cancel { id } => Value::Obj(vec![
                 ("op".into(), Value::str("cancel")),
                 ("id".into(), Value::u64(*id)),
             ]),
+            Request::Health => Value::Obj(vec![("op".into(), Value::str("health"))]),
             Request::Shutdown => Value::Obj(vec![("op".into(), Value::str("shutdown"))]),
         }
     }
@@ -177,6 +238,17 @@ pub fn err_line(message: &str) -> Value {
     Value::Obj(vec![
         ("ok".into(), Value::Bool(false)),
         ("error".into(), Value::str(message)),
+    ])
+}
+
+/// `{"ok":false,"error":...,"code":...}` — a *typed* rejection the
+/// client can dispatch on (e.g. `"quota"` → `snakectl` exit code 8)
+/// instead of string-matching the message.
+pub fn err_line_coded(message: &str, code: &str) -> Value {
+    Value::Obj(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::str(message)),
+        ("code".into(), Value::str(code)),
     ])
 }
 
@@ -280,9 +352,14 @@ mod tests {
             window: Some(200),
             events: true,
             priority: 5,
+            client: Some("alice".into()),
+            deadline_ms: Some(1500),
+            checkpoint_every: Some(2000),
         };
         let line = Request::Submit(spec.clone()).to_json().to_string();
-        assert_eq!(Request::parse(&line), Ok(Request::Submit(spec)));
+        assert_eq!(Request::parse(&line), Ok(Request::Submit(spec.clone())));
+        // The bare-spec object (the journal's `spec` field) agrees.
+        assert_eq!(SubmitSpec::from_json(&spec.to_json()), spec);
     }
 
     #[test]
@@ -300,12 +377,30 @@ mod tests {
         for req in [
             Request::Status { id: None },
             Request::Status { id: Some(3) },
-            Request::Tail { id: 1 },
+            Request::Tail {
+                id: 1,
+                ring: 0,
+                from: None,
+            },
+            Request::Tail {
+                id: 1,
+                ring: 2,
+                from: Some(777),
+            },
             Request::Cancel { id: 9 },
+            Request::Health,
             Request::Shutdown,
         ] {
             assert_eq!(Request::parse(&req.to_json().to_string()), Ok(req));
         }
+    }
+
+    #[test]
+    fn coded_errors_carry_their_code() {
+        let line = err_line_coded("too many queued jobs", "quota").to_string();
+        let v = snake_core::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("quota"));
     }
 
     #[test]

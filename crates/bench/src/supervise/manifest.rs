@@ -285,6 +285,27 @@ impl std::error::Error for ManifestError {
     }
 }
 
+/// Heals a torn final line in an append-mode JSONL file: if the file
+/// does not end in a newline (the writer died mid-append), everything
+/// after the last complete line is truncated away and the truncation
+/// is made durable. Shared by the sweep manifest and the daemon state
+/// journal, whose crash-consistency rules are identical.
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] when the file cannot be
+/// read or truncated.
+pub fn truncate_torn_tail(path: &Path) -> Result<(), std::io::Error> {
+    let bytes = std::fs::read(path)?;
+    if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1) as u64;
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(keep)?;
+        f.sync_all()?;
+    }
+    Ok(())
+}
+
 /// Append handle on a manifest whose header is already durable.
 #[derive(Debug)]
 pub struct ManifestWriter {
@@ -334,13 +355,7 @@ impl ManifestWriter {
             path: path.display().to_string(),
             source,
         };
-        let bytes = std::fs::read(path).map_err(io_err)?;
-        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
-            let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1) as u64;
-            let f = OpenOptions::new().write(true).open(path).map_err(io_err)?;
-            f.set_len(keep).map_err(io_err)?;
-            f.sync_all().map_err(io_err)?;
-        }
+        truncate_torn_tail(path).map_err(io_err)?;
         let file = OpenOptions::new().append(true).open(path).map_err(io_err)?;
         Ok(ManifestWriter {
             path: path.to_path_buf(),

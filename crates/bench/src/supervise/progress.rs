@@ -25,11 +25,20 @@ pub struct Progress {
 }
 
 impl Progress {
-    /// Declares the sweep size. Called once by the supervisor before
-    /// any job runs; replayed (checkpointed) jobs are counted toward
-    /// their buckets immediately after.
+    /// Declares the sweep size and zeroes every bucket. Called once by
+    /// the supervisor before any job runs; replayed (checkpointed)
+    /// jobs are counted toward their buckets immediately after. The
+    /// reset matters when one `Progress` instance spans several
+    /// supervised slices of the same sweep (the daemon's
+    /// deadline-requeue path): replayed jobs are re-observed each
+    /// slice, so without it `done` would run past `total`.
     pub fn begin(&self, total: u64) {
         self.total.store(total, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        self.quarantined.store(0, Ordering::Relaxed);
+        self.skipped.store(0, Ordering::Relaxed);
+        self.suspended.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
     }
 
     /// Records a finished job's outcome in its bucket.

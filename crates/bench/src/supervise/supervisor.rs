@@ -56,6 +56,43 @@ pub enum JobOutcome {
     },
 }
 
+impl JobOutcome {
+    /// The manifest record this outcome checkpoints as — `None` for
+    /// skipped jobs, which are not durable state (they simply re-run).
+    /// Shared by the sweep manifest writer and the daemon's state
+    /// journal, so both planes record identical facts.
+    pub fn to_record(&self, job: String) -> Option<JobRecord> {
+        match self {
+            JobOutcome::Completed {
+                report,
+                stop,
+                attempts,
+            } => Some(JobRecord::Completed {
+                job,
+                attempts: *attempts,
+                stop: stop.clone(),
+                report: report.clone(),
+            }),
+            JobOutcome::Crashed { message, attempts } => Some(JobRecord::Quarantined {
+                job,
+                attempts: *attempts,
+                error: message.clone(),
+            }),
+            JobOutcome::Suspended {
+                cycle,
+                checkpoint,
+                attempts,
+            } => Some(JobRecord::Suspended {
+                job,
+                attempts: *attempts,
+                cycle: *cycle,
+                checkpoint: checkpoint.clone(),
+            }),
+            JobOutcome::Skipped { .. } => None,
+        }
+    }
+}
+
 /// Everything a finished (or interrupted) sweep produced.
 #[derive(Debug)]
 pub struct SweepResult {
@@ -331,37 +368,7 @@ where
                         *interrupted.lock().unwrap() = true;
                     }
                     if let Some(w) = &writer {
-                        let record = match &outcome {
-                            JobOutcome::Completed {
-                                report,
-                                stop,
-                                attempts,
-                            } => Some(JobRecord::Completed {
-                                job: job.id(),
-                                attempts: *attempts,
-                                stop: stop.clone(),
-                                report: report.clone(),
-                            }),
-                            JobOutcome::Crashed { message, attempts } => {
-                                Some(JobRecord::Quarantined {
-                                    job: job.id(),
-                                    attempts: *attempts,
-                                    error: message.clone(),
-                                })
-                            }
-                            JobOutcome::Suspended {
-                                cycle,
-                                checkpoint,
-                                attempts,
-                            } => Some(JobRecord::Suspended {
-                                job: job.id(),
-                                attempts: *attempts,
-                                cycle: *cycle,
-                                checkpoint: checkpoint.clone(),
-                            }),
-                            JobOutcome::Skipped { .. } => None,
-                        };
-                        if let Some(record) = record {
+                        if let Some(record) = outcome.to_record(job.id()) {
                             if let Err(e) = w.lock().unwrap().append(&record) {
                                 manifest_errors
                                     .lock()

@@ -610,22 +610,52 @@ impl Gpu {
         let Some(every) = self.cfg.checkpoint_every else {
             return Ok(self.run());
         };
+        self.run_serviced(Some((path, every)), |_, _| {}, |_| false)
+            .map(|outcome| outcome.expect("suspend predicate is constant false"))
+    }
+
+    /// The serving layer's run loop: [`Gpu::run_interruptible`] and
+    /// [`Gpu::run_checkpointed`] combined. Writes a checkpoint of the
+    /// full simulator state to `checkpoint.0` (atomically, replacing
+    /// the previous one) every `checkpoint.1` cycles, invoking
+    /// `on_checkpoint(cycle, bytes)` after each durable write so a
+    /// supervisor can journal the artifact; after every cycle asks
+    /// `suspend` whether to stop early, returning `None` with the
+    /// device paused mid-run (checkpointable via [`Gpu::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if a checkpoint cannot be written; the
+    /// simulation stops at that cycle rather than silently continuing
+    /// without crash protection.
+    pub fn run_serviced(
+        &mut self,
+        checkpoint: Option<(&Path, u64)>,
+        mut on_checkpoint: impl FnMut(u64, u64),
+        mut suspend: impl FnMut(Cycle) -> bool,
+    ) -> Result<Option<SimOutcome>, SnapshotError> {
         let t0 = self.prof.as_ref().map(|_| std::time::Instant::now());
         loop {
             if !self.step() {
-                return Ok(self.finalize(t0));
+                return Ok(Some(self.finalize(t0)));
             }
-            if self.cycle.0.is_multiple_of(every) {
-                let bytes = self.checkpoint().write_atomic(path)?;
-                // Stamped after the rename lands, so the event is
-                // never part of the artifact it describes; it rides
-                // out with the next cycle's flush.
-                if self.sink.is_some() {
-                    self.device_events.push(TraceEvent {
-                        cycle: self.cycle,
-                        data: SimEvent::CheckpointSaved { bytes },
-                    });
+            if let Some((path, every)) = checkpoint {
+                if self.cycle.0.is_multiple_of(every) {
+                    let bytes = self.checkpoint().write_atomic(path)?;
+                    // Stamped after the rename lands, so the event is
+                    // never part of the artifact it describes; it rides
+                    // out with the next cycle's flush.
+                    if self.sink.is_some() {
+                        self.device_events.push(TraceEvent {
+                            cycle: self.cycle,
+                            data: SimEvent::CheckpointSaved { bytes },
+                        });
+                    }
+                    on_checkpoint(self.cycle.0, bytes);
                 }
+            }
+            if suspend(self.cycle) {
+                return Ok(None);
             }
         }
     }

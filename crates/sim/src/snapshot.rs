@@ -133,6 +133,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 impl Checkpoint {
+    /// The simulation cycle the state was captured at — what a
+    /// recovery supervisor reports when it resurrects a run from this
+    /// artifact. Every schema-v1 state document carries the device
+    /// cycle at its top level; `None` only for a foreign document.
+    pub fn cycle(&self) -> Option<u64> {
+        self.state.get("cycle").and_then(Value::as_u64)
+    }
+
     /// Serializes the artifact as a single JSON document. The payload
     /// checksum goes in before the state, so [`from_json`] can detect
     /// any corruption that still parses.

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Kill-anywhere chaos harness for the `snaked` daemon.
+#
+# One sweep runs uninterrupted as the reference; then TRIALS randomized
+# schedules `kill -9` the daemon at arbitrary points, restarting it on
+# the same state journal after every crash. Each trial must end with
+#
+#   * `snakectl reports` output byte-identical to the reference run's,
+#   * a balanced journal: exactly one `"event":"submitted"` line and
+#     exactly one `"terminal":true` line (no orphans, no duplicates).
+#
+# Usage (from the repository root):
+#
+#   TRIALS=10 scripts/chaos_snaked.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRIALS="${TRIALS:-10}"
+SNAKED=./target/release/snaked
+SNAKECTL=./target/release/snakectl
+if [ ! -x "$SNAKED" ] || [ ! -x "$SNAKECTL" ]; then
+    cargo build --release -p snake-bench
+fi
+
+DIR=$(mktemp -d)
+PID=""
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+start_daemon() { # socket journal
+    "$SNAKED" --socket "$1" --state "$2" --checkpoint-every 500 2>/dev/null &
+    PID=$!
+    for _ in $(seq 1 200); do
+        if "$SNAKECTL" --socket "$1" status >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "chaos: daemon never became ready on $1" >&2
+    exit 1
+}
+
+submit_workload() { # socket
+    # Long enough (cycle budget plus an fsync per checkpoint) that
+    # kills land mid-simulation; deterministic so reports are
+    # byte-comparable.
+    "$SNAKECTL" --socket "$1" submit --benchmarks LPS --mechanisms snake \
+        --budget 200000 --window 500
+}
+
+state_of() { # socket id
+    "$SNAKECTL" --socket "$1" status "$2" | sed 's/.*"state":"\([a-z]*\)".*/\1/'
+}
+
+echo "==> reference run (uninterrupted)"
+SOCK="$DIR/ref.sock"
+start_daemon "$SOCK" "$DIR/ref-state.jsonl"
+REF_ID=$(submit_workload "$SOCK")
+"$SNAKECTL" --socket "$SOCK" tail "$REF_ID" >/dev/null
+"$SNAKECTL" --socket "$SOCK" reports "$REF_ID" > "$DIR/reference.json"
+"$SNAKECTL" --socket "$SOCK" shutdown >/dev/null
+wait "$PID" 2>/dev/null || true
+
+TOTAL_KILLS=0
+for trial in $(seq 1 "$TRIALS"); do
+    SOCK="$DIR/t$trial.sock"
+    LOG="$DIR/t$trial-state.jsonl"
+    start_daemon "$SOCK" "$LOG"
+    ID=$(submit_workload "$SOCK")
+    KILLS=0
+    while :; do
+        sleep "0.$((RANDOM % 3 + 1))"
+        STATE=$(state_of "$SOCK" "$ID")
+        if [ "$STATE" = done ]; then
+            break
+        fi
+        if [ "$STATE" = cancelled ]; then
+            echo "chaos trial $trial: job cancelled unexpectedly" >&2
+            exit 1
+        fi
+        kill -9 "$PID"
+        wait "$PID" 2>/dev/null || true
+        KILLS=$((KILLS + 1))
+        if [ "$KILLS" -ge 200 ]; then
+            echo "chaos trial $trial: no progress after $KILLS kills" >&2
+            exit 1
+        fi
+        start_daemon "$SOCK" "$LOG"
+    done
+    "$SNAKECTL" --socket "$SOCK" reports "$ID" > "$DIR/t$trial.json"
+    if ! cmp -s "$DIR/reference.json" "$DIR/t$trial.json"; then
+        echo "chaos trial $trial: report bytes diverged after $KILLS kills" >&2
+        diff "$DIR/reference.json" "$DIR/t$trial.json" >&2 || true
+        exit 1
+    fi
+    SUBMITTED=$(grep -c '"event":"submitted"' "$LOG")
+    TERMINAL=$(grep -c '"terminal":true' "$LOG")
+    if [ "$SUBMITTED" -ne 1 ] || [ "$TERMINAL" -ne 1 ]; then
+        echo "chaos trial $trial: unbalanced journal" \
+             "(submitted=$SUBMITTED terminal=$TERMINAL)" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    "$SNAKECTL" --socket "$SOCK" shutdown >/dev/null
+    wait "$PID" 2>/dev/null || true
+    echo "chaos trial $trial: survived $KILLS kills, reports identical"
+    TOTAL_KILLS=$((TOTAL_KILLS + KILLS))
+done
+
+if [ "$TOTAL_KILLS" -lt 1 ]; then
+    echo "chaos: no trial ever killed the daemon — workload too short" >&2
+    exit 1
+fi
+echo "chaos: $TRIALS trials, $TOTAL_KILLS kills, all reports byte-identical"
