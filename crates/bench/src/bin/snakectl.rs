@@ -13,6 +13,13 @@
 //!   the job was cancelled). `--from-seq`/`--ring` reconnect a cut-off
 //!   subscription mid-stream without re-reading (or silently missing)
 //!   anything.
+//! * `top ID` renders a live dashboard for a running job: per-window
+//!   IPC, the eight-bucket issue-slot stall breakdown as a stacked
+//!   bar, MSHR/miss-queue/NoC occupancy gauges, and drop-accounting
+//!   health, repainted in place (plain ANSI) every window. `--once`
+//!   prints a single snapshot and exits 0; `--ring`/`--from-seq`
+//!   reconnect mid-stream with the same verified drop accounting as
+//!   `tail`.
 //! * `reports ID` prints a finished job's report rows (JSON, one
 //!   line) — stable bytes, suitable for diffing two runs.
 //! * `health` prints the daemon's self-diagnostics: journal
@@ -23,7 +30,7 @@
 use std::path::{Path, PathBuf};
 
 use snake_bench::cli::{fail, CliError};
-use snake_bench::serve::client::{self, ClientError};
+use snake_bench::serve::client::{self, ClientError, TailOutcome};
 use snake_bench::serve::{Request, SubmitSpec, EXIT_QUOTA};
 use snake_core::json::Value;
 
@@ -38,6 +45,10 @@ commands:
   tail ID [--ring N] [--from-seq N]
                  follow a job's live telemetry; exits with its code;
                  --ring/--from-seq resume a cut-off subscription
+  top ID [--once] [--ring N] [--from-seq N]
+                 live dashboard: IPC, stall-reason stacked bar,
+                 MSHR/NoC occupancy, drop health; --once prints one
+                 snapshot and exits 0
   reports ID     print a finished job's report rows as JSON
   health         print daemon health (journal state, drop counters)
   cancel ID      cancel a queued or running job
@@ -52,6 +63,13 @@ enum Command {
         id: u64,
         ring: u64,
         from: Option<u64>,
+    },
+    /// The live dashboard (same stream as `tail`, repainted in place).
+    Top {
+        id: u64,
+        ring: u64,
+        from: Option<u64>,
+        once: bool,
     },
     /// Fetch one job's status and print only its report rows.
     Reports { id: u64 },
@@ -147,6 +165,28 @@ fn parse_args() -> Result<Cli, CliError> {
             }
             Command::Tail { id, ring, from }
         }
+        "top" => {
+            let id = parse_u64(&operand(&mut args, "job id")?, "job id")?;
+            let mut ring = 0;
+            let mut from = None;
+            let mut once = false;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--once" => once = true,
+                    "--ring" => ring = parse_u64(&operand(&mut args, "--ring")?, "--ring")?,
+                    "--from-seq" => {
+                        from = Some(parse_u64(&operand(&mut args, "--from-seq")?, "--from-seq")?);
+                    }
+                    other => return Err(CliError::Usage(format!("unknown argument {other:?}"))),
+                }
+            }
+            Command::Top {
+                id,
+                ring,
+                from,
+                once,
+            }
+        }
         "reports" => Command::Reports {
             id: parse_u64(&operand(&mut args, "job id")?, "job id")?,
         },
@@ -206,6 +246,178 @@ fn render(v: &Value) -> Option<String> {
     }
 }
 
+/// Stall-taxonomy buckets in display order: window-line field suffix,
+/// bar glyph, and short label. The glyphs stack into the breakdown bar.
+const STALL_BUCKETS: [(&str, char, &str); 8] = [
+    ("issued", '#', "issued"),
+    ("no_warp", ' ', "no-warp"),
+    ("barrier", 'B', "barrier"),
+    ("scoreboard", 'S', "scoreb"),
+    ("mem_data", 'D', "mem-data"),
+    ("mem_mshr", 'M', "mshr"),
+    ("mem_missq", 'Q', "missq"),
+    ("mem_noc", 'N', "noc"),
+];
+
+/// State behind the `top` dashboard: the latest window row plus stream
+/// health counters, repainted in place after every update.
+#[derive(Default)]
+struct Dashboard {
+    job: String,
+    cycle: u64,
+    seq: u64,
+    dropped: u64,
+    ipc: f64,
+    l1: f64,
+    mshr: f64,
+    missq: f64,
+    noc: f64,
+    warps: u64,
+    throttled: u64,
+    chain: u64,
+    stall: [f64; 8],
+    windows: u64,
+    events: u64,
+    progress: Option<String>,
+    /// Lines painted by the previous repaint (cursor-up distance).
+    painted: usize,
+}
+
+/// A `[####......]`-style occupancy gauge.
+fn gauge(frac: f64, width: usize) -> String {
+    let fill = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut bar = String::with_capacity(width);
+    for i in 0..width {
+        bar.push(if i < fill { '#' } else { '.' });
+    }
+    bar
+}
+
+impl Dashboard {
+    /// Folds one stream line into the dashboard state. Returns `true`
+    /// when the visible state changed (a repaint is due).
+    fn observe(&mut self, v: &Value) -> bool {
+        let n = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        match v.get("type").and_then(Value::as_str) {
+            Some("stream") => {
+                if let Some(job) = v.get("job").and_then(Value::as_str) {
+                    self.job = job.to_string();
+                }
+                false
+            }
+            Some("window") => {
+                self.cycle = n("cycle");
+                self.seq = n("seq");
+                self.dropped = n("dropped");
+                self.ipc = f("ipc");
+                self.l1 = f("l1_hit_rate");
+                self.mshr = f("mshr_occupancy");
+                self.missq = f("miss_queue_occupancy");
+                self.noc = f("noc_utilization");
+                self.warps = n("active_warps");
+                self.throttled = n("throttled_sms");
+                self.chain = n("chain_depth");
+                for (i, (key, _, _)) in STALL_BUCKETS.iter().enumerate() {
+                    self.stall[i] = f(&format!("stall_{key}"));
+                }
+                self.windows += 1;
+                true
+            }
+            Some("event") => {
+                self.events += 1;
+                self.dropped = self.dropped.max(n("dropped"));
+                false
+            }
+            Some("progress") => {
+                self.progress = Some(format!(
+                    "sweep {}/{} done, {} quarantined, {} retries",
+                    n("done"),
+                    n("total"),
+                    n("quarantined"),
+                    n("retries"),
+                ));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The stall breakdown as a stacked bar: each bucket's glyph
+    /// repeated in proportion to its fraction of the window's issue
+    /// slots.
+    fn stacked_bar(&self, width: usize) -> String {
+        let mut bar = String::with_capacity(width);
+        for (i, &frac) in self.stall.iter().enumerate() {
+            let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+            for _ in 0..n {
+                if bar.chars().count() < width {
+                    bar.push(STALL_BUCKETS[i].1);
+                }
+            }
+        }
+        while bar.chars().count() < width {
+            bar.push('.');
+        }
+        bar
+    }
+
+    /// Repaints the dashboard in place: moves the cursor up over the
+    /// previous frame (plain ANSI, same escapes as `repro --progress`)
+    /// and rewrites each line, clearing to end-of-line.
+    fn paint(&mut self) {
+        let health = if self.dropped == 0 {
+            "ok (0 dropped)".to_string()
+        } else {
+            format!("{} dropped", self.dropped)
+        };
+        let pct100 = |v: f64| format!("{:.1}%", v * 100.0);
+        let mut lines = vec![
+            format!(
+                "top {}  window #{}  cycle {}  seq {}  stream {}",
+                self.job, self.windows, self.cycle, self.seq, health
+            ),
+            format!(
+                "ipc {:.3}  l1 {}  warps {}  throttled {}  chain {}  events {}",
+                self.ipc,
+                pct100(self.l1),
+                self.warps,
+                self.throttled,
+                self.chain,
+                self.events
+            ),
+            format!(
+                "mshr [{}] {}  missq [{}] {}  noc [{}] {}",
+                gauge(self.mshr, 10),
+                pct100(self.mshr),
+                gauge(self.missq, 10),
+                pct100(self.missq),
+                gauge(self.noc, 10),
+                pct100(self.noc)
+            ),
+            format!("stall [{}]", self.stacked_bar(40)),
+            STALL_BUCKETS
+                .iter()
+                .zip(self.stall.iter())
+                .map(|((_, _, label), &frac)| format!("{label} {}", pct100(frac)))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        ];
+        if let Some(progress) = &self.progress {
+            lines.push(progress.clone());
+        }
+        if self.painted > 0 {
+            print!("\x1b[{}A", self.painted);
+        }
+        for line in &lines {
+            println!("{line}\x1b[K");
+        }
+        self.painted = lines.len();
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+}
+
 /// Exits with the code a client failure calls for: the typed quota
 /// rejection gets its own exit code ([`EXIT_QUOTA`]), other daemon
 /// refusals exit 2, transport failures go through the shared CLI path.
@@ -239,6 +451,44 @@ fn main() {
                 }
             })
             .unwrap_or_else(|e| client_fail(&cli.socket, e));
+            std::process::exit(end.exit);
+        }
+        Command::Top {
+            id,
+            ring,
+            from,
+            once,
+        } => {
+            let mut dash = Dashboard::default();
+            if *once {
+                // Stop as soon as one window has been rendered.
+                let out = client::tail_watch(&cli.socket, *id, *ring, *from, |line| {
+                    if dash.observe(line) && dash.windows > 0 {
+                        dash.paint();
+                    }
+                    dash.windows == 0
+                })
+                .unwrap_or_else(|e| client_fail(&cli.socket, e));
+                match out {
+                    TailOutcome::Stopped => std::process::exit(0),
+                    TailOutcome::Done(end) => {
+                        // The job ended before (or right as) the first
+                        // window arrived; paint what we have.
+                        dash.paint();
+                        std::process::exit(if dash.windows > 0 { 0 } else { end.exit });
+                    }
+                }
+            }
+            let end = client::tail_from(&cli.socket, *id, *ring, *from, |line| {
+                if dash.observe(line) {
+                    dash.paint();
+                }
+            })
+            .unwrap_or_else(|e| client_fail(&cli.socket, e));
+            println!(
+                "done state={} exit={} delivered={} dropped={}",
+                end.state, end.exit, end.delivered, end.dropped
+            );
             std::process::exit(end.exit);
         }
         Command::Reports { id } => {

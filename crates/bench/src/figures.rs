@@ -330,6 +330,52 @@ pub fn fig05_memory_stalls(m: &EvalMatrix) -> Table {
     )
 }
 
+/// Fig 5 companion — the exact issue-slot breakdown behind the
+/// two-bucket stall share: where every scheduler cycle went, per app
+/// (baseline). Columns sum to 100% by construction (audit-enforced in
+/// the simulator).
+pub fn fig05_stall_breakdown(m: &EvalMatrix) -> Table {
+    let mut t = Table::new(
+        "Fig 5 (breakdown) — Issue-slot taxonomy, baseline (% of scheduler cycles)",
+        [
+            "app", "issued", "no-warp", "barrier", "scoreb", "mem-data", "mshr", "missq", "noc",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    let mut sums = [0.0f64; 8];
+    for &b in Benchmark::all() {
+        let r = m.get(b, PrefetcherKind::Baseline);
+        let cols = [
+            r.stall_issued,
+            r.stall_no_warp,
+            r.stall_barrier,
+            r.stall_scoreboard,
+            r.stall_mem_data,
+            r.stall_mem_mshr,
+            r.stall_mem_missq,
+            r.stall_mem_noc,
+        ];
+        for (i, v) in cols.iter().enumerate() {
+            sums[i] += v;
+        }
+        t.push_row(
+            std::iter::once(b.abbr().to_string())
+                .chain(cols.iter().map(|&v| pct(v)))
+                .collect(),
+        );
+    }
+    let n = Benchmark::all().len() as f64;
+    t.push_row(
+        std::iter::once("MEAN".to_string())
+            .chain(sums.iter().map(|s| pct(s / n)))
+            .collect(),
+    );
+    t.note("MECE per-cycle accounting: the eight columns partition scheduler cycles exactly");
+    t
+}
+
 fn baseline_metric_table(
     m: &EvalMatrix,
     title: &str,
@@ -889,6 +935,7 @@ pub fn all(h: &Harness) -> Result<Vec<Table>, SimError> {
         fig03_reservation_fails(&m),
         fig04_noc_utilization(&m),
         fig05_memory_stalls(&m),
+        fig05_stall_breakdown(&m),
         fig06_coverage_vs_ideal(h),
         fig09_chain_pcs(h),
         fig10_chain_repetition(h),
@@ -996,5 +1043,20 @@ mod tests {
         assert!(t.to_string().contains("MEAN"));
         let _ = fig04_noc_utilization(&m);
         let _ = fig05_memory_stalls(&m);
+        // The breakdown's eight columns partition scheduler cycles, so
+        // every row of the stacked figure sums to ~100%.
+        let t = fig05_stall_breakdown(&m);
+        assert_eq!(t.rows.len(), Benchmark::all().len() + 1);
+        for row in &t.rows {
+            let total: f64 = row[1..]
+                .iter()
+                .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
+                .sum();
+            assert!(
+                (total - 100.0).abs() < 0.5,
+                "row {:?} sums to {total}",
+                row[0]
+            );
+        }
     }
 }

@@ -101,6 +101,17 @@ pub fn request(socket: &Path, req: &Request) -> Result<Value, ClientError> {
     read_response(&mut reader)
 }
 
+/// How a [`tail_watch`] pump ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailOutcome {
+    /// The daemon sent its terminal `done` line, and the drop
+    /// accounting verified.
+    Done(TailEnd),
+    /// The callback asked to stop; the connection was dropped
+    /// mid-stream, so there is no terminal accounting to report.
+    Stopped,
+}
+
 /// What a finished [`tail`] verified and observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TailEnd {
@@ -151,6 +162,32 @@ pub fn tail_from(
     from: Option<u64>,
     mut on_line: impl FnMut(&Value),
 ) -> Result<TailEnd, ClientError> {
+    match tail_watch(socket, id, ring, from, |v| {
+        on_line(v);
+        true
+    })? {
+        TailOutcome::Done(end) => Ok(end),
+        TailOutcome::Stopped => unreachable!("callback always continues"),
+    }
+}
+
+/// Like [`tail_from`], but the callback decides whether to keep
+/// following: returning `false` drops the connection and ends the pump
+/// with [`TailOutcome::Stopped`] — how `snakectl top --once` exits
+/// after its first rendered window without waiting for the job to
+/// finish. Sequence verification still runs on every line delivered
+/// before the stop.
+///
+/// # Errors
+///
+/// As [`tail_from`].
+pub fn tail_watch(
+    socket: &Path,
+    id: u64,
+    ring: u64,
+    from: Option<u64>,
+    mut on_line: impl FnMut(&Value) -> bool,
+) -> Result<TailOutcome, ClientError> {
     let stream = UnixStream::connect(socket).map_err(ClientError::Io)?;
     {
         let mut w = &stream;
@@ -171,7 +208,7 @@ pub fn tail_from(
             .and_then(Value::as_str)
             .ok_or_else(|| protocol_error("stream line without \"type\""))?
             .to_string();
-        on_line(&v);
+        let keep_going = on_line(&v);
         match kind.as_str() {
             "stream" => {
                 let from = v
@@ -243,13 +280,16 @@ pub fn tail_from(
                         end.dropped
                     )));
                 }
-                return Ok(end);
+                return Ok(TailOutcome::Done(end));
             }
             other => {
                 return Err(protocol_error(format!(
                     "unknown stream line type {other:?}"
                 )))
             }
+        }
+        if !keep_going {
+            return Ok(TailOutcome::Stopped);
         }
     }
     Err(protocol_error("stream ended without a done line"))

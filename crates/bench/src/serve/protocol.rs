@@ -11,8 +11,8 @@
 //!   subscriber can observe (later records may still be dropped).
 //! - `{"type":"window",...}` — one metrics window (cycle, IPC, L1 hit
 //!   rate, MSHR/miss-queue occupancy, NoC utilization, active warps,
-//!   throttled SMs, chain depth) plus `seq` and the cumulative
-//!   `dropped` count.
+//!   throttled SMs, chain depth, and the eight `stall_*` issue-slot
+//!   fractions) plus `seq` and the cumulative `dropped` count.
 //! - `{"type":"event",...}` — one trace event (`seq`, `cycle`, `name`,
 //!   cumulative `dropped`).
 //! - `{"type":"progress",...}` — the sweep counters, emitted whenever
@@ -292,6 +292,14 @@ pub fn window_line(job: &str, seq: u64, s: &MetricsSample, dropped: u64) -> Valu
         ("active_warps".into(), Value::u64(s.active_warps as u64)),
         ("throttled_sms".into(), Value::u64(s.throttled_sms as u64)),
         ("chain_depth".into(), Value::u64(u64::from(s.chain_depth))),
+        ("stall_issued".into(), Value::f64(s.stall_issued)),
+        ("stall_no_warp".into(), Value::f64(s.stall_no_warp)),
+        ("stall_barrier".into(), Value::f64(s.stall_barrier)),
+        ("stall_scoreboard".into(), Value::f64(s.stall_scoreboard)),
+        ("stall_mem_data".into(), Value::f64(s.stall_mem_data)),
+        ("stall_mem_mshr".into(), Value::f64(s.stall_mem_mshr)),
+        ("stall_mem_missq".into(), Value::f64(s.stall_mem_missq)),
+        ("stall_mem_noc".into(), Value::f64(s.stall_mem_noc)),
         ("dropped".into(), Value::u64(dropped)),
     ])
 }

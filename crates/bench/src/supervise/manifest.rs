@@ -101,6 +101,11 @@ impl ManifestHeader {
 }
 
 /// One checkpointed job.
+//
+// The report row dominates the enum's size, but records are transient
+// (parsed, matched, dropped one manifest line at a time), so the
+// indirection a `Box` would buy is not worth the churn.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobRecord {
     /// The job produced a report (including budget-truncated runs).
@@ -461,6 +466,14 @@ mod tests {
             timeliness_p50: 40,
             timeliness_p90: 90,
             evicted_unused: 3,
+            stall_issued: 1.0 / 7.0,
+            stall_no_warp: 0.05,
+            stall_barrier: 0.1,
+            stall_scoreboard: 0.05,
+            stall_mem_data: 0.4,
+            stall_mem_mshr: 0.15,
+            stall_mem_missq: 0.08,
+            stall_mem_noc: 0.02,
         }
     }
 

@@ -17,6 +17,11 @@ use crate::report::{pct, ratio, Table};
 use crate::runner::JobRun;
 
 /// The final state of one job in a finished sweep.
+//
+// A sweep holds tens of these, so the report row's size (which
+// dominates the enum) is irrelevant; boxing it would only add churn
+// at every construction and match site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome {
     /// The job produced a report (cleanly, or truncated by a cycle

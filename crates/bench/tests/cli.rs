@@ -26,13 +26,25 @@ fn repro_metrics_csv_writes_the_time_series() {
         lines.next(),
         Some(
             "cycle,ipc,l1_hit_rate,mshr_occupancy,miss_queue_occupancy,\
-             noc_utilization,active_warps,throttled_sms,chain_depth"
+             noc_utilization,active_warps,throttled_sms,chain_depth,\
+             stall_issued,stall_no_warp,stall_barrier,stall_scoreboard,\
+             stall_mem_data,stall_mem_mshr,stall_mem_missq,stall_mem_noc"
         )
     );
     let rows: Vec<&str> = lines.collect();
     assert!(!rows.is_empty(), "no metric windows in: {csv}");
     for row in rows {
-        assert_eq!(row.split(',').count(), 9, "malformed row: {row}");
+        assert_eq!(row.split(',').count(), 17, "malformed row: {row}");
+        // The eight stall fractions partition the window's issue slots.
+        let stalls: f64 = row
+            .split(',')
+            .skip(9)
+            .map(|c| c.parse::<f64>().unwrap())
+            .sum();
+        assert!(
+            (stalls - 1.0).abs() < 1e-4,
+            "stall fractions sum to {stalls} in: {row}"
+        );
     }
 }
 

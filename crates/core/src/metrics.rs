@@ -42,6 +42,22 @@ pub struct MechanismReport {
     pub timeliness_p90: u64,
     /// Prefetched lines that were evicted without ever being used.
     pub evicted_unused: u64,
+    /// Issue-slot taxonomy: fraction of scheduler-cycles that issued.
+    pub stall_issued: f64,
+    /// Fraction with no runnable warp in the scheduler's partition.
+    pub stall_no_warp: f64,
+    /// Fraction absorbing memory-use latency (L1 hit/store settle).
+    pub stall_barrier: f64,
+    /// Fraction stalled on a non-memory data dependency.
+    pub stall_scoreboard: f64,
+    /// Fraction stalled waiting on outstanding loads (stall-on-use).
+    pub stall_mem_data: f64,
+    /// Fraction rejected by a full MSHR (or no evictable way).
+    pub stall_mem_mshr: f64,
+    /// Fraction rejected by a full miss queue without NoC backpressure.
+    pub stall_mem_missq: f64,
+    /// Fraction rejected by a full miss queue under NoC backpressure.
+    pub stall_mem_noc: f64,
 }
 
 impl MechanismReport {
@@ -71,6 +87,14 @@ impl MechanismReport {
             timeliness_p50: outcome.lifecycle.fill_to_first_use.p50(),
             timeliness_p90: outcome.lifecycle.fill_to_first_use.p90(),
             evicted_unused: s.prefetch.evicted_unused,
+            stall_issued: s.stall.fraction(s.stall.issued),
+            stall_no_warp: s.stall.fraction(s.stall.no_warp),
+            stall_barrier: s.stall.fraction(s.stall.barrier),
+            stall_scoreboard: s.stall.fraction(s.stall.scoreboard),
+            stall_mem_data: s.stall.fraction(s.stall.mem_data),
+            stall_mem_mshr: s.stall.fraction(s.stall.mem_struct_mshr),
+            stall_mem_missq: s.stall.fraction(s.stall.mem_struct_missq),
+            stall_mem_noc: s.stall.fraction(s.stall.mem_struct_noc),
         }
     }
 
@@ -102,6 +126,14 @@ impl MechanismReport {
             ("timeliness_p50".into(), Value::u64(self.timeliness_p50)),
             ("timeliness_p90".into(), Value::u64(self.timeliness_p90)),
             ("evicted_unused".into(), Value::u64(self.evicted_unused)),
+            ("stall_issued".into(), Value::f64(self.stall_issued)),
+            ("stall_no_warp".into(), Value::f64(self.stall_no_warp)),
+            ("stall_barrier".into(), Value::f64(self.stall_barrier)),
+            ("stall_scoreboard".into(), Value::f64(self.stall_scoreboard)),
+            ("stall_mem_data".into(), Value::f64(self.stall_mem_data)),
+            ("stall_mem_mshr".into(), Value::f64(self.stall_mem_mshr)),
+            ("stall_mem_missq".into(), Value::f64(self.stall_mem_missq)),
+            ("stall_mem_noc".into(), Value::f64(self.stall_mem_noc)),
         ])
     }
 
@@ -145,6 +177,14 @@ impl MechanismReport {
             timeliness_p50: u64_field(v, "timeliness_p50")?,
             timeliness_p90: u64_field(v, "timeliness_p90")?,
             evicted_unused: u64_field(v, "evicted_unused")?,
+            stall_issued: f64_field(v, "stall_issued")?,
+            stall_no_warp: f64_field(v, "stall_no_warp")?,
+            stall_barrier: f64_field(v, "stall_barrier")?,
+            stall_scoreboard: f64_field(v, "stall_scoreboard")?,
+            stall_mem_data: f64_field(v, "stall_mem_data")?,
+            stall_mem_mshr: f64_field(v, "stall_mem_mshr")?,
+            stall_mem_missq: f64_field(v, "stall_mem_missq")?,
+            stall_mem_noc: f64_field(v, "stall_mem_noc")?,
         })
     }
 
@@ -255,6 +295,7 @@ mod tests {
             MechanismReport::from_outcome("snake", "lps", &outcome(12345, 6789), &cfg, &em, true);
         row.ipc = 1.0 / 3.0; // force a non-terminating decimal
         row.cycles = u64::MAX - 7; // beyond f64 precision
+        row.stall_mem_mshr = 2.0 / 7.0; // breakdown columns too
         let text = row.to_json().to_string();
         let back = MechanismReport::from_json_str(&text).unwrap();
         assert_eq!(back, row);

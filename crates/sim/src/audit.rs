@@ -32,7 +32,7 @@ pub struct Auditor {
 
 /// The cumulative counters that must never decrease, with names for
 /// the violation message.
-fn monotone_counters(s: &SimStats) -> [(&'static str, u64); 16] {
+fn monotone_counters(s: &SimStats) -> [(&'static str, u64); 25] {
     [
         ("cycles", s.cycles),
         ("instructions", s.instructions),
@@ -40,6 +40,15 @@ fn monotone_counters(s: &SimStats) -> [(&'static str, u64); 16] {
         ("stores", s.stores),
         ("all_stall_cycles", s.all_stall_cycles),
         ("all_stall_mem_cycles", s.all_stall_mem_cycles),
+        ("stall.issued", s.stall.issued),
+        ("stall.no_warp", s.stall.no_warp),
+        ("stall.barrier", s.stall.barrier),
+        ("stall.scoreboard", s.stall.scoreboard),
+        ("stall.mem_data", s.stall.mem_data),
+        ("stall.mem_struct_mshr", s.stall.mem_struct_mshr),
+        ("stall.mem_struct_missq", s.stall.mem_struct_missq),
+        ("stall.mem_struct_noc", s.stall.mem_struct_noc),
+        ("stall.scheduler_cycles", s.stall.scheduler_cycles),
         ("l1.hits", s.l1.hits),
         ("l1.misses", s.l1.misses),
         ("l1.evictions", s.l1.evictions),
@@ -72,6 +81,13 @@ impl Auditor {
                     violations.push(format!("counter {name} went backwards: {before} -> {now}"));
                 }
             }
+        }
+        if !current.stall.is_exact() {
+            violations.push(format!(
+                "stall taxonomy not exact: buckets sum to {}, scheduler cycles {}",
+                current.stall.total(),
+                current.stall.scheduler_cycles
+            ));
         }
         self.prev = Some(*current);
         violations
@@ -145,6 +161,21 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("instructions"));
         assert!(v[0].contains("100 -> 50"));
+    }
+
+    #[test]
+    fn inexact_stall_partition_is_flagged() {
+        let mut a = Auditor::new();
+        let mut s = SimStats::default();
+        s.stall.issued = 3;
+        s.stall.scheduler_cycles = 4;
+        let v = a.check_stats(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("not exact"));
+        assert!(v[0].contains("3"));
+        // Closing the gap clears the violation.
+        s.stall.mem_data = 1;
+        assert!(a.check_stats(&s).is_empty());
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct UnifiedL1 {
     pub fault_stats: FaultStats,
     /// Counters exposed to the simulator.
     pub stats: CacheStats,
+    /// The rejecting resource of the most recent reservation fail —
+    /// the attribution signal for the stall taxonomy's structural
+    /// buckets. Transient: cleared by the SM before every issue
+    /// attempt and read back the same cycle, so it never needs to be
+    /// checkpointed (checkpoints land at cycle boundaries).
+    last_fail: Option<ReservationFailReason>,
     /// Prefetch-effectiveness counters (fills/useful/evicted tracked
     /// here; issued/redundant tracked by the SM front-end).
     pub pf_stats: PrefetchStats,
@@ -145,6 +151,7 @@ impl UnifiedL1 {
             recovery: cfg.fault.recovery,
             fault_stats: FaultStats::default(),
             stats: CacheStats::default(),
+            last_fail: None,
             pf_stats: PrefetchStats::default(),
             lifecycle: PrefetchLifecycle::default(),
             trace: None,
@@ -233,6 +240,25 @@ impl UnifiedL1 {
         }
     }
 
+    /// Records a reservation fail in the stats and latches the
+    /// rejecting resource for this cycle's stall attribution.
+    fn reservation_fail(&mut self, reason: ReservationFailReason) {
+        self.stats.record_fail(reason);
+        self.last_fail = Some(reason);
+    }
+
+    /// Clears the per-attempt fail-reason latch (the SM calls this
+    /// before each issue attempt).
+    pub fn clear_last_fail(&mut self) {
+        self.last_fail = None;
+    }
+
+    /// The rejecting resource of the most recent reservation fail
+    /// since [`clear_last_fail`](UnifiedL1::clear_last_fail), if any.
+    pub fn last_fail(&self) -> Option<ReservationFailReason> {
+        self.last_fail
+    }
+
     /// A demand load access.
     pub fn access_demand(&mut self, line: LineAddr, warp: WarpId, now: Cycle) -> AccessOutcome {
         let sw = Stopwatch::start(self.prof.is_some());
@@ -272,7 +298,7 @@ impl UnifiedL1 {
                             AccessOutcome::HitReserved
                         }
                         MergeResult::Full => {
-                            self.stats.record_fail(ReservationFailReason::MshrFull);
+                            self.reservation_fail(ReservationFailReason::MshrFull);
                             AccessOutcome::ReservationFail
                         }
                     };
@@ -346,7 +372,7 @@ impl UnifiedL1 {
                         AccessOutcome::HitReserved
                     }
                     MergeResult::Full => {
-                        self.stats.record_fail(ReservationFailReason::MshrFull);
+                        self.reservation_fail(ReservationFailReason::MshrFull);
                         AccessOutcome::ReservationFail
                     }
                 },
@@ -359,18 +385,17 @@ impl UnifiedL1 {
 
     fn allocate_demand_miss(&mut self, line: LineAddr, warp: WarpId, now: Cycle) -> AccessOutcome {
         if !self.mshr.has_free_entry() {
-            self.stats.record_fail(ReservationFailReason::MshrFull);
+            self.reservation_fail(ReservationFailReason::MshrFull);
             return AccessOutcome::ReservationFail;
         }
         if self.miss_queue.len() >= self.miss_queue_depth {
-            self.stats.record_fail(ReservationFailReason::MissQueueFull);
+            self.reservation_fail(ReservationFailReason::MissQueueFull);
             return AccessOutcome::ReservationFail;
         }
         let victim = match self.demand_victim(line, now) {
             Some(w) => w,
             None => {
-                self.stats
-                    .record_fail(ReservationFailReason::NoEvictableWay);
+                self.reservation_fail(ReservationFailReason::NoEvictableWay);
                 return AccessOutcome::ReservationFail;
             }
         };
@@ -597,7 +622,7 @@ impl UnifiedL1 {
 
     fn access_store_inner(&mut self, line: LineAddr, now: Cycle) -> bool {
         if self.miss_queue.len() >= self.miss_queue_depth {
-            self.stats.record_fail(ReservationFailReason::MissQueueFull);
+            self.reservation_fail(ReservationFailReason::MissQueueFull);
             return false;
         }
         if let Some(way) = self.tags.probe(line) {

@@ -109,6 +109,10 @@ pub struct Gpu {
     /// Brownout state at the last step (edge detection for
     /// [`SimEvent::Brownout`]).
     prev_brownout: bool,
+    /// Whether last cycle's injection loop hit interconnect
+    /// backpressure (uplink credit refused). The SMs read it the next
+    /// cycle to attribute `MissQueueFull` rejections to the NoC.
+    noc_backpressured: bool,
     /// Device-level host-time accumulator ([`Phase::Observability`]:
     /// trace flushing and metrics sampling), present when
     /// [`GpuConfig::host_profile`] is set. Component accumulators are
@@ -227,6 +231,7 @@ impl Gpu {
             device_events: Vec::new(),
             metrics,
             prev_brownout: false,
+            noc_backpressured: false,
             prof,
             events_flushed: 0,
             tap: None,
@@ -346,9 +351,11 @@ impl Gpu {
         self.partition.tick(now);
 
         let util = self.noc.utilization();
+        let backpressured = self.noc_backpressured;
         for sm in &mut self.sms {
-            sm.tick(&self.kernel, now, util);
+            sm.tick(&self.kernel, now, util, backpressured);
         }
+        self.noc_backpressured = false;
 
         // Inject L1 requests into the interconnect, round-robin start.
         let n = self.sms.len();
@@ -376,6 +383,7 @@ impl Gpu {
                     self.sms[i].pop_outgoing();
                     noc_moved = true;
                 } else {
+                    self.noc_backpressured = true;
                     break 'inject; // uplink budget spent this cycle
                 }
             }
@@ -481,6 +489,7 @@ impl Gpu {
             t.active_warps += sm.active_warps();
             t.throttled_sms += usize::from(sm.is_throttled());
             t.max_chain_depth = t.max_chain_depth.max(sm.chain_depth());
+            t.stall.merge(&sm.stats.stall);
         }
         t
     }
@@ -838,6 +847,10 @@ impl Gpu {
             ("cycle".into(), Value::u64(self.cycle.0)),
             ("brownout_cycles".into(), Value::u64(self.brownout_cycles)),
             ("prev_brownout".into(), Value::Bool(self.prev_brownout)),
+            (
+                "noc_backpressured".into(),
+                Value::Bool(self.noc_backpressured),
+            ),
             ("events_flushed".into(), Value::u64(self.events_flushed)),
             (
                 "sms".into(),
@@ -865,6 +878,7 @@ impl Gpu {
         let cycle = Cycle(snapshot::u64_field(v, "cycle")?);
         let brownout_cycles = snapshot::u64_field(v, "brownout_cycles")?;
         let prev_brownout = snapshot::bool_field(v, "prev_brownout")?;
+        let noc_backpressured = snapshot::bool_field(v, "noc_backpressured")?;
         let events_flushed = snapshot::u64_field(v, "events_flushed")?;
         let sms = snapshot::arr_field(v, "sms")?;
         if sms.len() != self.sms.len() {
@@ -905,6 +919,7 @@ impl Gpu {
         self.cycle = cycle;
         self.brownout_cycles = brownout_cycles;
         self.prev_brownout = prev_brownout;
+        self.noc_backpressured = noc_backpressured;
         self.events_flushed = events_flushed;
         self.deadlock = None;
         Ok(())

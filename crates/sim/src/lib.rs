@@ -75,6 +75,7 @@ pub use sm::Sm;
 pub use snapshot::{Checkpoint, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use stats::{
     AccessOutcome, CacheStats, FaultStats, PrefetchStats, ReservationFailReason, SimStats,
+    StallBreakdown,
 };
 pub use types::{Address, CtaId, Cycle, LineAddr, Pc, SmId, WarpId};
 pub use watchdog::{

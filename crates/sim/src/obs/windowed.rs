@@ -11,6 +11,7 @@
 
 use crate::json::Value;
 use crate::snapshot::{self, SnapshotError};
+use crate::stats::StallBreakdown;
 use crate::types::Cycle;
 
 /// Cumulative device-wide counters snapshotted at a window boundary.
@@ -40,6 +41,9 @@ pub struct WindowTotals {
     pub throttled_sms: usize,
     /// Deepest chain-walk depth currently configured across SMs.
     pub max_chain_depth: u32,
+    /// Cumulative issue-slot stall taxonomy (all SMs); the collector
+    /// differences it into per-window fractions.
+    pub stall: StallBreakdown,
 }
 
 /// One row of the time series: rates over a single window plus
@@ -65,6 +69,22 @@ pub struct MetricsSample {
     pub throttled_sms: usize,
     /// Max chain depth across SMs at the window edge.
     pub chain_depth: u32,
+    /// Fraction of the window's issue slots that issued, `[0, 1]`.
+    pub stall_issued: f64,
+    /// Fraction with no runnable warp in the scheduler's partition.
+    pub stall_no_warp: f64,
+    /// Fraction stalled absorbing memory-use latency (hit/store).
+    pub stall_barrier: f64,
+    /// Fraction stalled on a non-memory data dependency.
+    pub stall_scoreboard: f64,
+    /// Fraction stalled waiting on outstanding loads (stall-on-use).
+    pub stall_mem_data: f64,
+    /// Fraction rejected by a full MSHR (or no evictable way).
+    pub stall_mem_mshr: f64,
+    /// Fraction rejected by a full miss queue (NoC keeping up).
+    pub stall_mem_missq: f64,
+    /// Fraction rejected by a full miss queue under NoC backpressure.
+    pub stall_mem_noc: f64,
 }
 
 /// The collected time series.
@@ -95,11 +115,14 @@ impl MetricsSeries {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "cycle,ipc,l1_hit_rate,mshr_occupancy,miss_queue_occupancy,\
-             noc_utilization,active_warps,throttled_sms,chain_depth\n",
+             noc_utilization,active_warps,throttled_sms,chain_depth,\
+             stall_issued,stall_no_warp,stall_barrier,stall_scoreboard,\
+             stall_mem_data,stall_mem_mshr,stall_mem_missq,stall_mem_noc\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{}\n",
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},\
+                 {:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
                 s.cycle,
                 s.ipc,
                 s.l1_hit_rate,
@@ -108,7 +131,15 @@ impl MetricsSeries {
                 s.noc_utilization,
                 s.active_warps,
                 s.throttled_sms,
-                s.chain_depth
+                s.chain_depth,
+                s.stall_issued,
+                s.stall_no_warp,
+                s.stall_barrier,
+                s.stall_scoreboard,
+                s.stall_mem_data,
+                s.stall_mem_mshr,
+                s.stall_mem_missq,
+                s.stall_mem_noc
             ));
         }
         if let Some(stop) = &self.stop {
@@ -175,6 +206,7 @@ pub struct WindowedMetrics {
     last_instructions: u64,
     last_l1_hits: u64,
     last_l1_accesses: u64,
+    last_stall: StallBreakdown,
 }
 
 impl WindowedMetrics {
@@ -196,6 +228,7 @@ impl WindowedMetrics {
             last_instructions: 0,
             last_l1_hits: 0,
             last_l1_accesses: 0,
+            last_stall: StallBreakdown::default(),
         }
     }
 
@@ -218,6 +251,17 @@ impl WindowedMetrics {
         let d_instr = totals.instructions.saturating_sub(self.last_instructions);
         let d_hits = totals.l1_hits.saturating_sub(self.last_l1_hits);
         let d_acc = totals.l1_accesses.saturating_sub(self.last_l1_accesses);
+        let d_sched = totals
+            .stall
+            .scheduler_cycles
+            .saturating_sub(self.last_stall.scheduler_cycles);
+        let stall_frac = |cur: u64, prev: u64| {
+            if d_sched == 0 {
+                0.0
+            } else {
+                cur.saturating_sub(prev) as f64 / d_sched as f64
+            }
+        };
         self.series.samples.push(MetricsSample {
             cycle: cycle.0,
             ipc: d_instr as f64 / elapsed as f64,
@@ -232,11 +276,26 @@ impl WindowedMetrics {
             active_warps: totals.active_warps,
             throttled_sms: totals.throttled_sms,
             chain_depth: totals.max_chain_depth,
+            stall_issued: stall_frac(totals.stall.issued, self.last_stall.issued),
+            stall_no_warp: stall_frac(totals.stall.no_warp, self.last_stall.no_warp),
+            stall_barrier: stall_frac(totals.stall.barrier, self.last_stall.barrier),
+            stall_scoreboard: stall_frac(totals.stall.scoreboard, self.last_stall.scoreboard),
+            stall_mem_data: stall_frac(totals.stall.mem_data, self.last_stall.mem_data),
+            stall_mem_mshr: stall_frac(
+                totals.stall.mem_struct_mshr,
+                self.last_stall.mem_struct_mshr,
+            ),
+            stall_mem_missq: stall_frac(
+                totals.stall.mem_struct_missq,
+                self.last_stall.mem_struct_missq,
+            ),
+            stall_mem_noc: stall_frac(totals.stall.mem_struct_noc, self.last_stall.mem_struct_noc),
         });
         self.last_cycle = cycle.0;
         self.last_instructions = totals.instructions;
         self.last_l1_hits = totals.l1_hits;
         self.last_l1_accesses = totals.l1_accesses;
+        self.last_stall = totals.stall;
     }
 
     /// Marks the series as belonging to a truncated run (any
@@ -270,6 +329,14 @@ impl WindowedMetrics {
                     Value::u64(s.active_warps as u64),
                     Value::u64(s.throttled_sms as u64),
                     Value::u64(u64::from(s.chain_depth)),
+                    Value::f64(s.stall_issued),
+                    Value::f64(s.stall_no_warp),
+                    Value::f64(s.stall_barrier),
+                    Value::f64(s.stall_scoreboard),
+                    Value::f64(s.stall_mem_data),
+                    Value::f64(s.stall_mem_mshr),
+                    Value::f64(s.stall_mem_missq),
+                    Value::f64(s.stall_mem_noc),
                 ])
             })
             .collect();
@@ -289,6 +356,7 @@ impl WindowedMetrics {
             ),
             ("last_l1_hits".into(), Value::u64(self.last_l1_hits)),
             ("last_l1_accesses".into(), Value::u64(self.last_l1_accesses)),
+            ("last_stall".into(), self.last_stall.save_state()),
         ])
     }
 
@@ -303,7 +371,7 @@ impl WindowedMetrics {
         for (i, entry) in snapshot::arr_field(v, "samples")?.iter().enumerate() {
             let row = entry
                 .as_arr()
-                .filter(|r| r.len() == 9)
+                .filter(|r| r.len() == 17)
                 .ok_or_else(|| SnapshotError::malformed(format!("metrics sample {i}")))?;
             let u = |j: usize| {
                 row[j]
@@ -325,6 +393,14 @@ impl WindowedMetrics {
                 active_warps: u(6)? as usize,
                 throttled_sms: u(7)? as usize,
                 chain_depth: u(8)? as u32,
+                stall_issued: f(9)?,
+                stall_no_warp: f(10)?,
+                stall_barrier: f(11)?,
+                stall_scoreboard: f(12)?,
+                stall_mem_data: f(13)?,
+                stall_mem_mshr: f(14)?,
+                stall_mem_missq: f(15)?,
+                stall_mem_noc: f(16)?,
             });
         }
         let stop = match snapshot::field(v, "stop")? {
@@ -342,6 +418,8 @@ impl WindowedMetrics {
         self.last_instructions = snapshot::u64_field(v, "last_instructions")?;
         self.last_l1_hits = snapshot::u64_field(v, "last_l1_hits")?;
         self.last_l1_accesses = snapshot::u64_field(v, "last_l1_accesses")?;
+        self.last_stall
+            .restore_state(snapshot::field(v, "last_stall")?)?;
         Ok(())
     }
 }
@@ -363,6 +441,7 @@ mod tests {
             active_warps: 8,
             throttled_sms: 1,
             max_chain_depth: 2,
+            stall: StallBreakdown::default(),
         }
     }
 
@@ -407,6 +486,38 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.starts_with("10,1.000000,0.500000"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn stall_fractions_are_window_deltas() {
+        let mut m = WindowedMetrics::new(10);
+        let mut t = totals(10, 5, 10);
+        t.stall = StallBreakdown {
+            issued: 6,
+            mem_data: 4,
+            scheduler_cycles: 10,
+            ..StallBreakdown::default()
+        };
+        m.record(Cycle(10), &t);
+        // Second window adds 10 scheduler-cycles: 2 issued, 8 MSHR.
+        let mut t2 = totals(20, 10, 20);
+        t2.stall = StallBreakdown {
+            issued: 8,
+            mem_data: 4,
+            mem_struct_mshr: 8,
+            scheduler_cycles: 20,
+            ..StallBreakdown::default()
+        };
+        m.record(Cycle(20), &t2);
+        let s = m.finish();
+        assert_eq!(s.samples[0].stall_issued, 0.6);
+        assert_eq!(s.samples[0].stall_mem_data, 0.4);
+        assert_eq!(s.samples[1].stall_issued, 0.2);
+        assert_eq!(s.samples[1].stall_mem_data, 0.0);
+        assert_eq!(s.samples[1].stall_mem_mshr, 0.8);
+        // The CSV carries all eight fraction columns.
+        let csv = s.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("stall_mem_noc"));
     }
 
     #[test]

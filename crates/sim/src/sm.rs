@@ -14,7 +14,7 @@ use crate::prefetch::{
 };
 use crate::scheduler::Scheduler;
 use crate::snapshot::{self, SnapshotError};
-use crate::stats::{AccessOutcome, SimStats};
+use crate::stats::{AccessOutcome, ReservationFailReason, SimStats};
 use crate::types::{CtaId, Cycle, SmId, WarpId};
 use crate::warp::{WarpSlot, WarpState};
 use crate::watchdog::{SmCensus, WarpBlock, WarpCensus};
@@ -217,7 +217,19 @@ impl Sm {
 
     /// Advances the SM by one cycle: launch CTAs, refresh warps, issue
     /// from each scheduler, account stalls, sync prefetcher state.
-    pub fn tick(&mut self, kernel: &KernelTrace, now: Cycle, noc_utilization: f64) {
+    ///
+    /// `noc_backpressured` reports whether the interconnect refused
+    /// injections *last* cycle (the SMs tick before this cycle's
+    /// injection loop) — it reattributes `MissQueueFull` rejections to
+    /// the NoC when the queue is full because the network will not
+    /// drain it.
+    pub fn tick(
+        &mut self,
+        kernel: &KernelTrace,
+        now: Cycle,
+        noc_utilization: f64,
+        noc_backpressured: bool,
+    ) {
         // Phase attribution: the front-end regions below (CTA launch,
         // warp refresh, scheduler picks) are timed as `SmIssue`; the
         // L1 and prefetcher calls nested in `issue()` time themselves
@@ -239,16 +251,78 @@ impl Sm {
             let sw = Stopwatch::start(self.prof.is_some());
             let picked = sched.pick(&self.slots, sid, n_sched);
             sw.stop(&mut self.prof, Phase::SmIssue);
+            // Exactly one stall-taxonomy bucket is charged per
+            // scheduler per cycle, so the buckets partition
+            // `scheduler_cycles` exactly (audit-enforced).
             if let Some(slot_idx) = picked {
-                if self.issue(slot_idx, kernel, now, noc_utilization) {
-                    issued += 1;
-                }
+                let retrying = self.slots[slot_idx]
+                    .as_ref()
+                    .is_some_and(|s| !s.pending.is_empty());
+                self.l1.clear_last_fail();
+                let did_issue = self.issue(slot_idx, kernel, now, noc_utilization);
                 if self.slots[slot_idx].is_none() {
                     sched.invalidate(slot_idx);
                 }
+                if did_issue {
+                    issued += 1;
+                    self.stats.stall.issued += 1;
+                } else if self.slots[slot_idx].is_none() {
+                    // Trace exhausted: the warp retired, nothing to run.
+                    self.stats.stall.no_warp += 1;
+                } else if retrying {
+                    // A reservation-failed memory instruction retried.
+                    // The L1 latched which resource rejected it; a clean
+                    // drain (no new fail) is an ordinary stall-on-use.
+                    match self.l1.last_fail() {
+                        Some(
+                            ReservationFailReason::MshrFull | ReservationFailReason::NoEvictableWay,
+                        ) => self.stats.stall.mem_struct_mshr += 1,
+                        Some(ReservationFailReason::MissQueueFull) => {
+                            if noc_backpressured {
+                                self.stats.stall.mem_struct_noc += 1;
+                            } else {
+                                self.stats.stall.mem_struct_missq += 1;
+                            }
+                        }
+                        None => self.stats.stall.mem_data += 1,
+                    }
+                } else {
+                    // issue() only declines on retry or retire today;
+                    // keep the partition exact if that ever changes.
+                    self.stats.stall.scoreboard += 1;
+                }
+            } else {
+                // Nothing issuable in this scheduler's slot partition:
+                // attribute the idle slot to what its warps are doing.
+                let (mut live, mut mem, mut barrier) = (false, false, false);
+                for slot in (sid..self.slots.len())
+                    .step_by(n_sched)
+                    .filter_map(|i| self.slots[i].as_ref())
+                {
+                    live = true;
+                    if slot.memory_stalled() {
+                        // `mem` outranks the remaining buckets, so the
+                        // rest of the partition cannot change the verdict.
+                        mem = true;
+                        break;
+                    } else if slot.busy_mem {
+                        barrier = true;
+                    }
+                }
+                let bucket = if !live {
+                    &mut self.stats.stall.no_warp
+                } else if mem {
+                    &mut self.stats.stall.mem_data
+                } else if barrier {
+                    &mut self.stats.stall.barrier
+                } else {
+                    &mut self.stats.stall.scoreboard
+                };
+                *bucket += 1;
             }
             self.schedulers[sid] = sched;
         }
+        self.stats.stall.scheduler_cycles += n_sched as u64;
 
         // Stall taxonomy (Fig 5).
         let live: Vec<&WarpSlot> = self.slots.iter().flatten().collect();
@@ -320,6 +394,7 @@ impl Sm {
             Some(Instr::Compute { cycles }) => {
                 slot.next += 1;
                 slot.state = WarpState::Busy(now.plus(u64::from(*cycles).max(1)));
+                slot.busy_mem = false;
                 self.stats.instructions += 1;
                 self.emit(
                     now,
@@ -429,6 +504,7 @@ impl Sm {
                 }
             } else {
                 slot.state = WarpState::Busy(now.plus(1));
+                slot.busy_mem = true;
             }
         }
         // else: stay Ready; the scheduler retries next cycle.

@@ -69,6 +69,109 @@ persist_u64_fields!(FaultStats {
     brownout_cycles,
 });
 
+persist_u64_fields!(StallBreakdown {
+    issued,
+    no_warp,
+    barrier,
+    scoreboard,
+    mem_data,
+    mem_struct_mshr,
+    mem_struct_missq,
+    mem_struct_noc,
+    scheduler_cycles,
+});
+
+/// Exact per-issue-slot cycle accounting: every scheduler, every
+/// cycle, lands in exactly one bucket (mutually exclusive,
+/// collectively exhaustive). The partition unit is the
+/// *scheduler-cycle*: one SM tick contributes `schedulers_per_sm`
+/// slots. The hard invariant — the eight buckets sum to
+/// [`scheduler_cycles`](StallBreakdown::scheduler_cycles) — is
+/// enforced every audit window (see [`crate::audit`]) and proptested.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// The slot issued a new instruction.
+    pub issued: u64,
+    /// No live warp in the scheduler's slot partition (SM idle, CTAs
+    /// drained or not yet launched, or a warp retired this cycle).
+    pub no_warp: u64,
+    /// Live warps were serializing at a memory-use barrier: absorbing
+    /// L1 hit latency or store issue latency (`Busy` entered by a
+    /// memory instruction).
+    pub barrier: u64,
+    /// Live warps were blocked on a non-memory data dependency
+    /// (`Busy` entered by a compute instruction).
+    pub scoreboard: u64,
+    /// Stall-on-use: warps waiting on outstanding loads, or a retry
+    /// whose transactions drained cleanly this cycle.
+    pub mem_data: u64,
+    /// A retry was rejected at the L1 because the MSHR file was full
+    /// (or every way in the set was held by in-flight reservations).
+    pub mem_struct_mshr: u64,
+    /// A retry was rejected because the miss queue was full, with the
+    /// interconnect accepting traffic.
+    pub mem_struct_missq: u64,
+    /// A retry was rejected because the miss queue was full *while the
+    /// interconnect was backpressured* last cycle — the NoC, not the
+    /// queue, is the bottleneck.
+    pub mem_struct_noc: u64,
+    /// Total issue slots accounted: SM ticks × schedulers per SM.
+    pub scheduler_cycles: u64,
+}
+
+impl StallBreakdown {
+    /// Sum of the eight buckets — must equal
+    /// [`scheduler_cycles`](StallBreakdown::scheduler_cycles).
+    pub fn total(&self) -> u64 {
+        self.issued
+            + self.no_warp
+            + self.barrier
+            + self.scoreboard
+            + self.mem_data
+            + self.mem_struct_mshr
+            + self.mem_struct_missq
+            + self.mem_struct_noc
+    }
+
+    /// Whether the buckets partition the scheduler-cycles exactly.
+    pub fn is_exact(&self) -> bool {
+        self.total() == self.scheduler_cycles
+    }
+
+    /// The buckets with their stable labels, in display order.
+    pub fn buckets(&self) -> [(&'static str, u64); 8] {
+        [
+            ("issued", self.issued),
+            ("no_warp", self.no_warp),
+            ("barrier", self.barrier),
+            ("scoreboard", self.scoreboard),
+            ("mem_data", self.mem_data),
+            ("mem_struct_mshr", self.mem_struct_mshr),
+            ("mem_struct_missq", self.mem_struct_missq),
+            ("mem_struct_noc", self.mem_struct_noc),
+        ]
+    }
+
+    /// One bucket as a fraction of all scheduler-cycles.
+    pub fn fraction(&self, bucket: u64) -> f64 {
+        ratio(bucket, self.scheduler_cycles)
+    }
+
+    /// Sums another breakdown into this one (per-SM → device merge).
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.issued += other.issued;
+        self.no_warp += other.no_warp;
+        self.barrier += other.barrier;
+        self.scoreboard += other.scoreboard;
+        self.mem_data += other.mem_data;
+        self.mem_struct_mshr += other.mem_struct_mshr;
+        self.mem_struct_missq += other.mem_struct_missq;
+        self.mem_struct_noc += other.mem_struct_noc;
+        self.scheduler_cycles += other.scheduler_cycles;
+    }
+}
+
 /// Outcome of a single L1 access attempt.
 ///
 /// Mirrors the paper's four L1 statuses (§2 footnote): *hit*, *miss*,
@@ -254,6 +357,9 @@ pub struct SimStats {
     /// Cycles in which no warp could issue for any reason
     /// (Fig 5 denominator: "total stalls").
     pub all_stall_cycles: u64,
+    /// Exact per-issue-slot stall-reason taxonomy (buckets partition
+    /// scheduler-cycles; see [`StallBreakdown`]).
+    pub stall: StallBreakdown,
     /// L1 counters.
     pub l1: CacheStats,
     /// L2 hits.
@@ -319,6 +425,7 @@ impl SimStats {
         self.stores += other.stores;
         self.all_stall_mem_cycles += other.all_stall_mem_cycles;
         self.all_stall_cycles += other.all_stall_cycles;
+        self.stall.merge(&other.stall);
         self.l2_hits += other.l2_hits;
         self.l2_misses += other.l2_misses;
         self.noc_bytes_up += other.noc_bytes_up;
@@ -372,6 +479,7 @@ impl SimStats {
                 Value::u64(self.all_stall_mem_cycles),
             ),
             ("all_stall_cycles".into(), Value::u64(self.all_stall_cycles)),
+            ("stall".into(), self.stall.save_state()),
             ("l1".into(), self.l1.save_state()),
             ("l2_hits".into(), Value::u64(self.l2_hits)),
             ("l2_misses".into(), Value::u64(self.l2_misses)),
@@ -394,6 +502,7 @@ impl SimStats {
         self.stores = snapshot::u64_field(v, "stores")?;
         self.all_stall_mem_cycles = snapshot::u64_field(v, "all_stall_mem_cycles")?;
         self.all_stall_cycles = snapshot::u64_field(v, "all_stall_cycles")?;
+        self.stall.restore_state(snapshot::field(v, "stall")?)?;
         self.l1.restore_state(snapshot::field(v, "l1")?)?;
         self.l2_hits = snapshot::u64_field(v, "l2_hits")?;
         self.l2_misses = snapshot::u64_field(v, "l2_misses")?;
@@ -513,6 +622,39 @@ mod tests {
         assert_eq!(back, c);
         assert_eq!(back.save_state().to_string(), text);
         assert!(back.restore_state(&Value::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn stall_breakdown_partitions_and_round_trips() {
+        let b = StallBreakdown {
+            issued: 10,
+            no_warp: 3,
+            barrier: 2,
+            scoreboard: 1,
+            mem_data: 20,
+            mem_struct_mshr: 4,
+            mem_struct_missq: 5,
+            mem_struct_noc: 6,
+            scheduler_cycles: 51,
+        };
+        assert_eq!(b.total(), 51);
+        assert!(b.is_exact());
+        assert!((b.fraction(b.mem_data) - 20.0 / 51.0).abs() < 1e-12);
+        let mut merged = b;
+        merged.merge(&b);
+        assert_eq!(merged.scheduler_cycles, 102);
+        assert!(merged.is_exact());
+        let text = b.save_state().to_string();
+        let mut back = StallBreakdown::default();
+        back.restore_state(&crate::json::parse(&text).unwrap())
+            .unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.save_state().to_string(), text);
+        let short = StallBreakdown {
+            scheduler_cycles: 52,
+            ..b
+        };
+        assert!(!short.is_exact());
     }
 
     #[test]

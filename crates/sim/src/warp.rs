@@ -47,6 +47,13 @@ pub struct WarpSlot {
     pub cur_coalesced: bool,
     /// Outstanding memory responses the warp is waiting for.
     pub outstanding: u32,
+    /// Whether the current `Busy` state was entered by a memory
+    /// instruction (absorbing L1 hit latency or a store settle) rather
+    /// than compute. Disambiguates `Barrier` from `Scoreboard` in the
+    /// stall taxonomy: an all-busy scheduler partition with a
+    /// memory-entered busy warp is a memory-use barrier, not a compute
+    /// dependency.
+    pub busy_mem: bool,
 }
 
 impl WarpSlot {
@@ -63,6 +70,7 @@ impl WarpSlot {
             cur_is_load: false,
             cur_coalesced: true,
             outstanding: 0,
+            busy_mem: false,
         }
     }
 
@@ -112,6 +120,7 @@ impl WarpSlot {
             self.state = WarpState::Waiting;
         } else {
             self.state = WarpState::Busy(now.plus(u64::from(hit_latency)));
+            self.busy_mem = true;
         }
     }
 
@@ -139,6 +148,7 @@ impl WarpSlot {
                 "outstanding".into(),
                 Value::u64(u64::from(self.outstanding)),
             ),
+            ("busy_mem".into(), Value::Bool(self.busy_mem)),
         ])
     }
 
@@ -173,6 +183,7 @@ impl WarpSlot {
             cur_is_load: snapshot::bool_field(v, "cur_is_load")?,
             cur_coalesced: snapshot::bool_field(v, "cur_coalesced")?,
             outstanding: snapshot::u32_field(v, "outstanding")?,
+            busy_mem: snapshot::bool_field(v, "busy_mem")?,
         })
     }
 }

@@ -25,6 +25,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> shellcheck (scripts/*.sh)"
+# Static-check the shell entry points when the linter is available;
+# the container image does not ship it, so absence is not a failure.
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck scripts/*.sh
+else
+    echo "    shellcheck not installed, skipping"
+fi
+
 echo "==> trace-overhead guard (observability disabled must stay free)"
 # First run on a machine records the baseline; later runs fail if the
 # path with tracing *and* host profiling compiled in but disabled got
@@ -179,6 +188,14 @@ rc=0
 "${SNAKECTL[@]}" tail "$VICTIM_ID" >/dev/null || rc=$?
 if [ "$rc" -ne 7 ]; then
     echo "snaked smoke: cancelled job's tail must exit 7, got $rc" >&2
+    exit 1
+fi
+# The dashboard must render at least one window (its stall-breakdown
+# stacked bar) from the live job and exit 0 after a single snapshot.
+"${SNAKECTL[@]}" top "$BUSY_ID" --once > "$SWEEP_DIR/top.txt"
+if ! grep -q 'stall \[' "$SWEEP_DIR/top.txt"; then
+    echo "snaked smoke: top --once rendered no stall breakdown" >&2
+    cat "$SWEEP_DIR/top.txt" >&2
     exit 1
 fi
 "${SNAKECTL[@]}" tail "$BUSY_ID" > "$SWEEP_DIR/tail.txt"

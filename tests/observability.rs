@@ -368,6 +368,58 @@ fn telemetry_with_zero_subscribers_has_no_observer_effect() {
     );
 }
 
+/// The stall-taxonomy counters must stay free of observer effects:
+/// a bare run (no trace sink, no metrics window, no telemetry ring)
+/// and a fully instrumented run of the same device carry a
+/// bit-identical stall breakdown, and the [`MechanismReport`] rows
+/// rendered from the two outcomes — taxonomy columns included — are
+/// byte-identical.
+#[test]
+fn stall_taxonomy_report_bytes_are_observer_independent() {
+    let kernel = Benchmark::Lps.build(&WorkloadSize::tiny());
+    let cfg = golden_cfg();
+    let warps = cfg.max_warps_per_sm;
+    let energy = EnergyModel::default();
+    let report = |out: &SimOutcome, cfg: &GpuConfig| {
+        MechanismReport::from_outcome("snake", "lps", out, cfg, &energy, true)
+            .to_json()
+            .to_string()
+    };
+
+    let bare = Gpu::new(cfg.clone(), kernel.clone(), |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .expect("valid config")
+    .run();
+
+    let mut watched_cfg = cfg.clone();
+    watched_cfg.metrics_window = Some(200);
+    let ring = TelemetryRing::new(1 << 20);
+    let _sub = ring.subscribe();
+    let sink = SharedVecSink::new();
+    let mut gpu = Gpu::new(watched_cfg.clone(), kernel, |_| {
+        PrefetcherKind::Snake.build(warps)
+    })
+    .expect("valid config");
+    gpu.attach_sink(Box::new(sink.clone()));
+    gpu.attach_telemetry(&ring, true);
+    let watched = gpu.run();
+
+    assert_eq!(
+        bare.stats.stall, watched.stats.stall,
+        "observer effect on the stall breakdown"
+    );
+    assert!(
+        bare.stats.stall.is_exact(),
+        "buckets must partition scheduler cycles"
+    );
+    assert_eq!(
+        report(&bare, &cfg),
+        report(&watched, &watched_cfg),
+        "report bytes must not depend on attached observers"
+    );
+}
+
 /// A subscribed ring delivers exactly the windowed series the outcome
 /// reports, cycle-stamped and in order — and subscribing still does
 /// not perturb the simulation.
