@@ -39,13 +39,20 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --suspend-after N   checkpoint and requeue any job reaching cycle N (exit 4; resume restores)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\n  --progress          repaint a live progress line on stderr (done/total, retries, quarantines, elapsed)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
+        "usage: repro [--quick] [--markdown] [--out FILE] [--metrics-csv FILE] (--list | --all | <experiment>...)\n       repro --sweep [SWEEP FLAGS]   supervised sweep over (benchmark, mechanism) jobs\n       repro --resume FILE           finish an interrupted sweep from its manifest\n       repro --perf [PERF FLAGS]     host-side perf measurement (BENCH_<label>.json)\n       repro --profile [PERF FLAGS]  one profiled pass, per-phase wall-time tables\n  --metrics-csv FILE  run lps under snake with windowed metrics and write the time series\nsweep flags:\n  --manifest FILE     checkpoint each finished job into FILE (must not pre-exist)\n  --benchmarks A,B    job benchmarks (abbr; default: all)\n  --mechanisms X,Y    job mechanisms (default: all)\n  --budget N          per-job cycle budget (jobs stop with budget_exceeded)\n  --retries N         attempts per job before quarantine (default 3)\n  --deadline-ms N     wall-clock budget for the whole sweep\n  --stop-after N      stop claiming jobs after N started (deterministic interrupt; exit 4)\n  --suspend-after N   checkpoint and requeue any job reaching cycle N (exit 4; resume restores)\n  --chaos             inject the canned fault plan (drops/delays/brownouts + recovery)\n  --progress          repaint a live progress line on stderr (done/total, retries, quarantines, elapsed)\nisolation flags (sweep and perf):\n  --isolate           run each job in a sandboxed worker subprocess; crashes\n                      (abort/signal/OOM/timeout) quarantine with a typed kind\n                      instead of killing the sweep\n  --isolate-mem MB    child address-space rlimit in MiB (requires --isolate)\n  --isolate-cpu SECS  child CPU-time rlimit in seconds (requires --isolate)\nperf flags (--benchmarks/--mechanisms/--budget also apply):\n  --label NAME        report label; output defaults to BENCH_<label>.json (default: local)\n  --runs N            repetitions per job (default 5; median +/- IQR)\n  --perf-out FILE     write the report here instead of BENCH_<label>.json\n  --compare FILE      gate against a baseline BENCH_*.json; exit {} on regression\n  --rel-threshold X   relative slowdown bar for the gate (default 0.10)\n  --perf-inject-ns N  burn N host ns per mem-partition tick (gate self-test hook)\nexperiments: {}",
         perfstat::EXIT_PERF_REGRESSION,
         EXPERIMENTS.join(" ")
     )
 }
 
 fn main() {
+    // Hidden worker mode: `repro --exec-job` is how the sandbox
+    // executor re-executes this binary as an isolated child. It must
+    // be dispatched before any other argument handling so the worker
+    // protocol never collides with user-facing flags.
+    if std::env::args().nth(1).as_deref() == Some("--exec-job") {
+        std::process::exit(supervise::executor::run_worker());
+    }
     match run() {
         Ok(code) => std::process::exit(code),
         Err(e) => cli::fail("repro", &e, &usage()),
@@ -69,6 +76,9 @@ fn run() -> Result<i32, CliError> {
     let mut suspend_after: Option<u64> = None;
     let mut chaos = false;
     let mut progress = false;
+    let mut isolate = false;
+    let mut isolate_mem: Option<u64> = None;
+    let mut isolate_cpu: Option<u64> = None;
     let mut benches: Option<Vec<Benchmark>> = None;
     let mut kinds: Option<Vec<PrefetcherKind>> = None;
     let mut perf = false;
@@ -90,6 +100,13 @@ fn run() -> Result<i32, CliError> {
             "--sweep" => sweep = true,
             "--chaos" => chaos = true,
             "--progress" => progress = true,
+            "--isolate" => isolate = true,
+            "--isolate-mem" => {
+                isolate_mem = Some(parse_num(&mut args, "isolate-mem", "a MiB count")?);
+            }
+            "--isolate-cpu" => {
+                isolate_cpu = Some(parse_num(&mut args, "isolate-cpu", "a second count")?);
+            }
             "--perf" => perf = true,
             "--profile" => profile = true,
             "--label" => {
@@ -183,6 +200,27 @@ fn run() -> Result<i32, CliError> {
         }
         return Ok(0);
     }
+    if !isolate && (isolate_mem.is_some() || isolate_cpu.is_some()) {
+        return Err(CliError::Usage(
+            "--isolate-mem/--isolate-cpu configure the sandbox; pass them with --isolate".into(),
+        ));
+    }
+    if isolate && !(sweep || resume.is_some() || perf || profile) {
+        return Err(CliError::Usage(
+            "--isolate is a sweep/perf flag; pass it with --sweep, --resume, or --perf".into(),
+        ));
+    }
+    let executor = || {
+        std::sync::Arc::new(if isolate {
+            supervise::JobExecutor::sandbox(supervise::SandboxLimits {
+                mem_mb: isolate_mem,
+                cpu_secs: isolate_cpu,
+                lease: None,
+            })
+        } else {
+            supervise::JobExecutor::in_thread()
+        })
+    };
     if perf || profile {
         if sweep || resume.is_some() {
             return Err(CliError::Usage(
@@ -206,6 +244,7 @@ fn run() -> Result<i32, CliError> {
             budget,
             benches,
             kinds,
+            executor: executor(),
         };
         return run_perf(opts);
     }
@@ -235,6 +274,7 @@ fn run() -> Result<i32, CliError> {
             progress,
             benches,
             kinds,
+            executor: executor(),
         };
         return run_sweep(opts);
     }
@@ -312,6 +352,7 @@ struct SweepOpts {
     progress: bool,
     benches: Option<Vec<Benchmark>>,
     kinds: Option<Vec<PrefetcherKind>>,
+    executor: std::sync::Arc<supervise::JobExecutor>,
 }
 
 /// The `--progress` stderr repainter: a thread that rerenders the
@@ -401,6 +442,7 @@ fn run_sweep(opts: SweepOpts) -> Result<i32, CliError> {
     cfg.wall_deadline = opts.deadline_ms.map(Duration::from_millis);
     cfg.stop_after = opts.stop_after;
     cfg.suspend_after = opts.suspend_after;
+    cfg.executor = opts.executor;
     // The live progress line is off by default so sweep output stays
     // byte-stable; with --progress the repaints go to stderr only and
     // the same counter block feeds the snaked daemon's tail stream.
@@ -463,6 +505,7 @@ struct PerfOpts {
     budget: Option<u64>,
     benches: Option<Vec<Benchmark>>,
     kinds: Option<Vec<PrefetcherKind>>,
+    executor: std::sync::Arc<supervise::JobExecutor>,
 }
 
 fn run_perf(opts: PerfOpts) -> Result<i32, CliError> {
@@ -483,9 +526,11 @@ fn run_perf(opts: PerfOpts) -> Result<i32, CliError> {
         .unwrap_or_else(|| vec![PrefetcherKind::Baseline, PrefetcherKind::Snake]);
     let jobs = supervise::campaign(&benches, &kinds);
     let runs = if opts.profile_only { 1 } else { opts.runs };
-    let report = perfstat::collect(&h, &jobs, runs, &opts.label).map_err(|e| CliError::BadArg {
-        what: "perf collection",
-        why: e.to_string(),
+    let report = perfstat::collect(&h, &jobs, runs, &opts.label, opts.executor).map_err(|e| {
+        CliError::BadArg {
+            what: "perf collection",
+            why: e.to_string(),
+        }
     })?;
 
     if opts.profile_only {

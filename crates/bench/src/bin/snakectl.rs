@@ -39,8 +39,12 @@ commands:
   submit [--benchmarks LIST] [--mechanisms LIST] [--quick]
          [--budget CYCLES] [--window CYCLES] [--events] [--priority N]
          [--client NAME] [--deadline-ms MS] [--checkpoint-every CYCLES]
+         [--isolate]
                  queue a sweep; prints the job id
-                 (exit 8: rejected by the per-client quota)
+                 (exit 8: rejected by the per-client quota;
+                  --isolate runs each job in a sandboxed subprocess —
+                  crashes quarantine with a typed kind instead of
+                  killing the daemon; incompatible with --events)
   status [ID]    print job states as JSON
   tail ID [--ring N] [--from-seq N]
                  follow a job's live telemetry; exits with its code;
@@ -114,6 +118,7 @@ fn parse_args() -> Result<Cli, CliError> {
                     "--mechanisms" => spec.mechanisms = Some(operand(&mut args, "--mechanisms")?),
                     "--quick" => spec.quick = true,
                     "--events" => spec.events = true,
+                    "--isolate" => spec.isolate = true,
                     "--budget" => {
                         spec.budget =
                             Some(parse_u64(&operand(&mut args, "--budget")?, "--budget")?);

@@ -19,6 +19,7 @@ use snake_bench::serve::{serve, DaemonOptions};
 
 const USAGE: &str = "usage: snaked [--socket PATH] [--state PATH] [--checkpoint-every N]
               [--workers N] [--quota-queued N] [--quota-running N]
+              [--isolate]
   --socket PATH        Unix socket to listen on (default ./snaked.sock)
   --state PATH         append a JSONL state journal and recover from it
                        on startup (submitted/running/record/checkpoint/
@@ -32,7 +33,12 @@ const USAGE: &str = "usage: snaked [--socket PATH] [--state PATH] [--checkpoint-
                        are rejected with the typed quota error
   --quota-running N    max running jobs per client id; the scheduler
                        holds that client's queued jobs without starving
-                       other clients";
+                       other clients
+  --isolate            run every job in a sandboxed worker subprocess:
+                       a crashing or runaway simulation is quarantined
+                       with a typed crash kind instead of taking the
+                       daemon down (rejects submits asking for the full
+                       event stream)";
 
 fn parse_args() -> Result<DaemonOptions, CliError> {
     let mut opts = DaemonOptions {
@@ -42,6 +48,7 @@ fn parse_args() -> Result<DaemonOptions, CliError> {
         quota_queued: None,
         quota_running: None,
         workers: 2,
+        isolate: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,6 +87,7 @@ fn parse_args() -> Result<DaemonOptions, CliError> {
                 opts.quota_running =
                     Some(positive("--quota-running", operand("--quota-running")?)? as usize);
             }
+            "--isolate" => opts.isolate = true,
             other => {
                 return Err(CliError::Usage(format!("unknown argument {other:?}")));
             }

@@ -213,7 +213,7 @@ fn field_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], PerfError> {
         .ok_or_else(|| PerfError::Shape(format!("field {key:?} is not an array")))
 }
 
-fn profile_to_json(p: &HostProfile) -> Value {
+pub(crate) fn profile_to_json(p: &HostProfile) -> Value {
     let phases = p
         .iter()
         .map(|(phase, stat)| {
@@ -232,7 +232,7 @@ fn profile_to_json(p: &HostProfile) -> Value {
     ])
 }
 
-fn profile_from_json(v: &Value) -> Result<HostProfile, PerfError> {
+pub(crate) fn profile_from_json(v: &Value) -> Result<HostProfile, PerfError> {
     let mut phases = Vec::new();
     for entry in field_arr(v, "phases")? {
         let label = field_str(entry, "phase")?;
@@ -402,7 +402,10 @@ impl From<SweepError> for CollectError {
 /// Collects a perf report: `runs` supervised passes over `jobs` with
 /// host profiling enabled and a single worker (samples must not
 /// contend with each other for cores — parallel workers would measure
-/// the scheduler, not the simulator).
+/// the scheduler, not the simulator). A sandbox `executor` gives each
+/// rep a fresh address space, so allocator state and heap layout from
+/// one rep cannot contaminate the next; host profiles travel back over
+/// the child protocol losslessly.
 ///
 /// # Errors
 ///
@@ -414,12 +417,14 @@ pub fn collect(
     jobs: &[JobSpec],
     runs: u32,
     label: &str,
+    executor: std::sync::Arc<supervise::JobExecutor>,
 ) -> Result<PerfReport, CollectError> {
     let mut h = h.clone();
     h.cfg.host_profile = true;
     let cfg = SweepConfig {
         workers: 1,
         max_attempts: 1,
+        executor: executor.clone(),
         ..SweepConfig::default()
     };
     // `run_campaign_with` only surfaces reports through `JobOutcome`,
@@ -428,14 +433,17 @@ pub fn collect(
     for _ in 0..runs {
         let result =
             supervise::run_campaign_with(&h, jobs, &cfg, None, false, |job, _attempt, _resume| {
-                let out = h.run_job(job.bench, job.kind)?;
-                if let Some(profile) = &out.host {
-                    captured
-                        .lock()
-                        .expect("perf capture lock poisoned")
-                        .push((job.id(), profile.clone()));
+                let ctx = supervise::ExecContext::default();
+                let run = executor.run(&h, job, &ctx, &mut |_, _| {})?;
+                if let crate::runner::JobRun::Finished(out) = &run {
+                    if let Some(profile) = &out.host {
+                        captured
+                            .lock()
+                            .expect("perf capture lock poisoned")
+                            .push((job.id(), profile.clone()));
+                    }
                 }
-                Ok(crate::runner::JobRun::Finished(Box::new(out)))
+                Ok(run)
             })?;
         let (completed, quarantined, skipped, suspended) = result.counts();
         if quarantined > 0 || skipped > 0 || suspended > 0 {

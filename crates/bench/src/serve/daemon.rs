@@ -53,7 +53,8 @@ use super::protocol::{
 };
 use crate::runner::Harness;
 use crate::supervise::{
-    campaign, run_supervised, JobOutcome, JobRecord, JobSpec, Progress, SweepConfig,
+    campaign, run_supervised, ExecContext, JobExecutor, JobOutcome, JobRecord, JobSpec, Progress,
+    SandboxLimits, SweepConfig,
 };
 
 /// Exit code `snakectl tail` reports for a cancelled job — distinct
@@ -100,6 +101,12 @@ pub struct DaemonOptions {
     /// Must be at least 1; a running quota only has teeth with more
     /// than one worker (one worker never runs two jobs at once).
     pub workers: usize,
+    /// Run every submitted job in a sandboxed subprocess (see
+    /// [`JobExecutor`]): a job that aborts, segfaults, or is
+    /// OOM-killed is quarantined with a typed crash kind instead of
+    /// taking the daemon (and every co-tenant's jobs) down. Individual
+    /// submits can also opt in per-job.
+    pub isolate: bool,
 }
 
 /// Lifecycle of one submitted sweep.
@@ -109,13 +116,46 @@ enum ReqState {
     Queued,
     /// The scheduler is running it now.
     Running,
-    /// Finished; holds the supervisor exit code and the report rows.
+    /// Finished; holds the supervisor exit code, the report rows, and
+    /// a note per quarantined sub-job (crash kind + stderr excerpt).
     Done {
         exit: i32,
         reports: Vec<(String, String, MechanismReport)>,
+        failures: Vec<QuarantineNote>,
     },
     /// Cancelled before completion (queued or mid-run).
     Cancelled,
+}
+
+/// What `snakectl status` shows for one quarantined sub-job: enough to
+/// diagnose the quarantine without grepping the journal.
+#[derive(Debug, Clone)]
+struct QuarantineNote {
+    job: String,
+    attempts: u32,
+    error: String,
+    /// Typed crash classification label, when the failure was a
+    /// process death or panic.
+    crash: Option<String>,
+    /// Last stderr excerpt from a crashed sandboxed child.
+    stderr: Option<String>,
+}
+
+impl QuarantineNote {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("job".to_string(), Value::str(&self.job)),
+            ("attempts".to_string(), Value::u64(u64::from(self.attempts))),
+            ("error".to_string(), Value::str(&self.error)),
+        ];
+        if let Some(kind) = &self.crash {
+            fields.push(("crash".into(), Value::str(kind)));
+        }
+        if let Some(excerpt) = &self.stderr {
+            fields.push(("stderr".into(), Value::str(excerpt)));
+        }
+        Value::Obj(fields)
+    }
 }
 
 impl ReqState {
@@ -147,6 +187,8 @@ struct JobEntry {
     harness: Harness,
     jobs: Vec<JobSpec>,
     events: bool,
+    /// Run this sweep's jobs in sandboxed subprocesses.
+    isolate: bool,
     /// Wall budget per scheduling slice; expiry suspends-to-checkpoint
     /// and re-queues instead of finishing the sweep in one sitting.
     deadline: Option<Duration>,
@@ -193,6 +235,14 @@ struct Shared {
     tails_disconnected: AtomicU64,
     /// Mid-simulation checkpoints made durable since startup.
     checkpoints_written: AtomicU64,
+    /// The historical in-thread executor (non-isolated submits).
+    exec_in_thread: Arc<JobExecutor>,
+    /// The subprocess sandbox executor, shared across every isolated
+    /// sweep so one spawn failure degrades the daemon with one sticky
+    /// flag (surfaced as `exec_degraded` in `health`).
+    exec_sandbox: Arc<JobExecutor>,
+    /// Whether the daemon isolates every submit (`snaked --isolate`).
+    isolate_all: bool,
 }
 
 impl Shared {
@@ -337,7 +387,7 @@ pub fn serve(opts: &DaemonOptions) -> io::Result<DaemonHandle> {
             let j = Journal::open_append(path)?;
             registry.next_id = recovered.next_id.max(1);
             for job in recovered.jobs {
-                restore_job(&j, job, opts.checkpoint_every, &mut registry);
+                restore_job(&j, job, opts.checkpoint_every, opts.isolate, &mut registry);
             }
             Some(j)
         }
@@ -353,6 +403,9 @@ pub fn serve(opts: &DaemonOptions) -> io::Result<DaemonHandle> {
         quota_running: opts.quota_running,
         tails_disconnected: AtomicU64::new(0),
         checkpoints_written: AtomicU64::new(0),
+        exec_in_thread: Arc::new(JobExecutor::in_thread()),
+        exec_sandbox: Arc::new(JobExecutor::sandbox(SandboxLimits::default())),
+        isolate_all: opts.isolate,
     });
 
     let schedulers = (0..opts.workers)
@@ -387,10 +440,11 @@ fn restore_job(
     j: &Journal,
     job: journal::RecoveredJob,
     default_every: Option<u64>,
+    daemon_isolate: bool,
     registry: &mut Registry,
 ) {
     let id = job.id;
-    let plan = match resolve(&job.spec, true, default_every) {
+    let plan = match resolve(&job.spec, true, default_every, daemon_isolate) {
         Ok(plan) => plan,
         Err(why) => {
             // A journal from an incompatible build: the job cannot be
@@ -413,6 +467,7 @@ fn restore_job(
                     harness: Harness::quick(),
                     jobs: Vec::new(),
                     events: false,
+                    isolate: false,
                     deadline: None,
                     cancel: AtomicBool::new(true),
                     progress: Arc::new(Progress::default()),
@@ -454,9 +509,30 @@ fn restore_job(
                         _ => None,
                     })
                     .collect();
+                let failures = plan
+                    .jobs
+                    .iter()
+                    .filter_map(|js| match records.get(&js.id()) {
+                        Some(JobRecord::Quarantined {
+                            attempts,
+                            error,
+                            crash,
+                            stderr,
+                            ..
+                        }) => Some(QuarantineNote {
+                            job: js.id(),
+                            attempts: *attempts,
+                            error: error.clone(),
+                            crash: crash.clone(),
+                            stderr: stderr.clone(),
+                        }),
+                        _ => None,
+                    })
+                    .collect();
                 ReqState::Done {
                     exit: *exit,
                     reports,
+                    failures,
                 }
             }
         }
@@ -507,6 +583,7 @@ fn restore_job(
         harness: plan.harness,
         jobs: plan.jobs,
         events: job.spec.events,
+        isolate: plan.isolate,
         deadline: job.spec.deadline_ms.map(Duration::from_millis),
         cancel: AtomicBool::new(false),
         progress: Arc::new(Progress::default()),
@@ -528,13 +605,33 @@ struct Plan {
     harness: Harness,
     jobs: Vec<JobSpec>,
     desc: String,
+    /// Whether this sweep runs sandboxed (per-submit or daemon-wide).
+    isolate: bool,
 }
 
 /// Resolves a submit spec into a concrete plan, rejecting bad operands
 /// before anything is queued. `journaled` gates the checkpoint/deadline
 /// features: without a journal there is nowhere durable to register
 /// checkpoints, so both are refused rather than silently ignored.
-fn resolve(spec: &SubmitSpec, journaled: bool, default_every: Option<u64>) -> Result<Plan, String> {
+/// `daemon_isolate` forces sandboxing for every submit; the combination
+/// of isolation and the full event stream is refused because trace
+/// events do not round-trip the child protocol losslessly (window rows
+/// do).
+fn resolve(
+    spec: &SubmitSpec,
+    journaled: bool,
+    default_every: Option<u64>,
+    daemon_isolate: bool,
+) -> Result<Plan, String> {
+    let isolate = spec.isolate || daemon_isolate;
+    if isolate && spec.events {
+        return Err(
+            "\"events\" and \"isolate\" are mutually exclusive: a sandboxed \
+             child streams metric windows but not the full trace-event \
+             stream (submit without events, or without isolate)"
+                .into(),
+        );
+    }
     let benches: Vec<Benchmark> = match &spec.benchmarks {
         Some(raw) => parse_list(raw, "benchmark")?,
         None => Benchmark::all().to_vec(),
@@ -591,6 +688,7 @@ fn resolve(spec: &SubmitSpec, journaled: bool, default_every: Option<u64>) -> Re
         harness,
         jobs,
         desc,
+        isolate,
     })
 }
 
@@ -737,33 +835,37 @@ fn run_entry(shared: &Shared, entry: &JobEntry) {
         let ckpt_path = ckpt_base
             .as_ref()
             .map(|b| checkpoint_path(b, entry.id, &jid));
-        let result = harness.run_job_serviced(
-            job.bench,
-            job.kind,
-            &ring,
-            entry.events,
-            &entry.cancel,
-            resume,
-            ckpt_path.as_deref(),
-            slice_deadline,
-            |cycle, _bytes| {
-                // A checkpoint is durable on disk the moment this
-                // fires; register it before anything can crash.
-                let Some(p) = &ckpt_path else { return };
-                shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
-                entry
-                    .live_ckpts
-                    .lock()
-                    .unwrap()
-                    .insert(jid.clone(), p.clone());
-                shared.journal(&JournalEvent::Checkpoint {
-                    id: entry.id,
-                    job: jid.clone(),
-                    cycle,
-                    path: p.display().to_string(),
-                });
-            },
-        );
+        let executor = if entry.isolate {
+            &shared.exec_sandbox
+        } else {
+            &shared.exec_in_thread
+        };
+        let ctx = ExecContext {
+            resume_from: resume,
+            checkpoint_to: ckpt_path.as_deref(),
+            deadline: slice_deadline,
+            cancel: Some(&entry.cancel),
+            ring: Some(&ring),
+            include_events: entry.events,
+            ..ExecContext::default()
+        };
+        let result = executor.run(&harness, job, &ctx, &mut |cycle, _bytes| {
+            // A checkpoint is durable on disk the moment this
+            // fires; register it before anything can crash.
+            let Some(p) = &ckpt_path else { return };
+            shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            entry
+                .live_ckpts
+                .lock()
+                .unwrap()
+                .insert(jid.clone(), p.clone());
+            shared.journal(&JournalEvent::Checkpoint {
+                id: entry.id,
+                job: jid.clone(),
+                cycle,
+                path: p.display().to_string(),
+            });
+        });
         // Closing lets tail subscribers distinguish "job over" from
         // "no data yet"; a retry gets a fresh ring.
         ring.close();
@@ -832,7 +934,30 @@ fn run_entry(shared: &Shared, entry: &JobEntry) {
             _ => None,
         })
         .collect();
-    *entry.state.lock().unwrap() = ReqState::Done { exit, reports };
+    let failures: Vec<QuarantineNote> = result
+        .outcomes
+        .iter()
+        .filter_map(|(job, o)| match o {
+            JobOutcome::Crashed {
+                message,
+                attempts,
+                crash,
+                stderr,
+            } => Some(QuarantineNote {
+                job: job.id(),
+                attempts: *attempts,
+                error: message.clone(),
+                crash: crash.map(|k| k.label()),
+                stderr: stderr.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    *entry.state.lock().unwrap() = ReqState::Done {
+        exit,
+        reports,
+        failures,
+    };
     shared.journal_terminal(entry.id, "done", exit);
     shared.wake.notify_all();
 }
@@ -857,7 +982,12 @@ fn handle_connection(shared: &Shared, stream: UnixStream) -> io::Result<()> {
 }
 
 fn handle_submit(shared: &Shared, spec: &SubmitSpec, out: &mut UnixStream) -> io::Result<()> {
-    let plan = match resolve(spec, shared.journal.is_some(), shared.checkpoint_every) {
+    let plan = match resolve(
+        spec,
+        shared.journal.is_some(),
+        shared.checkpoint_every,
+        shared.isolate_all,
+    ) {
         Ok(plan) => plan,
         Err(e) => return writeln!(out, "{}", err_line(&e)),
     };
@@ -898,6 +1028,7 @@ fn handle_submit(shared: &Shared, spec: &SubmitSpec, out: &mut UnixStream) -> io
             harness: plan.harness,
             jobs: plan.jobs,
             events: spec.events,
+            isolate: plan.isolate,
             deadline: spec.deadline_ms.map(Duration::from_millis),
             cancel: AtomicBool::new(false),
             progress: Arc::new(Progress::default()),
@@ -931,7 +1062,12 @@ fn status_json(entry: &JobEntry) -> Value {
     if let Some(client) = &entry.client {
         fields.push(("client".into(), Value::str(client)));
     }
-    if let ReqState::Done { exit, reports } = &*state {
+    if let ReqState::Done {
+        exit,
+        reports,
+        failures,
+    } = &*state
+    {
         fields.push(("exit".into(), Value::u64((*exit).max(0) as u64)));
         fields.push((
             "reports".into(),
@@ -948,6 +1084,12 @@ fn status_json(entry: &JobEntry) -> Value {
                     .collect(),
             ),
         ));
+        if !failures.is_empty() {
+            fields.push((
+                "quarantined".into(),
+                Value::Arr(failures.iter().map(QuarantineNote::to_json).collect()),
+            ));
+        }
     }
     Value::Obj(fields)
 }
@@ -981,6 +1123,17 @@ fn handle_status(shared: &Shared, id: Option<u64>, out: &mut UnixStream) -> io::
 
 fn handle_health(shared: &Shared, out: &mut UnixStream) -> io::Result<()> {
     let (journal_state, degraded, errors) = shared.journal_health();
+    // Sum of the overdue gauges across running sweeps: non-zero means
+    // the hung-job watchdog sees at least one job past its deadline
+    // plus grace right now.
+    let jobs_overdue: u64 = {
+        let reg = shared.registry.lock().unwrap();
+        reg.entries
+            .values()
+            .filter(|e| matches!(*e.state.lock().unwrap(), ReqState::Running))
+            .map(|e| e.progress.snapshot().overdue)
+            .sum()
+    };
     writeln!(
         out,
         "{}",
@@ -996,6 +1149,11 @@ fn handle_health(shared: &Shared, out: &mut UnixStream) -> io::Result<()> {
                 "checkpoints_written".into(),
                 Value::u64(shared.checkpoints_written.load(Ordering::Relaxed)),
             ),
+            (
+                "exec_degraded".into(),
+                Value::Bool(shared.exec_sandbox.degraded()),
+            ),
+            ("jobs_overdue".into(), Value::u64(jobs_overdue)),
         ])
     )
 }
@@ -1217,7 +1375,7 @@ mod tests {
             quick: true,
             ..SubmitSpec::default()
         };
-        let plan = resolve(&spec, false, None).unwrap();
+        let plan = resolve(&spec, false, None, false).unwrap();
         assert_eq!(
             plan.jobs.len(),
             Benchmark::all().len() * PrefetcherKind::all().len()
@@ -1233,17 +1391,19 @@ mod tests {
         spec.mechanisms = Some("baseline,snake".into());
         spec.window = Some(200);
         spec.budget = Some(6000);
-        let plan = resolve(&spec, false, None).unwrap();
+        let plan = resolve(&spec, false, None, false).unwrap();
         assert_eq!(plan.jobs.len(), 2);
         assert_eq!(plan.harness.cfg.metrics_window, Some(200));
         assert_eq!(plan.harness.cfg.cycle_budget, Some(snake_sim::Cycle(6000)));
 
         spec.benchmarks = Some("NOPE".into());
-        assert!(resolve(&spec, false, None)
+        assert!(resolve(&spec, false, None, false)
             .unwrap_err()
             .contains("benchmark"));
         spec.benchmarks = Some(",".into());
-        assert!(resolve(&spec, false, None).unwrap_err().contains("empty"));
+        assert!(resolve(&spec, false, None, false)
+            .unwrap_err()
+            .contains("empty"));
     }
 
     #[test]
@@ -1254,25 +1414,29 @@ mod tests {
             ..SubmitSpec::default()
         };
         // Checkpointing without a journal is refused, not ignored.
-        assert!(resolve(&spec, false, None).unwrap_err().contains("--state"));
-        let plan = resolve(&spec, true, None).unwrap();
+        assert!(resolve(&spec, false, None, false)
+            .unwrap_err()
+            .contains("--state"));
+        let plan = resolve(&spec, true, None, false).unwrap();
         assert_eq!(plan.harness.cfg.checkpoint_every, Some(1000));
         // The daemon default applies when the submit does not override.
         spec.checkpoint_every = None;
-        let plan = resolve(&spec, true, Some(2000)).unwrap();
+        let plan = resolve(&spec, true, Some(2000), false).unwrap();
         assert_eq!(plan.harness.cfg.checkpoint_every, Some(2000));
         // A deadline needs somewhere to suspend to.
         spec.deadline_ms = Some(100);
-        assert!(resolve(&spec, true, None).unwrap_err().contains("deadline"));
-        assert!(resolve(&spec, true, Some(2000)).is_ok());
+        assert!(resolve(&spec, true, None, false)
+            .unwrap_err()
+            .contains("deadline"));
+        assert!(resolve(&spec, true, Some(2000), false).is_ok());
         spec.deadline_ms = Some(0);
-        assert!(resolve(&spec, true, Some(2000))
+        assert!(resolve(&spec, true, Some(2000), false)
             .unwrap_err()
             .contains("positive"));
         // checkpoint_every = 0 falls to the config validator.
         spec.deadline_ms = None;
         spec.checkpoint_every = Some(0);
-        assert!(resolve(&spec, true, None).is_err());
+        assert!(resolve(&spec, true, None, false).is_err());
     }
 
     #[test]
@@ -1292,7 +1456,49 @@ mod tests {
         let done = ReqState::Done {
             exit: 0,
             reports: Vec::new(),
+            failures: Vec::new(),
         };
         assert_eq!(done.terminal(), Some(("done", 0)));
+    }
+
+    #[test]
+    fn resolve_arbitrates_isolation() {
+        let spec = SubmitSpec {
+            quick: true,
+            ..SubmitSpec::default()
+        };
+        assert!(!resolve(&spec, false, None, false).unwrap().isolate);
+        // Either side can turn isolation on.
+        let spec = SubmitSpec {
+            quick: true,
+            isolate: true,
+            ..SubmitSpec::default()
+        };
+        assert!(resolve(&spec, false, None, false).unwrap().isolate);
+        let spec = SubmitSpec {
+            quick: true,
+            ..SubmitSpec::default()
+        };
+        assert!(resolve(&spec, false, None, true).unwrap().isolate);
+        // Events cannot cross the sandbox wire, whichever side asked
+        // for isolation.
+        let spec = SubmitSpec {
+            quick: true,
+            events: true,
+            isolate: true,
+            ..SubmitSpec::default()
+        };
+        assert!(resolve(&spec, false, None, false)
+            .unwrap_err()
+            .contains("isolate"));
+        let spec = SubmitSpec {
+            quick: true,
+            events: true,
+            ..SubmitSpec::default()
+        };
+        assert!(resolve(&spec, false, None, true)
+            .unwrap_err()
+            .contains("isolate"));
+        assert!(resolve(&spec, false, None, false).is_ok());
     }
 }

@@ -552,6 +552,8 @@ mod tests {
                 job: "LPS/snake".into(),
                 attempts: 2,
                 error: "panic: boom".into(),
+                crash: Some("signal 9".into()),
+                stderr: Some("Killed".into()),
             },
         });
         ev_roundtrip(JournalEvent::Checkpoint {

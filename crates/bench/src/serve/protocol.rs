@@ -46,6 +46,11 @@ pub struct SubmitSpec {
     pub window: Option<u64>,
     /// Also stream per-cycle trace events (not just window rows).
     pub events: bool,
+    /// Run every job of this sweep in a sandboxed worker subprocess
+    /// (crash/rlimit containment). Mutually exclusive with `events`:
+    /// the child protocol carries window rows losslessly but not the
+    /// full trace-event stream.
+    pub isolate: bool,
     /// Scheduling priority; higher runs first, FIFO within a priority.
     pub priority: u64,
     /// Client id for quota accounting (`snakectl --client`); anonymous
@@ -84,6 +89,9 @@ impl SubmitSpec {
         if self.events {
             fields.push(("events".to_string(), Value::Bool(true)));
         }
+        if self.isolate {
+            fields.push(("isolate".to_string(), Value::Bool(true)));
+        }
         if self.priority != 0 {
             fields.push(("priority".to_string(), Value::u64(self.priority)));
         }
@@ -109,6 +117,7 @@ impl SubmitSpec {
             budget: v.get("budget").and_then(Value::as_u64),
             window: v.get("window").and_then(Value::as_u64),
             events: v.get("events").and_then(Value::as_bool).unwrap_or(false),
+            isolate: v.get("isolate").and_then(Value::as_bool).unwrap_or(false),
             priority: v.get("priority").and_then(Value::as_u64).unwrap_or(0),
             client: field("client"),
             deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
@@ -359,6 +368,7 @@ mod tests {
             budget: Some(6000),
             window: Some(200),
             events: true,
+            isolate: true,
             priority: 5,
             client: Some("alice".into()),
             deadline_ms: Some(1500),

@@ -127,6 +127,12 @@ pub enum JobRecord {
         attempts: u32,
         /// The last failure, human-readable.
         error: String,
+        /// Typed crash classification label (`"panic"`, `"signal 11"`,
+        /// `"oom"`, `"timeout"`, `"protocol"`); absent for typed
+        /// simulator errors, deadlocks, and pre-isolation manifests.
+        crash: Option<String>,
+        /// Last stderr excerpt from a crashed sandboxed child.
+        stderr: Option<String>,
     },
     /// The job was preempted mid-simulation (sweep deadline); its
     /// complete simulator state is durable in the checkpoint file, and
@@ -172,12 +178,25 @@ impl JobRecord {
                 job,
                 attempts,
                 error,
-            } => Value::Obj(vec![
-                ("job".into(), Value::str(job)),
-                ("state".into(), Value::str("quarantined")),
-                ("attempts".into(), Value::u64(u64::from(*attempts))),
-                ("error".into(), Value::str(error)),
-            ]),
+                crash,
+                stderr,
+            } => {
+                let mut fields = vec![
+                    ("job".into(), Value::str(job)),
+                    ("state".into(), Value::str("quarantined")),
+                    ("attempts".into(), Value::u64(u64::from(*attempts))),
+                    ("error".into(), Value::str(error)),
+                ];
+                // Optional fields are omitted entirely when absent, so
+                // pre-isolation manifests stay byte-identical.
+                if let Some(kind) = crash {
+                    fields.push(("crash".into(), Value::str(kind)));
+                }
+                if let Some(excerpt) = stderr {
+                    fields.push(("stderr".into(), Value::str(excerpt)));
+                }
+                Value::Obj(fields)
+            }
             JobRecord::Suspended {
                 job,
                 attempts,
@@ -229,6 +248,8 @@ impl JobRecord {
                     .and_then(Value::as_str)
                     .ok_or("missing \"error\" field")?
                     .to_string(),
+                crash: v.get("crash").and_then(Value::as_str).map(str::to_string),
+                stderr: v.get("stderr").and_then(Value::as_str).map(str::to_string),
             }),
             Some("suspended") => Ok(JobRecord::Suspended {
                 job,
@@ -495,6 +516,8 @@ mod tests {
             job: "MUM/mta".into(),
             attempts: 3,
             error: "panic: boom".into(),
+            crash: Some("signal 11".into()),
+            stderr: Some("Segmentation fault".into()),
         };
         let suspended = JobRecord::Suspended {
             job: "CP/snake".into(),
@@ -525,6 +548,8 @@ mod tests {
             job: "CP/mta".into(),
             attempts: 1,
             error: "e".into(),
+            crash: None,
+            stderr: None,
         };
         {
             let mut w = ManifestWriter::create(&path, &header).unwrap();
@@ -572,6 +597,8 @@ mod tests {
             job: "CP/mta".into(),
             attempts: 1,
             error: "e".into(),
+            crash: None,
+            stderr: None,
         };
         {
             let mut w = ManifestWriter::create(&path, &header).unwrap();
@@ -586,6 +613,8 @@ mod tests {
             job: "LPS/snake".into(),
             attempts: 2,
             error: "panic: boom".into(),
+            crash: Some("panic".into()),
+            stderr: None,
         };
         {
             let mut w = ManifestWriter::append_to(&path).unwrap();

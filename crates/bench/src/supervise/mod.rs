@@ -25,6 +25,7 @@
 //! job was quarantined, [`EXIT_INTERRUPTED`] when the sweep stopped
 //! early (deadline or `--stop-after`) with jobs still pending.
 
+pub mod executor;
 pub mod manifest;
 pub mod progress;
 mod supervisor;
@@ -41,6 +42,7 @@ use snake_workloads::Benchmark;
 use crate::runner::{Harness, JobRun};
 use manifest::{LoadedManifest, ManifestError, ManifestHeader, ManifestWriter};
 
+pub use executor::{CrashKind, CrashReport, ExecContext, ExecError, JobExecutor, SandboxLimits};
 pub use manifest::JobRecord;
 pub use progress::{Progress, ProgressSnapshot};
 pub use supervisor::{run_supervised, JobOutcome, SweepResult};
@@ -116,6 +118,16 @@ pub struct SweepConfig {
     /// shared with `repro --progress` and the daemon's `tail` stream.
     /// `None` (the default) skips all bookkeeping.
     pub progress: Option<Arc<Progress>>,
+    /// How jobs execute: the historical in-thread path (default) or a
+    /// subprocess sandbox with rlimits and a kill lease. Shared across
+    /// the sweep so one spawn failure degrades the whole campaign with
+    /// one sticky flag (see [`JobExecutor::degraded`]).
+    pub executor: Arc<JobExecutor>,
+    /// How long past the wall deadline a still-running job may keep
+    /// the sweep before the watchdog marks it overdue in `Progress`
+    /// (the cooperative in-thread deadline check only fires every 1024
+    /// cycles — a job wedged *inside* one cycle never reaches it).
+    pub watchdog_grace: Duration,
 }
 
 impl Default for SweepConfig {
@@ -132,6 +144,8 @@ impl Default for SweepConfig {
             suspend_after: None,
             retry_seed_base: 0x534E414B45, // "SNAKE"
             progress: None,
+            executor: Arc::new(JobExecutor::in_thread()),
+            watchdog_grace: Duration::from_millis(1000),
         }
     }
 }
@@ -258,7 +272,7 @@ pub fn run_campaign_with<F>(
     runner: F,
 ) -> Result<SweepResult, SweepError>
 where
-    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, SimError> + Sync,
+    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, ExecError> + Sync,
 {
     h.validate()?;
     let fp = fingerprint(h, jobs);
@@ -292,16 +306,19 @@ where
     Ok(run_supervised(jobs, cfg, &checkpointed, writer, runner))
 }
 
-/// [`run_campaign_with`] using the real harness runner: attempt 1 runs
-/// the harness untouched; retries perturb only the fault-injection
-/// seed via the deterministic [`retry_seed`] schedule.
+/// [`run_campaign_with`] using the configured [`JobExecutor`]:
+/// attempt 1 runs the harness untouched; retries perturb only the
+/// fault-injection seed via the deterministic [`retry_seed`] schedule.
 ///
 /// With a manifest, running jobs are *suspended* rather than lost when
 /// the sweep deadline expires (or `suspend_after` fires): their full
 /// simulator state is checkpointed next to the manifest and the
 /// `--resume` run restores it mid-simulation, finishing the remaining
 /// cycles bit-identically. Without a manifest there is nowhere durable
-/// to put the state, so jobs run to completion as before.
+/// to put the state, so jobs run to completion as before. Under the
+/// sandbox executor a deadline kills the child instead, which suspends
+/// from its newest periodic checkpoint (or quarantines as a timeout
+/// when it never wrote one).
 ///
 /// # Errors
 ///
@@ -325,19 +342,19 @@ pub fn run_campaign(
         resume,
         |job, attempt, resume_from| {
             let checkpoint_to = manifest_path.map(|m| job_checkpoint_path(m, &job.id()));
-            // Poll the wall clock every 1024 cycles only; the
-            // cycle-count trigger stays exact for determinism.
-            let suspend = |c: snake_sim::Cycle| {
-                suspend_cycle.is_some_and(|n| c.0 >= n)
-                    || (c.0.is_multiple_of(1024) && deadline.is_some_and(|d| Instant::now() >= d))
+            let ctx = ExecContext {
+                resume_from: if attempt == 1 { resume_from } else { None },
+                checkpoint_to: checkpoint_to.as_deref(),
+                suspend_after: suspend_cycle,
+                deadline,
+                ..ExecContext::default()
             };
-            let ckpt = checkpoint_to.as_deref();
             if attempt == 1 {
-                h.run_job_managed(job.bench, job.kind, resume_from, ckpt, suspend)
+                cfg.executor.run(h, job, &ctx, &mut |_, _| {})
             } else {
                 let mut retry = h.clone();
                 retry.cfg.fault.seed = retry_seed(base, &job.id(), attempt);
-                retry.run_job_managed(job.bench, job.kind, None, ckpt, suspend)
+                cfg.executor.run(&retry, job, &ctx, &mut |_, _| {})
             }
         },
     )

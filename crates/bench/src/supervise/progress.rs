@@ -22,6 +22,10 @@ pub struct Progress {
     skipped: AtomicU64,
     suspended: AtomicU64,
     retries: AtomicU64,
+    /// A gauge, not a monotone counter: jobs currently running past
+    /// the sweep deadline plus the watchdog grace (set by the reaper
+    /// thread, re-zeroed when the hang clears).
+    overdue: AtomicU64,
 }
 
 impl Progress {
@@ -39,6 +43,7 @@ impl Progress {
         self.skipped.store(0, Ordering::Relaxed);
         self.suspended.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
+        self.overdue.store(0, Ordering::Relaxed);
     }
 
     /// Records a finished job's outcome in its bucket.
@@ -57,6 +62,13 @@ impl Progress {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sets the overdue gauge: how many jobs are still running past
+    /// the sweep deadline plus the watchdog grace. Called only by the
+    /// supervisor's watchdog thread.
+    pub fn set_overdue(&self, n: u64) {
+        self.overdue.store(n, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of the counters for rendering.
     pub fn snapshot(&self) -> ProgressSnapshot {
         ProgressSnapshot {
@@ -66,6 +78,7 @@ impl Progress {
             skipped: self.skipped.load(Ordering::Relaxed),
             suspended: self.suspended.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            overdue: self.overdue.load(Ordering::Relaxed),
         }
     }
 }
@@ -85,6 +98,9 @@ pub struct ProgressSnapshot {
     pub suspended: u64,
     /// Failed attempts that were retried.
     pub retries: u64,
+    /// Jobs currently running past the deadline + watchdog grace
+    /// (a gauge: non-zero only while the hang persists).
+    pub overdue: u64,
 }
 
 impl ProgressSnapshot {
@@ -113,6 +129,9 @@ impl ProgressSnapshot {
         if self.retries > 0 {
             line.push_str(&format!(", {} retries", self.retries));
         }
+        if self.overdue > 0 {
+            line.push_str(&format!(", {} OVERDUE", self.overdue));
+        }
         line.push_str(&format!(", {:.1}s", elapsed.as_secs_f64()));
         line
     }
@@ -127,6 +146,7 @@ impl ProgressSnapshot {
             ("skipped".into(), Value::u64(self.skipped)),
             ("suspended".into(), Value::u64(self.suspended)),
             ("retries".into(), Value::u64(self.retries)),
+            ("overdue".into(), Value::u64(self.overdue)),
             ("remaining".into(), Value::u64(self.remaining())),
         ])
     }
@@ -149,6 +169,8 @@ mod tests {
         p.observe(&JobOutcome::Crashed {
             message: "panic".into(),
             attempts: 3,
+            crash: None,
+            stderr: None,
         });
         p.note_retry();
         p.note_retry();
@@ -178,6 +200,18 @@ mod tests {
             line,
             "sweep 1/4 done, 1 skipped, 2 remaining, 1 retries, 0.0s"
         );
+        p.set_overdue(2);
+        let line = p.snapshot().render(std::time::Duration::ZERO);
+        assert_eq!(
+            line,
+            "sweep 1/4 done, 1 skipped, 2 remaining, 1 retries, 2 OVERDUE, 0.0s"
+        );
+        p.set_overdue(0);
+        let line = p.snapshot().render(std::time::Duration::ZERO);
+        assert_eq!(
+            line, "sweep 1/4 done, 1 skipped, 2 remaining, 1 retries, 0.0s",
+            "the gauge clears when the hang does"
+        );
     }
 
     #[test]
@@ -187,7 +221,7 @@ mod tests {
         assert_eq!(
             p.snapshot().to_json().to_string(),
             "{\"total\":2,\"done\":0,\"quarantined\":0,\"skipped\":0,\
-             \"suspended\":0,\"retries\":0,\"remaining\":2}"
+             \"suspended\":0,\"retries\":0,\"overdue\":0,\"remaining\":2}"
         );
     }
 }

@@ -4,12 +4,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use snake_core::MechanismReport;
-use snake_sim::{SimError, StopReason};
+use snake_sim::StopReason;
 
+use super::executor::{CrashKind, ExecError};
 use super::manifest::{JobRecord, ManifestWriter};
 use super::{JobSpec, SweepConfig, EXIT_INTERRUPTED, EXIT_QUARANTINE};
 use crate::figures::panic_message;
@@ -41,6 +43,12 @@ pub enum JobOutcome {
         message: String,
         /// Attempts made before quarantine.
         attempts: u32,
+        /// Typed crash classification when the failure was a process
+        /// death (sandbox executor) or a panic; `None` for typed
+        /// simulator errors and deadlocks.
+        crash: Option<CrashKind>,
+        /// Last stderr excerpt from the crashed child, when captured.
+        stderr: Option<String>,
     },
     /// The job was never started: the sweep hit its wall deadline or
     /// `stop_after` first. Resume from the manifest to run it.
@@ -78,10 +86,17 @@ impl JobOutcome {
                 stop: stop.clone(),
                 report: report.clone(),
             }),
-            JobOutcome::Crashed { message, attempts } => Some(JobRecord::Quarantined {
+            JobOutcome::Crashed {
+                message,
+                attempts,
+                crash,
+                stderr,
+            } => Some(JobRecord::Quarantined {
                 job,
                 attempts: *attempts,
                 error: message.clone(),
+                crash: crash.map(|k| k.label()),
+                stderr: stderr.clone(),
             }),
             JobOutcome::Suspended {
                 cycle,
@@ -192,13 +207,20 @@ impl SweepResult {
         t
     }
 
-    /// The quarantine section, if any job crashed out.
+    /// The quarantine section, if any job crashed out: the typed crash
+    /// kind and last stderr excerpt ride along so a quarantine is
+    /// diagnosable from the summary without grepping the manifest.
     pub fn quarantine_table(&self) -> Option<Table> {
         let crashed: Vec<_> = self
             .outcomes
             .iter()
             .filter_map(|(job, o)| match o {
-                JobOutcome::Crashed { message, attempts } => Some((job, message, *attempts)),
+                JobOutcome::Crashed {
+                    message,
+                    attempts,
+                    crash,
+                    stderr,
+                } => Some((job, message, *attempts, crash, stderr)),
                 _ => None,
             })
             .collect();
@@ -207,15 +229,20 @@ impl SweepResult {
         }
         let mut t = Table::new(
             "Sweep — quarantined jobs",
-            ["job", "attempts", "last failure"]
+            ["job", "attempts", "crash", "last failure"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
         );
-        for (job, message, attempts) in crashed {
+        for (job, message, attempts, crash, stderr) in crashed {
             // Keep the table single-line per job.
-            let first_line = message.lines().next().unwrap_or("").to_string();
-            t.push_row(vec![job.id(), attempts.to_string(), first_line]);
+            let mut first_line = message.lines().next().unwrap_or("").to_string();
+            if let Some(excerpt) = stderr.as_deref().map(str::trim).filter(|s| !s.is_empty()) {
+                let line = excerpt.lines().next().unwrap_or("");
+                first_line.push_str(&format!(" [stderr: {line}]"));
+            }
+            let kind = crash.map_or_else(|| "-".to_string(), |k| k.label());
+            t.push_row(vec![job.id(), attempts.to_string(), kind, first_line]);
         }
         t.note("quarantined jobs exhausted their retry budget; healthy rows above are unaffected");
         Some(t)
@@ -264,7 +291,7 @@ struct Queue<'a> {
 /// * Each remaining job runs on a worker behind `catch_unwind`; a
 ///   panic or deadlock triggers retries (with backoff and a fresh
 ///   `attempt` number for the runner's seed schedule) up to
-///   `cfg.max_attempts`, then quarantine. A typed [`SimError`] is
+///   `cfg.max_attempts`, then quarantine. A typed `SimError` is
 ///   deterministic, so it quarantines immediately without retries.
 /// * Every finished job is appended to `writer` (when given) before
 ///   it counts as done.
@@ -276,7 +303,7 @@ pub fn run_supervised<F>(
     runner: F,
 ) -> SweepResult
 where
-    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, SimError> + Sync,
+    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, ExecError> + Sync,
 {
     let started_at = Instant::now();
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
@@ -296,11 +323,17 @@ where
                 });
             }
             Some(JobRecord::Quarantined {
-                attempts, error, ..
+                attempts,
+                error,
+                crash,
+                stderr,
+                ..
             }) => {
                 outcomes[i] = Some(JobOutcome::Crashed {
                     message: error.clone(),
                     attempts: *attempts,
+                    crash: crash.as_deref().and_then(CrashKind::parse),
+                    stderr: stderr.clone(),
                 });
             }
             Some(JobRecord::Suspended { checkpoint, .. }) => {
@@ -359,11 +392,15 @@ where
     };
 
     let n_workers = cfg.workers.clamp(1, jobs.len().max(1));
+    let running = AtomicU64::new(0);
+    let active_workers = AtomicUsize::new(n_workers);
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
                 while let Some((i, job, resume)) = claim() {
+                    running.fetch_add(1, Ordering::Relaxed);
                     let outcome = supervise_one(job, cfg, resume.as_deref(), &runner);
+                    running.fetch_sub(1, Ordering::Relaxed);
                     if let Some(p) = &cfg.progress {
                         p.observe(&outcome);
                     }
@@ -384,6 +421,33 @@ where
                     }
                     done.lock().unwrap()[i] = Some(outcome);
                 }
+                active_workers.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        // Hung-job reaper: the cooperative deadline check inside a
+        // running simulation fires only every 1024 cycles, so a job
+        // wedged *inside* one cycle can hold the sweep open silently.
+        // The watchdog cannot kill an in-thread job, but it makes the
+        // hang observable: jobs still running past the deadline plus
+        // the grace period are counted as overdue in `Progress`, which
+        // `repro --progress` repaints and daemon health surfaces.
+        if let (Some(deadline), Some(progress)) = (cfg.wall_deadline, &cfg.progress) {
+            let overdue_at = started_at + deadline + cfg.watchdog_grace;
+            let progress = progress.clone();
+            let running = &running;
+            let active_workers = &active_workers;
+            scope.spawn(move || loop {
+                if active_workers.load(Ordering::Relaxed) == 0 {
+                    progress.set_overdue(0);
+                    return;
+                }
+                let overdue = if Instant::now() >= overdue_at {
+                    running.load(Ordering::Relaxed)
+                } else {
+                    0
+                };
+                progress.set_overdue(overdue);
+                std::thread::sleep(Duration::from_millis(25));
             });
         }
     });
@@ -400,6 +464,14 @@ where
     }
 }
 
+/// A retryable failure captured mid-attempt-loop, with whatever typed
+/// classification it arrived with.
+struct Failure {
+    message: String,
+    crash: Option<CrashKind>,
+    stderr: Option<String>,
+}
+
 /// Runs one job's attempt loop: panic isolation, retry classification,
 /// capped exponential backoff, quarantine.
 ///
@@ -407,6 +479,13 @@ where
 /// run fails, later attempts fall back to a fresh run from cycle zero
 /// under the retry seed schedule (a perturbed fault seed cannot take
 /// effect inside restored RNG state anyway).
+///
+/// Retry classification: typed simulator errors (and their sandboxed
+/// [`ExecError::Typed`] twin) are deterministic and quarantine
+/// immediately; deadlocks and in-thread panics retry as before; child
+/// deaths retry only when their [`CrashKind::retryable`] — a child
+/// panic re-runs the same deterministic seed, and a lease timeout
+/// would just burn the lease again, so neither spends retry budget.
 fn supervise_one<F>(
     job: &JobSpec,
     cfg: &SweepConfig,
@@ -414,7 +493,7 @@ fn supervise_one<F>(
     runner: &F,
 ) -> JobOutcome
 where
-    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, SimError> + Sync,
+    F: Fn(&JobSpec, u32, Option<&Path>) -> Result<JobRun, ExecError> + Sync,
 {
     let max_attempts = cfg.max_attempts.max(1);
     let mut attempt = 1u32;
@@ -426,7 +505,11 @@ where
         };
         let failure = match catch_unwind(AssertUnwindSafe(|| runner(job, attempt, resume))) {
             Ok(Ok(JobRun::Finished(output))) => match output.stop {
-                StopReason::Deadlock(report) => format!("deadlock: {report}"),
+                StopReason::Deadlock(report) => Failure {
+                    message: format!("deadlock: {report}"),
+                    crash: None,
+                    stderr: None,
+                },
                 _ => {
                     return JobOutcome::Completed {
                         stop: output.stop.label().to_string(),
@@ -451,18 +534,55 @@ where
             }
             // A typed simulator error is deterministic (bad
             // configuration); retrying cannot change it.
-            Ok(Err(err)) => {
+            Ok(Err(ExecError::Sim(err))) => {
                 return JobOutcome::Crashed {
                     message: err.to_string(),
                     attempts: attempt,
+                    crash: None,
+                    stderr: None,
                 };
             }
-            Err(payload) => format!("panic: {}", panic_message(payload.as_ref())),
+            Ok(Err(ExecError::Typed(message))) => {
+                return JobOutcome::Crashed {
+                    message,
+                    attempts: attempt,
+                    crash: None,
+                    stderr: None,
+                };
+            }
+            Ok(Err(ExecError::Failure(message))) => Failure {
+                message,
+                crash: None,
+                stderr: None,
+            },
+            Ok(Err(ExecError::Crash(c))) => {
+                let stderr = (!c.stderr.is_empty()).then(|| c.stderr.clone());
+                if !c.kind.retryable() {
+                    return JobOutcome::Crashed {
+                        message: c.message,
+                        attempts: attempt,
+                        crash: Some(c.kind),
+                        stderr,
+                    };
+                }
+                Failure {
+                    message: c.message,
+                    crash: Some(c.kind),
+                    stderr,
+                }
+            }
+            Err(payload) => Failure {
+                message: format!("panic: {}", panic_message(payload.as_ref())),
+                crash: Some(CrashKind::Panic),
+                stderr: None,
+            },
         };
         if attempt >= max_attempts {
             return JobOutcome::Crashed {
-                message: failure,
+                message: failure.message,
                 attempts: attempt,
+                crash: failure.crash,
+                stderr: failure.stderr,
             };
         }
         if let Some(p) = &cfg.progress {

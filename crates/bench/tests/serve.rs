@@ -46,6 +46,7 @@ fn options(dir: &Path) -> DaemonOptions {
         quota_queued: None,
         quota_running: None,
         workers: 1,
+        isolate: false,
     }
 }
 

@@ -97,6 +97,7 @@ fn restart_preserves_terminal_reports_bit_exactly() {
         quota_queued: None,
         quota_running: None,
         workers: 1,
+        isolate: false,
     };
     let handle = serve::serve(&first).expect("first daemon starts");
     let id = submit(
@@ -164,6 +165,7 @@ fn orphaned_submission_requeues_and_completes_on_startup() {
         quota_queued: None,
         quota_running: None,
         workers: 1,
+        isolate: false,
     };
     let handle = serve::serve(&opts).expect("daemon replays the journal");
     wait_done(&opts.socket, 1);
@@ -316,4 +318,75 @@ fn kill_nine_anywhere_yields_byte_identical_reports() {
         total_kills >= 1,
         "the chaos loop never killed the daemon — workload too short for this machine"
     );
+}
+
+/// Isolation chaos: a sandboxed child dying by SIGSEGV or SIGKILL must
+/// quarantine its own job with the decoded signal kind while the
+/// daemon survives, finishes the sibling job normally, and reports a
+/// healthy (non-degraded) sandbox executor.
+#[test]
+fn child_signal_deaths_quarantine_without_harming_the_daemon() {
+    for (mode, want_kind) in [("segv", "signal 11"), ("kill9", "signal 9")] {
+        let dir = scratch(&format!("isolate-{mode}"));
+        let socket = dir.join("snaked.sock");
+        let journal = dir.join("state.jsonl");
+        let mut child = Command::new(env!("CARGO_BIN_EXE_snaked"))
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--state")
+            .arg(&journal)
+            .arg("--isolate")
+            .env("SNAKE_EXEC_WORKER", env!("CARGO_BIN_EXE_repro"))
+            .env("SNAKE_EXEC_CRASH", format!("CP/snake={mode}"))
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn snaked");
+        wait_ready(&socket);
+        let id = submit(
+            &socket,
+            SubmitSpec {
+                benchmarks: Some("LPS,CP".into()),
+                mechanisms: Some("snake".into()),
+                quick: true,
+                ..SubmitSpec::default()
+            },
+        );
+        wait_done(&socket, id);
+
+        let status = client::request(&socket, &Request::Status { id: Some(id) })
+            .expect("status answered after the child died");
+        let job = status.get("job").expect("job object");
+        assert_eq!(
+            job.get("exit").and_then(Value::as_u64),
+            Some(3),
+            "{mode}: a quarantined job yields the sweep quarantine exit"
+        );
+        let quarantined = job
+            .get("quarantined")
+            .and_then(Value::as_arr)
+            .unwrap_or_else(|| panic!("{mode}: done status must carry the quarantined array"));
+        assert_eq!(quarantined.len(), 1, "{mode}: exactly the crashed job");
+        let note = &quarantined[0];
+        assert_eq!(note.get("job").and_then(Value::as_str), Some("CP/snake"));
+        assert_eq!(
+            note.get("crash").and_then(Value::as_str),
+            Some(want_kind),
+            "{mode}: crash kind must decode from the child's wait status"
+        );
+
+        let reports = report_bytes(&socket, id);
+        assert!(
+            reports.contains("LPS/snake"),
+            "{mode}: the sibling job must finish normally: {reports}"
+        );
+        let health = client::request(&socket, &Request::Health).expect("health answered");
+        assert_eq!(
+            health.get("exec_degraded").and_then(Value::as_bool),
+            Some(false),
+            "{mode}: child crashes are contained, not an executor degradation"
+        );
+        client::request(&socket, &Request::Shutdown).expect("shutdown accepted");
+        child.wait().expect("daemon exits");
+    }
 }

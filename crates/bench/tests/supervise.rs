@@ -8,7 +8,8 @@ use std::sync::Mutex;
 
 use snake_bench::runner::JobRun;
 use snake_bench::supervise::{
-    self, campaign, JobOutcome, JobSpec, SweepConfig, SweepError, EXIT_INTERRUPTED, EXIT_QUARANTINE,
+    self, campaign, CrashKind, ExecError, JobOutcome, JobSpec, SweepConfig, SweepError,
+    EXIT_INTERRUPTED, EXIT_QUARANTINE,
 };
 use snake_bench::Harness;
 use snake_core::PrefetcherKind;
@@ -98,6 +99,7 @@ fn resume_skips_checkpointed_jobs() {
         h.run_job(job.bench, job.kind)
             .map(Box::new)
             .map(JobRun::Finished)
+            .map_err(ExecError::from)
     };
 
     let cfg = SweepConfig {
@@ -159,6 +161,7 @@ fn poisoned_jobs_are_quarantined_and_siblings_are_unharmed() {
         }
         .map(Box::new)
         .map(JobRun::Finished)
+        .map_err(ExecError::from)
     })
     .unwrap();
 
@@ -174,16 +177,28 @@ fn poisoned_jobs_are_quarantined_and_siblings_are_unharmed() {
             .unwrap()
     };
     match outcome(Benchmark::Cp) {
-        JobOutcome::Crashed { message, attempts } => {
+        JobOutcome::Crashed {
+            message,
+            attempts,
+            crash,
+            ..
+        } => {
             assert!(message.starts_with("panic: injected poison"), "{message}");
             assert_eq!(attempts, cfg.max_attempts, "panics are retried first");
+            assert_eq!(crash, Some(CrashKind::Panic), "panics carry their kind");
         }
         other => panic!("CP should be quarantined, got {other:?}"),
     }
     match outcome(Benchmark::Lps) {
-        JobOutcome::Crashed { message, attempts } => {
+        JobOutcome::Crashed {
+            message,
+            attempts,
+            crash,
+            ..
+        } => {
             assert!(message.starts_with("deadlock:"), "{message}");
             assert_eq!(attempts, cfg.max_attempts, "deadlocks are retried first");
+            assert_eq!(crash, None, "deadlocks are sim outcomes, not crashes");
         }
         other => panic!("LPS should be quarantined, got {other:?}"),
     }
@@ -236,6 +251,7 @@ fn flaky_job_succeeds_after_retries() {
         h.run_job(job.bench, job.kind)
             .map(Box::new)
             .map(JobRun::Finished)
+            .map_err(ExecError::from)
     })
     .unwrap();
 
@@ -266,14 +282,21 @@ fn deterministic_sim_error_quarantines_without_retry() {
             .run_job(job.bench, job.kind)
             .map(Box::new)
             .map(JobRun::Finished)
+            .map_err(ExecError::from)
     })
     .unwrap();
 
     assert_eq!(result.exit_code(), EXIT_QUARANTINE);
     match &result.outcomes[0].1 {
-        JobOutcome::Crashed { message, attempts } => {
+        JobOutcome::Crashed {
+            message,
+            attempts,
+            crash,
+            ..
+        } => {
             assert!(message.contains("invalid configuration"), "{message}");
             assert_eq!(*attempts, 1, "deterministic errors are not retried");
+            assert_eq!(*crash, None, "typed sim errors carry no crash kind");
         }
         other => panic!("expected quarantine, got {other:?}"),
     }
@@ -390,4 +413,64 @@ fn invalid_harness_fails_fast() {
     let jobs = campaign(&[Benchmark::Lps], &[PrefetcherKind::Baseline]);
     let err = supervise::run_campaign(&h, &jobs, &test_cfg(), None, false).unwrap_err();
     assert!(matches!(err, SweepError::Sim(SimError::Config(_))), "{err}");
+}
+
+/// Satellite: the hung-job watchdog. A job wedged past the sweep
+/// deadline plus the grace period shows up as `overdue` in the shared
+/// `Progress` while it hangs, and the gauge drops back to zero once
+/// the sweep drains — the hang is observable even though an in-thread
+/// job cannot be killed.
+#[test]
+fn watchdog_marks_wedged_jobs_overdue_then_clears() {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let h = Harness::quick();
+    let jobs = campaign(&[Benchmark::Lps], &[PrefetcherKind::Baseline]);
+    let progress = Arc::new(supervise::Progress::default());
+    let cfg = SweepConfig {
+        max_attempts: 1,
+        workers: 1,
+        wall_deadline: Some(Duration::from_millis(20)),
+        watchdog_grace: Duration::from_millis(20),
+        progress: Some(progress.clone()),
+        ..SweepConfig::default()
+    };
+
+    // Observer: sample the gauge while the sweep blocks on the wedge.
+    let seen_overdue = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observer = {
+        let progress = progress.clone();
+        let seen = seen_overdue.clone();
+        std::thread::spawn(move || {
+            let give_up = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < give_up {
+                if progress.snapshot().overdue > 0 {
+                    seen.store(true, Ordering::Relaxed);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    // The runner ignores the cooperative deadline entirely — the
+    // stand-in for a simulation wedged inside one cycle.
+    let result = supervise::run_campaign_with(&h, &jobs, &cfg, None, false, |_, _, _| {
+        std::thread::sleep(Duration::from_millis(400));
+        Err(ExecError::Typed("wedged job finally died".into()))
+    })
+    .unwrap();
+    observer.join().unwrap();
+
+    assert!(
+        seen_overdue.load(Ordering::Relaxed),
+        "the watchdog never marked the wedged job overdue"
+    );
+    assert_eq!(
+        progress.snapshot().overdue,
+        0,
+        "the gauge must clear once the sweep drains"
+    );
+    assert_eq!(result.exit_code(), EXIT_QUARANTINE);
 }

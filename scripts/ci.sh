@@ -304,4 +304,82 @@ fi
 "${QCTL[@]}" shutdown >/dev/null
 wait "$SNAKED_PID"
 
+echo "==> isolation smoke (sandboxed workers: byte-identity, crash kinds, degradation)"
+# A fault-free --isolate sweep must render byte-identically to the
+# in-thread run; an injected abort / address-space blowout must
+# quarantine only the poisoned job with its decoded crash kind while
+# the siblings' rows stay identical; a missing worker binary must
+# degrade to in-thread execution with identical output and exit 0.
+ISO_FLAGS=(--sweep --quick --benchmarks LPS,CP --mechanisms baseline,snake)
+./target/release/repro "${ISO_FLAGS[@]}" > "$SWEEP_DIR/iso-ref.txt"
+./target/release/repro "${ISO_FLAGS[@]}" --isolate > "$SWEEP_DIR/iso-sandboxed.txt"
+if ! cmp -s "$SWEEP_DIR/iso-ref.txt" "$SWEEP_DIR/iso-sandboxed.txt"; then
+    echo "isolation smoke: sandboxed report differs from the in-thread run" >&2
+    diff "$SWEEP_DIR/iso-ref.txt" "$SWEEP_DIR/iso-sandboxed.txt" >&2 || true
+    exit 1
+fi
+rc=0
+SNAKE_EXEC_CRASH="CP/snake=abort" ./target/release/repro "${ISO_FLAGS[@]}" \
+    --isolate > "$SWEEP_DIR/iso-abort.txt" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "isolation smoke: aborted child must quarantine its job (exit 3), got $rc" >&2
+    exit 1
+fi
+if ! grep -q 'signal 6' "$SWEEP_DIR/iso-abort.txt"; then
+    echo "isolation smoke: quarantine table must name the decoded crash kind" >&2
+    cat "$SWEEP_DIR/iso-abort.txt" >&2
+    exit 1
+fi
+grep '^LPS' "$SWEEP_DIR/iso-ref.txt" > "$SWEEP_DIR/iso-ref-lps.txt"
+grep '^LPS' "$SWEEP_DIR/iso-abort.txt" > "$SWEEP_DIR/iso-abort-lps.txt"
+if ! cmp -s "$SWEEP_DIR/iso-ref-lps.txt" "$SWEEP_DIR/iso-abort-lps.txt"; then
+    echo "isolation smoke: sibling rows changed after a child crash" >&2
+    diff "$SWEEP_DIR/iso-ref-lps.txt" "$SWEEP_DIR/iso-abort-lps.txt" >&2 || true
+    exit 1
+fi
+rc=0
+SNAKE_EXEC_CRASH="CP/baseline=oom" ./target/release/repro "${ISO_FLAGS[@]}" \
+    --isolate --isolate-mem 512 > "$SWEEP_DIR/iso-oom.txt" || rc=$?
+if [ "$rc" -ne 3 ] || ! grep -q 'oom' "$SWEEP_DIR/iso-oom.txt"; then
+    echo "isolation smoke: rlimit blowout must be classified oom (exit 3), got $rc" >&2
+    cat "$SWEEP_DIR/iso-oom.txt" >&2
+    exit 1
+fi
+SNAKE_EXEC_WORKER=/nonexistent/snake-worker ./target/release/repro \
+    "${ISO_FLAGS[@]}" --isolate > "$SWEEP_DIR/iso-degraded.txt"
+if ! cmp -s "$SWEEP_DIR/iso-ref.txt" "$SWEEP_DIR/iso-degraded.txt"; then
+    echo "isolation smoke: degraded (in-thread fallback) report differs" >&2
+    diff "$SWEEP_DIR/iso-ref.txt" "$SWEEP_DIR/iso-degraded.txt" >&2 || true
+    exit 1
+fi
+
+echo "==> snaked isolation smoke (child segfault quarantined, daemon healthy)"
+# A segfaulting sandboxed child must not harm the daemon: its job ends
+# quarantined with the decoded crash kind in status, the sibling's
+# report survives, health stays undegraded, and shutdown is clean.
+ISO_SOCK="$SWEEP_DIR/iso.sock"
+ICTL=(./target/release/snakectl --socket "$ISO_SOCK")
+SNAKE_EXEC_CRASH="CP/snake=segv" ./target/release/snaked \
+    --socket "$ISO_SOCK" --isolate &
+SNAKED_PID=$!
+snaked_ready ICTL
+ISO_ID=$("${ICTL[@]}" submit --quick --benchmarks LPS,CP --mechanisms snake)
+for _ in $(seq 1 200); do
+    "${ICTL[@]}" status "$ISO_ID" | grep -q '"state":"done"' && break
+    sleep 0.05
+done
+ISO_STATUS=$("${ICTL[@]}" status "$ISO_ID")
+if ! echo "$ISO_STATUS" | grep -q '"crash":"signal 11"'; then
+    echo "snaked isolation smoke: status must carry the decoded crash kind" >&2
+    echo "$ISO_STATUS" >&2
+    exit 1
+fi
+if ! "${ICTL[@]}" health | grep -q '"exec_degraded":false'; then
+    echo "snaked isolation smoke: a child crash must not degrade the executor" >&2
+    "${ICTL[@]}" health >&2
+    exit 1
+fi
+"${ICTL[@]}" shutdown >/dev/null
+wait "$SNAKED_PID"
+
 echo "CI gate passed."
